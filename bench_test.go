@@ -1,0 +1,228 @@
+package pleroma_test
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"pleroma"
+	"pleroma/internal/experiments"
+	"pleroma/internal/metrics"
+)
+
+// The benchmarks below regenerate every figure of the paper's evaluation
+// (Section 6, Figure 7 panels a–h) plus the DESIGN.md ablations, one bench
+// per figure. Each iteration executes the full (quick-mode) experiment;
+// headline numbers are attached as custom benchmark metrics so the shape
+// of the paper's results is visible straight from `go test -bench`.
+// Full-scale parameter sweeps: `go run ./cmd/pleroma-sim -exp all -full`.
+
+// runExperiment executes one registered experiment per iteration and
+// returns the final tables for metric extraction.
+func runExperiment(b *testing.B, id string) []*metrics.Table {
+	b.Helper()
+	var tables []*metrics.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = experiments.Run(id, experiments.DefaultConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+func cellFloat(b *testing.B, t *metrics.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		d, derr := time.ParseDuration(t.Rows[row][col])
+		if derr != nil {
+			b.Fatalf("cell (%d,%d)=%q: %v / %v", row, col, t.Rows[row][col], err, derr)
+		}
+		return float64(d.Nanoseconds())
+	}
+	return v
+}
+
+func BenchmarkFig7aDelayVsFlows(b *testing.B) {
+	tables := runExperiment(b, "fig7a")
+	t := tables[0]
+	b.ReportMetric(cellFloat(b, t, 0, 1), "delay-min-flows-ns")
+	b.ReportMetric(cellFloat(b, t, len(t.Rows)-1, 1), "delay-max-flows-ns")
+}
+
+func BenchmarkFig7bDelayVsSubscriptions(b *testing.B) {
+	tables := runExperiment(b, "fig7b")
+	t := tables[0]
+	b.ReportMetric(cellFloat(b, t, 0, 1), "delay-min-subs-ns")
+	b.ReportMetric(cellFloat(b, t, len(t.Rows)-1, 1), "delay-max-subs-ns")
+}
+
+func BenchmarkFig7cThroughput(b *testing.B) {
+	tables := runExperiment(b, "fig7c")
+	t := tables[0]
+	last := len(t.Rows) - 1
+	b.ReportMetric(cellFloat(b, t, last, 1), "received-at-max-rate/s")
+	b.ReportMetric(cellFloat(b, t, last, 2), "received-fast-host/s")
+}
+
+func BenchmarkFig7dFPRVsDzLength(b *testing.B) {
+	tables := runExperiment(b, "fig7d")
+	t := tables[0]
+	b.ReportMetric(cellFloat(b, t, 0, 1), "fpr-shortest-dz-%")
+	b.ReportMetric(cellFloat(b, t, len(t.Rows)-1, 1), "fpr-longest-dz-%")
+}
+
+func BenchmarkFig7eFPRDimSelection(b *testing.B) {
+	tables := runExperiment(b, "fig7e")
+	t := tables[0]
+	// Restricted workload 3: best k vs all dimensions.
+	col := len(t.Columns) - 1
+	best := cellFloat(b, t, 0, col)
+	for r := 1; r < len(t.Rows); r++ {
+		if v := cellFloat(b, t, r, col); v < best {
+			best = v
+		}
+	}
+	b.ReportMetric(best, "fpr-best-k-%")
+	b.ReportMetric(cellFloat(b, t, len(t.Rows)-1, col), "fpr-all-dims-%")
+}
+
+func BenchmarkFig7fReconfigDelay(b *testing.B) {
+	tables := runExperiment(b, "fig7f")
+	t := tables[0]
+	last := len(t.Rows) - 1
+	b.ReportMetric(cellFloat(b, t, last, 5), "subs/sec-at-max-deployed")
+	b.ReportMetric(cellFloat(b, t, last, 4), "flowmods/sub")
+}
+
+func BenchmarkFig7gControllerOverhead(b *testing.B) {
+	tables := runExperiment(b, "fig7g")
+	t := tables[0]
+	last := len(t.Rows) - 1
+	b.ReportMetric(cellFloat(b, t, last, len(t.Columns)-1), "norm-overhead-max-partitions-%")
+}
+
+func BenchmarkFig7hControlTraffic(b *testing.B) {
+	tables := runExperiment(b, "fig7h")
+	t := tables[0]
+	last := len(t.Rows) - 1
+	b.ReportMetric(cellFloat(b, t, 0, 1), "traffic-1-controller")
+	b.ReportMetric(cellFloat(b, t, last, 1), "traffic-max-controllers")
+}
+
+func BenchmarkAblationBrokerVsSDN(b *testing.B) {
+	tables := runExperiment(b, "abl-broker")
+	t := tables[0]
+	b.ReportMetric(cellFloat(b, t, 0, 1), "pleroma-delay-ns")
+	b.ReportMetric(cellFloat(b, t, 1, 1), "broker-delay-ns")
+}
+
+func BenchmarkAblationTreeStrategy(b *testing.B) {
+	tables := runExperiment(b, "abl-trees")
+	t := tables[0]
+	b.ReportMetric(cellFloat(b, t, 0, 2), "single-tree-max-link-pkts")
+	b.ReportMetric(cellFloat(b, t, 1, 2), "multi-tree-max-link-pkts")
+}
+
+func BenchmarkAblationCoveringForwarding(b *testing.B) {
+	tables := runExperiment(b, "abl-cover")
+	t := tables[0]
+	b.ReportMetric(cellFloat(b, t, 0, 1), "messages-covering-on")
+	b.ReportMetric(cellFloat(b, t, 1, 1), "messages-covering-off")
+}
+
+// --- end-to-end micro-benchmarks of the public API ---
+
+func BenchmarkSystemSubscribe(b *testing.B) {
+	sch, err := pleroma.NewSchema(
+		pleroma.Attribute{Name: "a", Bits: 10},
+		pleroma.Attribute{Name: "b", Bits: 10},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := pleroma.NewSystem(sch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := sys.Hosts()
+	pub, err := sys.NewPublisher("p", hosts[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pub.Advertise(pleroma.NewFilter()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := "s" + strconv.Itoa(i)
+		lo := uint32(i % 900)
+		if err := sys.Subscribe(id, hosts[1+i%7],
+			pleroma.NewFilter().Range("a", lo, lo+100), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSystemPublishDeliver(b *testing.B) {
+	sch, err := pleroma.NewSchema(
+		pleroma.Attribute{Name: "a", Bits: 10},
+		pleroma.Attribute{Name: "b", Bits: 10},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := pleroma.NewSystem(sch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := sys.Hosts()
+	pub, err := sys.NewPublisher("p", hosts[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pub.Advertise(pleroma.NewFilter()); err != nil {
+		b.Fatal(err)
+	}
+	delivered := 0
+	for i := 1; i < 8; i++ {
+		if err := sys.Subscribe("s"+strconv.Itoa(i), hosts[i],
+			pleroma.NewFilter(), func(pleroma.Delivery) { delivered++ }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Publish(uint32(i%1024), uint32((i*7)%1024)); err != nil {
+			b.Fatal(err)
+		}
+		sys.Run()
+	}
+	if delivered == 0 {
+		b.Fatal("no deliveries")
+	}
+}
+
+func BenchmarkAblationMergeThreshold(b *testing.B) {
+	tables := runExperiment(b, "abl-merge")
+	t := tables[0]
+	b.ReportMetric(cellFloat(b, t, 0, 3), "flow-ops-single-tree")
+	b.ReportMetric(cellFloat(b, t, len(t.Rows)-1, 3), "flow-ops-unlimited")
+}
+
+func BenchmarkAblationFlowBudget(b *testing.B) {
+	tables := runExperiment(b, "abl-flows")
+	t := tables[0]
+	last := len(t.Rows) - 1
+	b.ReportMetric(cellFloat(b, t, 0, 2), "flows-tightest-budget")
+	b.ReportMetric(cellFloat(b, t, last, 2), "flows-loosest-budget")
+	b.ReportMetric(cellFloat(b, t, last, 4), "fpr-loosest-%")
+}
+
+func BenchmarkExtActivationLatency(b *testing.B) {
+	tables := runExperiment(b, "ext-activation")
+	t := tables[0]
+	b.ReportMetric(cellFloat(b, t, len(t.Rows)-1, 1), "activation-mean-ns")
+}

@@ -1,0 +1,160 @@
+// Command dzcalc inspects PLEROMA's spatial index: it converts
+// content-based filters into DZ sets and the IPv6 multicast flow prefixes
+// a switch would match on, and encodes event points into dz-expressions.
+//
+// Usage:
+//
+//	dzcalc -dims 2 -range "0=512:767" -maxlen 3
+//	dzcalc -dims 2 -event "700,300" -len 8
+//	dzcalc -expr 101101
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/ipmc"
+	"pleroma/internal/space"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dzcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dzcalc", flag.ContinueOnError)
+	var (
+		dims     = fs.Int("dims", 2, "number of attributes")
+		bits     = fs.Int("bits", 10, "bits per attribute domain")
+		rangeStr = fs.String("range", "", "filter ranges, e.g. \"0=512:767,1=0:100\"")
+		eventStr = fs.String("event", "", "event point, e.g. \"700,300\"")
+		exprStr  = fs.String("expr", "", "dz-expression to convert to an IPv6 prefix")
+		maxLen   = fs.Int("maxlen", 8, "maximum dz length for decomposition")
+		length   = fs.Int("len", 16, "dz length for event encoding")
+		maxSubs  = fs.Int("maxcount", 64, "maximum subspaces per decomposition")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *exprStr != "" {
+		return showExpr(*exprStr)
+	}
+	attrs := make([]space.Attribute, *dims)
+	for i := range attrs {
+		attrs[i] = space.Attribute{Name: "attr" + strconv.Itoa(i), Bits: *bits}
+	}
+	sch, err := space.NewSchema(attrs...)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *rangeStr != "":
+		return showFilter(sch, *rangeStr, *maxLen, *maxSubs)
+	case *eventStr != "":
+		return showEvent(sch, *eventStr, *length)
+	default:
+		fs.Usage()
+		return fmt.Errorf("need one of -range, -event, or -expr")
+	}
+}
+
+func showExpr(s string) error {
+	e, err := dz.Parse(s)
+	if err != nil {
+		return err
+	}
+	prefix, err := ipmc.FromExpr(e)
+	if err != nil {
+		return err
+	}
+	addr, err := ipmc.EventAddr(e)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dz           %s (len %d)\n", e, e.Len())
+	fmt.Printf("flow match   %s\n", prefix)
+	fmt.Printf("event dest   %s\n", addr)
+	return nil
+}
+
+func showFilter(sch *space.Schema, rangeStr string, maxLen, maxSubs int) error {
+	f := space.NewFilter()
+	for _, part := range strings.Split(rangeStr, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad range %q (want idx=lo:hi)", part)
+		}
+		idx, err := strconv.Atoi(kv[0])
+		if err != nil || idx < 0 || idx >= sch.Dims() {
+			return fmt.Errorf("bad attribute index %q", kv[0])
+		}
+		bounds := strings.SplitN(kv[1], ":", 2)
+		if len(bounds) != 2 {
+			return fmt.Errorf("bad bounds %q (want lo:hi)", kv[1])
+		}
+		lo, err := strconv.ParseUint(bounds[0], 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad lower bound %q", bounds[0])
+		}
+		hi, err := strconv.ParseUint(bounds[1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad upper bound %q", bounds[1])
+		}
+		f = f.Range(sch.Attribute(idx).Name, uint32(lo), uint32(hi))
+	}
+	set, err := sch.DecomposeLimited(f, maxLen, maxSubs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("filter       %s\n", f)
+	fmt.Printf("DZ set       %s (%d subspaces, max len %d)\n", set, len(set), set.MaxLen())
+	fmt.Printf("coverage     %.4f%% of the event space\n", set.Fraction()*100)
+	fmt.Println("flow matches:")
+	for _, e := range set {
+		prefix, err := ipmc.FromExpr(e)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-20s %s\n", e, prefix)
+	}
+	return nil
+}
+
+func showEvent(sch *space.Schema, eventStr string, length int) error {
+	parts := strings.Split(eventStr, ",")
+	if len(parts) != sch.Dims() {
+		return fmt.Errorf("event has %d values, schema has %d attributes", len(parts), sch.Dims())
+	}
+	vals := make([]uint32, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad value %q", p)
+		}
+		vals[i] = uint32(v)
+	}
+	ev, err := sch.NewEvent(vals...)
+	if err != nil {
+		return err
+	}
+	expr, err := sch.Encode(ev, length)
+	if err != nil {
+		return err
+	}
+	addr, err := ipmc.EventAddr(expr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("event        %v\n", ev.Values)
+	fmt.Printf("dz           %s (len %d)\n", expr, expr.Len())
+	fmt.Printf("dest addr    %s\n", addr)
+	return nil
+}

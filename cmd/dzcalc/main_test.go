@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestRunRange(t *testing.T) {
+	if err := run([]string{"-dims", "2", "-range", "0=512:767", "-maxlen", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEvent(t *testing.T) {
+	if err := run([]string{"-dims", "2", "-event", "700,300", "-len", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExpr(t *testing.T) {
+	if err := run([]string{"-expr", "101101"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                    // nothing to do
+		{"-expr", "10x"},                      // invalid expression
+		{"-dims", "2", "-range", "junk"},      // bad range syntax
+		{"-dims", "2", "-range", "0=5"},       // missing hi
+		{"-dims", "2", "-range", "9=0:1"},     // bad attribute index
+		{"-dims", "2", "-range", "0=a:1"},     // bad lower bound
+		{"-dims", "2", "-range", "0=0:b"},     // bad upper bound
+		{"-dims", "2", "-range", "0=900:100"}, // empty interval
+		{"-dims", "2", "-event", "1"},         // wrong arity
+		{"-dims", "2", "-event", "1,x"},       // bad value
+		{"-dims", "2", "-event", "1,9999"},    // out of domain
+		{"-dims", "0", "-event", "1"},         // invalid schema
+		{"-dims", "2", "-bits", "0", "-event", "1,1"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) expected error", args)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command pleroma-sim runs the experiments that regenerate the paper's
+// evaluation figures (Figure 7 panels a–h) and the ablation studies.
+//
+// Usage:
+//
+//	pleroma-sim -list
+//	pleroma-sim -exp fig7a
+//	pleroma-sim -exp all -full
+//
+// Quick mode (default) uses reduced workload sizes; -full reproduces the
+// paper's original parameter scales and can take minutes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pleroma/internal/experiments"
+	"pleroma/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pleroma-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pleroma-sim", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "", "experiment id to run (or 'all')")
+		full    = fs.Bool("full", false, "use the paper's full parameter scales")
+		seed    = fs.Int64("seed", 42, "random seed")
+		list    = fs.Bool("list", false, "list available experiments")
+		jsonOut = fs.Bool("json", false, "emit results as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			desc, _ := experiments.Describe(id)
+			fmt.Printf("%-12s %s\n", id, desc)
+		}
+		return nil
+	}
+	if *exp == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -exp (or -list)")
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: !*full}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	if *jsonOut {
+		return runJSON(ids, cfg, os.Stdout)
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		desc, _ := experiments.Describe(id)
+		fmt.Printf("=== %s — %s\n", id, desc)
+		start := time.Now()
+		if err := experiments.RunAndPrint(id, cfg, os.Stdout); err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		fmt.Printf("(%s in %v)\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// jsonResult is the machine-readable output of one experiment.
+type jsonResult struct {
+	Experiment  string           `json:"experiment"`
+	Description string           `json:"description"`
+	Tables      []*metrics.Table `json:"tables"`
+}
+
+// runJSON executes the experiments and emits one JSON document.
+func runJSON(ids []string, cfg experiments.Config, w io.Writer) error {
+	out := make([]jsonResult, 0, len(ids))
+	for _, id := range ids {
+		tables, err := experiments.Run(id, cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		desc, _ := experiments.Describe(id)
+		out = append(out, jsonResult{Experiment: id, Description: desc, Tables: tables})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

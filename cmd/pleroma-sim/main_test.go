@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "abl-trees"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -exp must fail")
+	}
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag must fail")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run([]string{"-exp", "abl-trees", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunTopologies(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "testbed"},
+		{"-topology", "fattree20", "-partitions", "3"},
+		{"-topology", "ring20", "-partitions", "4", "-advs", "2", "-subs", "5"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-topology", "nope"},
+		{"-topology", "testbed", "-partitions", "2"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) expected error", args)
+		}
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	if err := run([]string{"-topology", "ring20", "-partitions", "3", "-dot"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package pleroma_test
+
+import (
+	"fmt"
+
+	"pleroma"
+	"pleroma/internal/topo"
+)
+
+// The canonical flow: advertise, subscribe, publish, drain the simulated
+// network, observe content-filtered deliveries.
+func Example() {
+	sch, _ := pleroma.NewSchema(
+		pleroma.Attribute{Name: "price", Bits: 10},
+		pleroma.Attribute{Name: "volume", Bits: 10},
+	)
+	sys, _ := pleroma.NewSystem(sch)
+	hosts := sys.Hosts()
+
+	ticker, _ := sys.NewPublisher("ticker", hosts[0])
+	_ = ticker.Advertise(pleroma.NewFilter())
+
+	_ = sys.Subscribe("cheap", hosts[7],
+		pleroma.NewFilter().Range("price", 0, 99),
+		func(d pleroma.Delivery) {
+			fmt.Println("delivered price", d.Event.Values[0])
+		})
+
+	_ = ticker.Publish(42, 1000) // matches
+	_ = ticker.Publish(500, 10)  // filtered inside the network
+	sys.Run()
+	// Output:
+	// delivered price 42
+}
+
+// Subscriptions can span independently controlled network partitions: the
+// fabric floods advertisements between controllers and forwards the
+// subscription along the reverse path (Section 4 of the paper).
+func ExampleSystem_multiPartition() {
+	sch, _ := pleroma.NewSchema(pleroma.Attribute{Name: "load", Bits: 10})
+	sys, _ := pleroma.NewSystem(sch,
+		pleroma.WithTopology(pleroma.TopologyRing20),
+		pleroma.WithPartitions(4),
+	)
+	hosts := sys.Hosts()
+
+	pub, _ := sys.NewPublisher("p", hosts[0])
+	_ = pub.Advertise(pleroma.NewFilter())
+	_ = sys.Subscribe("s", hosts[10], pleroma.NewFilter().Range("load", 900, 1023),
+		func(d pleroma.Delivery) { fmt.Println("hot:", d.Event.Values[0]) })
+
+	_ = pub.Publish(950)
+	_ = pub.Publish(100)
+	sys.Run()
+
+	fmt.Println("partitions:", sys.Stats().Partitions)
+	// Output:
+	// hot: 950
+	// partitions: 4
+}
+
+// ReindexDimensions runs the paper's Section 5 loop: PCA over recent
+// traffic picks the informative attributes and the deployment re-indexes
+// onto them.
+func ExampleSystem_ReindexDimensions() {
+	sch, _ := pleroma.NewSchema(
+		pleroma.Attribute{Name: "hot", Bits: 10},
+		pleroma.Attribute{Name: "cold", Bits: 10},
+	)
+	sys, _ := pleroma.NewSystem(sch)
+	hosts := sys.Hosts()
+
+	pub, _ := sys.NewPublisher("p", hosts[0])
+	_ = pub.Advertise(pleroma.NewFilter())
+	_ = sys.Subscribe("s", hosts[3], pleroma.NewFilter().Range("hot", 0, 100), nil)
+
+	// Events vary on "hot" only.
+	for i := 0; i < 100; i++ {
+		_ = pub.Publish(uint32((i*53)%1024), 512)
+	}
+	sys.Run()
+
+	sel, _ := sys.ReindexDimensions(0.9)
+	fmt.Println("selected dimensions:", sel.Selected)
+	// Output:
+	// selected dimensions: [0]
+}
+
+// Link failures are handled by the controllers: trees are rebuilt around
+// the failed link and delivery continues over redundant paths.
+func ExampleSystem_FailLink() {
+	sch, _ := pleroma.NewSchema(pleroma.Attribute{Name: "v", Bits: 10})
+	sys, _ := pleroma.NewSystem(sch)
+	hosts := sys.Hosts()
+
+	pub, _ := sys.NewPublisher("p", hosts[0])
+	_ = pub.Advertise(pleroma.NewFilter())
+	_ = sys.Subscribe("s", hosts[7], pleroma.NewFilter(),
+		func(d pleroma.Delivery) { fmt.Println("got", d.Event.Values[0]) })
+
+	_ = pub.Publish(1)
+	sys.Run()
+
+	// Cut a switch-switch link the flow used.
+	for _, l := range sys.Links() {
+		if ls := linkBusy(sys, l); ls {
+			_ = sys.FailLink(l.A, l.B)
+			break
+		}
+	}
+	_ = pub.Publish(2)
+	sys.Run()
+	// Output:
+	// got 1
+	// got 2
+}
+
+// linkBusy reports whether a switch-switch link carried packets.
+func linkBusy(sys *pleroma.System, l *topo.Link) bool {
+	switches := map[pleroma.HostID]bool{}
+	for _, s := range sys.Switches() {
+		switches[s] = true
+	}
+	if !switches[l.A] || !switches[l.B] {
+		return false
+	}
+	for _, ll := range sys.OverloadReport().HottestLinks {
+		if (ll.From == l.A && ll.To == l.B) || (ll.From == l.B && ll.To == l.A) {
+			return true
+		}
+	}
+	return false
+}

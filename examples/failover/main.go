@@ -1,0 +1,105 @@
+// Failover: link-failure reaction — the extension the paper's conclusion
+// names as follow-up work. A publisher streams events across the fat-tree
+// to a subscriber in the opposite pod; we fail the switch-switch link the
+// flow uses, let the controller rebuild its dissemination trees, and show
+// the stream continuing over the redundant path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pleroma"
+	"pleroma/internal/topo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sch, err := pleroma.NewSchema(pleroma.Attribute{Name: "seq", Bits: 10})
+	if err != nil {
+		return err
+	}
+	sys, err := pleroma.NewSystem(sch)
+	if err != nil {
+		return err
+	}
+	hosts := sys.Hosts()
+
+	pub, err := sys.NewPublisher("stream", hosts[0])
+	if err != nil {
+		return err
+	}
+	if err := pub.Advertise(pleroma.NewFilter()); err != nil {
+		return err
+	}
+	received := 0
+	if err := sys.Subscribe("sink", hosts[7], pleroma.NewFilter(),
+		func(d pleroma.Delivery) {
+			received++
+			fmt.Printf("  received seq=%d (latency %v)\n", d.Event.Values[0], d.Latency)
+		}); err != nil {
+		return err
+	}
+
+	fmt.Println("streaming over the primary path:")
+	for seq := uint32(0); seq < 3; seq++ {
+		if err := pub.Publish(seq); err != nil {
+			return err
+		}
+	}
+	sys.Run()
+
+	// Find a switch-switch link the flow is using and cut it.
+	victim, err := pickUsedCoreLink(sys)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfailing link %d↔%d; controller rebuilds trees...\n", victim.A, victim.B)
+	if err := sys.FailLink(victim.A, victim.B); err != nil {
+		return err
+	}
+
+	fmt.Println("streaming over the repaired path:")
+	for seq := uint32(10); seq < 13; seq++ {
+		if err := pub.Publish(seq); err != nil {
+			return err
+		}
+	}
+	sys.Run()
+
+	fmt.Printf("\ntotal received: %d/6, flow mods issued: %d\n",
+		received, sys.Stats().FlowMods)
+	return nil
+}
+
+// pickUsedCoreLink returns a switch-switch link that carried traffic.
+func pickUsedCoreLink(sys *pleroma.System) (*topo.Link, error) {
+	rep := sys.OverloadReport()
+	for _, ll := range rep.HottestLinks {
+		if isSwitchPair(sys, ll.From, ll.To) {
+			for _, l := range linksOf(sys) {
+				if (l.A == ll.From && l.B == ll.To) || (l.B == ll.From && l.A == ll.To) {
+					return l, nil
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("no used switch-switch link found")
+}
+
+func isSwitchPair(sys *pleroma.System, a, b topo.NodeID) bool {
+	sw := map[topo.NodeID]bool{}
+	for _, s := range sys.Switches() {
+		sw[s] = true
+	}
+	return sw[a] && sw[b]
+}
+
+func linksOf(sys *pleroma.System) []*topo.Link {
+	return sys.Links()
+}

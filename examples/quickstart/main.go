@@ -1,0 +1,73 @@
+// Quickstart: one publisher, two subscribers on the paper's testbed
+// fat-tree. Shows the minimal PLEROMA flow: advertise → subscribe →
+// publish → receive, with in-network filtering deciding who gets what.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pleroma"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sch, err := pleroma.NewSchema(
+		pleroma.Attribute{Name: "temperature", Bits: 10},
+		pleroma.Attribute{Name: "humidity", Bits: 10},
+	)
+	if err != nil {
+		return err
+	}
+	sys, err := pleroma.NewSystem(sch)
+	if err != nil {
+		return err
+	}
+	hosts := sys.Hosts()
+
+	sensor, err := sys.NewPublisher("sensor-1", hosts[0])
+	if err != nil {
+		return err
+	}
+	// The sensor publishes anywhere in the event space.
+	if err := sensor.Advertise(pleroma.NewFilter()); err != nil {
+		return err
+	}
+
+	// The HVAC controller cares about hot readings only.
+	if err := sys.Subscribe("hvac", hosts[6],
+		pleroma.NewFilter().Range("temperature", 700, 1023),
+		func(d pleroma.Delivery) {
+			fmt.Printf("[hvac]    temp=%4d humidity=%4d  (latency %v)\n",
+				d.Event.Values[0], d.Event.Values[1], d.Latency)
+		}); err != nil {
+		return err
+	}
+	// The logger wants everything.
+	if err := sys.Subscribe("logger", hosts[7],
+		pleroma.NewFilter(),
+		func(d pleroma.Delivery) {
+			fmt.Printf("[logger]  temp=%4d humidity=%4d\n",
+				d.Event.Values[0], d.Event.Values[1])
+		}); err != nil {
+		return err
+	}
+
+	fmt.Println("publishing three readings...")
+	for _, reading := range [][2]uint32{{300, 500}, {800, 420}, {950, 100}} {
+		if err := sensor.Publish(reading[0], reading[1]); err != nil {
+			return err
+		}
+	}
+	sys.Run()
+
+	st := sys.Stats()
+	fmt.Printf("\nflow mods issued: %d, packets on links: %d\n",
+		st.FlowMods, st.LinkPackets)
+	return nil
+}

@@ -1,0 +1,234 @@
+package pleroma
+
+import (
+	"testing"
+
+	"pleroma/internal/topo"
+)
+
+// failoverFixture: a testbed fat-tree System with one publisher streaming
+// to one subscriber across pods, so the path crosses aggregation and core
+// switches with redundant alternatives.
+func failoverFixture(t *testing.T) (*System, *Publisher, *int) {
+	t.Helper()
+	sch, err := NewSchema(Attribute{Name: "v", Bits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := sys.Hosts()
+	pub, err := sys.NewPublisher("p", hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Advertise(NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	count := new(int)
+	if err := sys.Subscribe("s", hosts[7], NewFilter(), func(Delivery) { *count++ }); err != nil {
+		t.Fatal(err)
+	}
+	return sys, pub, count
+}
+
+// pathSwitchLinks returns the switch-switch links currently carrying
+// traffic between publisher and subscriber (identified by probing).
+func usedSwitchLinks(t *testing.T, sys *System) []*topo.Link {
+	t.Helper()
+	var used []*topo.Link
+	for _, l := range sys.g.Links() {
+		na, _ := sys.g.Node(l.A)
+		nb, _ := sys.g.Node(l.B)
+		if na.Kind != topo.KindSwitch || nb.Kind != topo.KindSwitch {
+			continue
+		}
+		if ls := sys.dp.LinkStatsFor(l); ls != nil {
+			for _, c := range ls.Packets {
+				if c > 0 {
+					used = append(used, l)
+					break
+				}
+			}
+		}
+	}
+	return used
+}
+
+func TestFailLinkReroutesTraffic(t *testing.T) {
+	sys, pub, count := failoverFixture(t)
+
+	if err := pub.Publish(100); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if *count != 1 {
+		t.Fatalf("baseline delivery failed: %d", *count)
+	}
+
+	// Fail every switch-switch link the flow currently uses, one at a
+	// time, verifying the controller reroutes around each.
+	used := usedSwitchLinks(t, sys)
+	if len(used) == 0 {
+		t.Fatal("no switch-switch links in use")
+	}
+	l := used[0]
+	if err := sys.FailLink(l.A, l.B); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(200); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if *count != 2 {
+		t.Fatalf("delivery after link failure: %d, want 2", *count)
+	}
+
+	// Restoring the link keeps everything working.
+	if err := sys.RestoreLink(l.A, l.B); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(300); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if *count != 3 {
+		t.Fatalf("delivery after restore: %d, want 3", *count)
+	}
+}
+
+func TestFailLinkValidation(t *testing.T) {
+	sys, _, _ := failoverFixture(t)
+	hosts := sys.Hosts()
+	if err := sys.FailLink(hosts[0], hosts[7]); err == nil {
+		t.Error("failing a non-existent link must fail")
+	}
+	if got := len(sys.Switches()); got != 10 {
+		t.Errorf("Switches=%d, want 10", got)
+	}
+}
+
+func TestFailAccessLinkDisconnectsSubscriber(t *testing.T) {
+	sys, pub, count := failoverFixture(t)
+	hosts := sys.Hosts()
+	sw, err := sys.g.AttachedSwitch(hosts[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failing the subscriber's only access link makes its paths
+	// unroutable: the rebuild must surface an error rather than silently
+	// blackholing.
+	if err := sys.FailLink(hosts[7], sw); err == nil {
+		t.Fatal("rebuilding with an unreachable subscriber must fail")
+	}
+	// The publisher side still works for other subscribers after restore.
+	if err := sys.RestoreLink(hosts[7], sw); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(5); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if *count != 1 {
+		t.Errorf("delivery after restore: %d", *count)
+	}
+}
+
+func TestFailLinkUnderChurn(t *testing.T) {
+	// The soak-style check: exact delivery continues across repeated
+	// fail/restore cycles of core links.
+	sys, pub, count := failoverFixture(t)
+	var coreLinks []*topo.Link
+	for _, l := range sys.g.Links() {
+		na, _ := sys.g.Node(l.A)
+		nb, _ := sys.g.Node(l.B)
+		if na.Kind == topo.KindSwitch && nb.Kind == topo.KindSwitch {
+			coreLinks = append(coreLinks, l)
+		}
+	}
+	want := 0
+	for i, l := range coreLinks {
+		if err := sys.FailLink(l.A, l.B); err != nil {
+			t.Fatalf("fail link %d: %v", i, err)
+		}
+		if err := pub.Publish(uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+		sys.Run()
+		want++
+		if *count != want {
+			t.Fatalf("after failing link %d: deliveries=%d, want %d", i, *count, want)
+		}
+		if err := sys.RestoreLink(l.A, l.B); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBorderLinkFailureReroutesAroundRing(t *testing.T) {
+	// Four partitions in a ring: failing the border between the
+	// publisher's and the subscriber's partitions must push traffic the
+	// long way around.
+	sch, err := NewSchema(Attribute{Name: "v", Bits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(sch, WithTopology(TopologyRing20), WithPartitions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := sys.Hosts()
+	pub, err := sys.NewPublisher("p", hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Advertise(NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	// hosts[6] sits in partition 1 (5 hosts per partition).
+	if err := sys.Subscribe("s", hosts[6], NewFilter(), func(Delivery) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(1); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if count != 1 {
+		t.Fatalf("baseline: %d", count)
+	}
+
+	// Fail every border link between partition 0 and partition 1.
+	failed := 0
+	for _, l := range sys.Links() {
+		na, _ := sys.g.Node(l.A)
+		nb, _ := sys.g.Node(l.B)
+		if na.Kind != topo.KindSwitch || nb.Kind != topo.KindSwitch {
+			continue
+		}
+		pa, pb := sys.g.Partition(l.A), sys.g.Partition(l.B)
+		if (pa == 0 && pb == 1) || (pa == 1 && pb == 0) {
+			if err := sys.FailLink(l.A, l.B); err != nil {
+				t.Fatal(err)
+			}
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no border link between partitions 0 and 1 found")
+	}
+
+	if err := pub.Publish(2); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if count != 2 {
+		t.Fatalf("delivery after border failure: %d, want 2 (rerouted around the ring)", count)
+	}
+	st := sys.Stats()
+	if st.Partitions != 4 {
+		t.Fatalf("partitions=%d", st.Partitions)
+	}
+}

@@ -1,0 +1,3 @@
+module pleroma
+
+go 1.22

@@ -1,0 +1,516 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/openflow"
+	"pleroma/internal/topo"
+)
+
+// Advertise processes an advertisement from a publisher host (Algorithm 1,
+// lines 1–15): the publisher joins every tree whose DZ overlaps the
+// advertisement, a new tree is created for uncovered subspaces, and routes
+// to all matching subscribers are installed.
+func (c *Controller) Advertise(id string, host topo.NodeID, set dz.Set) (ReconfigReport, error) {
+	ep, err := c.hostEndpoint(host)
+	if err != nil {
+		return ReconfigReport{}, err
+	}
+	return c.advertise(id, ep, set)
+}
+
+// AdvertiseVirtual registers an external advertisement arriving from a
+// neighbouring partition through the given border switch port (Section
+// 4.2): the virtual host behaves like a publisher attached to that switch.
+func (c *Controller) AdvertiseVirtual(id string, borderSwitch topo.NodeID, viaPort openflow.PortID, set dz.Set) (ReconfigReport, error) {
+	ep, err := c.virtualEndpoint(borderSwitch, viaPort)
+	if err != nil {
+		return ReconfigReport{}, err
+	}
+	return c.advertise(id, ep, set)
+}
+
+func (c *Controller) advertise(id string, ep endpoint, set dz.Set) (ReconfigReport, error) {
+	var rep ReconfigReport
+	if _, dup := c.pubs[id]; dup {
+		return rep, fmt.Errorf("%w: publisher %q", ErrDuplicateClient, id)
+	}
+	set = c.truncate(set)
+	if set.IsEmpty() {
+		return rep, fmt.Errorf("core: advertisement %q has empty DZ set", id)
+	}
+	pub := &publisher{id: id, ep: ep, adv: set, trees: make(map[TreeID]bool)}
+	c.pubs[id] = pub
+	c.stats.Advertisements++
+
+	touched := make(touchedSet)
+	for _, dzi := range set {
+		covered := dz.Set(nil)
+		for _, t := range c.sortedTrees() {
+			if !t.set.Overlaps(dzi) {
+				continue
+			}
+			overlap := t.set.IntersectExpr(dzi) // DZ^t(p) part from dz_i
+			covered = covered.Union(overlap)
+			c.joinTreeAsPublisher(t, pub, overlap, &rep)
+			if err := c.addFlowMultSub(t, pub, overlap, touched, &rep); err != nil {
+				return rep, err
+			}
+		}
+		uncovered := dz.Set{dzi}.Subtract(covered)
+		if !uncovered.IsEmpty() {
+			t, err := c.createTree(pub, uncovered, &rep)
+			if err != nil {
+				return rep, err
+			}
+			if err := c.addFlowMultSub(t, pub, uncovered, touched, &rep); err != nil {
+				return rep, err
+			}
+		}
+	}
+	if err := c.mergeTreesIfNeeded(touched, &rep); err != nil {
+		return rep, err
+	}
+	if err := c.refresh(touched, &rep); err != nil {
+		return rep, err
+	}
+	c.logOp("advertise", id, rep)
+	return rep, nil
+}
+
+// Subscribe processes a subscription from a host (Algorithm 1, lines
+// 16–25): the subscriber joins every overlapping tree and paths from all
+// publishers with overlapping advertisements are installed. A subscription
+// that overlaps no tree is stored at the controller and revisited when
+// trees change.
+func (c *Controller) Subscribe(id string, host topo.NodeID, set dz.Set) (ReconfigReport, error) {
+	ep, err := c.hostEndpoint(host)
+	if err != nil {
+		return ReconfigReport{}, err
+	}
+	return c.subscribe(id, ep, set)
+}
+
+// SubscribeVirtual registers an external subscription arriving from a
+// neighbouring partition via a border switch port.
+func (c *Controller) SubscribeVirtual(id string, borderSwitch topo.NodeID, viaPort openflow.PortID, set dz.Set) (ReconfigReport, error) {
+	ep, err := c.virtualEndpoint(borderSwitch, viaPort)
+	if err != nil {
+		return ReconfigReport{}, err
+	}
+	return c.subscribe(id, ep, set)
+}
+
+func (c *Controller) subscribe(id string, ep endpoint, set dz.Set) (ReconfigReport, error) {
+	var rep ReconfigReport
+	if _, dup := c.subs[id]; dup {
+		return rep, fmt.Errorf("%w: subscriber %q", ErrDuplicateClient, id)
+	}
+	set = c.truncate(set)
+	if set.IsEmpty() {
+		return rep, fmt.Errorf("core: subscription %q has empty DZ set", id)
+	}
+	sub := &subscriber{id: id, ep: ep, sub: set, trees: make(map[TreeID]bool)}
+	c.subs[id] = sub
+	c.stats.Subscriptions++
+
+	touched := make(touchedSet)
+	for _, dzi := range set {
+		for _, t := range c.sortedTrees() {
+			if !t.set.Overlaps(dzi) {
+				continue
+			}
+			overlap := t.set.IntersectExpr(dzi) // DZ^t(s) part from dz_i
+			c.joinTreeAsSubscriber(t, sub, overlap)
+			for _, pid := range sortedKeys(t.pubs) {
+				pubOverlap := t.pubs[pid]
+				ov := overlap.Intersect(pubOverlap)
+				if ov.IsEmpty() {
+					continue
+				}
+				if err := c.addPathContributions(t, c.pubs[pid], sub, ov, touched, &rep); err != nil {
+					return rep, err
+				}
+			}
+		}
+	}
+	if len(sub.trees) == 0 {
+		rep.Stored = true
+		c.stats.StoredSubs++
+	}
+	if err := c.refresh(touched, &rep); err != nil {
+		return rep, err
+	}
+	c.logOp("subscribe", id, rep)
+	return rep, nil
+}
+
+// Unsubscribe removes a subscription: previously established paths are
+// torn down, deleting flows no other path needs and downgrading shared
+// ones (Section 3.3.3).
+func (c *Controller) Unsubscribe(id string) (ReconfigReport, error) {
+	var rep ReconfigReport
+	sub, ok := c.subs[id]
+	if !ok {
+		return rep, fmt.Errorf("%w: subscriber %q", ErrUnknownClient, id)
+	}
+	c.stats.Unsubscriptions++
+	touched := make(touchedSet)
+	c.contribs.removeBySub(id, touched)
+	for tid := range sub.trees {
+		if t, ok := c.trees[tid]; ok {
+			delete(t.subs, id)
+		}
+	}
+	delete(c.subs, id)
+	if err := c.refresh(touched, &rep); err != nil {
+		return rep, err
+	}
+	c.logOp("unsubscribe", id, rep)
+	return rep, nil
+}
+
+// Unadvertise removes an advertisement. Trees left without any publisher
+// are dismantled; their subscribers fall back to stored state for the
+// affected subspaces.
+func (c *Controller) Unadvertise(id string) (ReconfigReport, error) {
+	var rep ReconfigReport
+	pub, ok := c.pubs[id]
+	if !ok {
+		return rep, fmt.Errorf("%w: publisher %q", ErrUnknownClient, id)
+	}
+	c.stats.Unadverts++
+	touched := make(touchedSet)
+	c.contribs.removeByPub(id, touched)
+	for tid := range pub.trees {
+		t, ok := c.trees[tid]
+		if !ok {
+			continue
+		}
+		delete(t.pubs, id)
+		if len(t.pubs) == 0 {
+			c.dismantleTree(t, touched)
+		}
+	}
+	delete(c.pubs, id)
+	if err := c.refresh(touched, &rep); err != nil {
+		return rep, err
+	}
+	c.logOp("unadvertise", id, rep)
+	return rep, nil
+}
+
+// logOp emits one structured reconfiguration summary.
+func (c *Controller) logOp(op, id string, rep ReconfigReport) {
+	if c.log == nil {
+		return
+	}
+	c.log.Debug("reconfiguration",
+		"op", op,
+		"client", id,
+		"flowAdds", rep.FlowAdds,
+		"flowDeletes", rep.FlowDeletes,
+		"flowModifies", rep.FlowModifies,
+		"treesCreated", rep.TreesCreated,
+		"treesMerged", rep.TreesMerged,
+		"routes", rep.RoutesComputed,
+		"stored", rep.Stored,
+	)
+}
+
+// hostEndpoint validates a regular client location.
+func (c *Controller) hostEndpoint(host topo.NodeID) (endpoint, error) {
+	n, err := c.g.Node(host)
+	if err != nil {
+		return endpoint{}, err
+	}
+	if n.Kind != topo.KindHost {
+		return endpoint{}, fmt.Errorf("core: node %d (%s) is not a host", host, n.Name)
+	}
+	if !c.inPartition(host) {
+		return endpoint{}, fmt.Errorf("%w: host %d", ErrForeignNode, host)
+	}
+	return endpoint{node: host}, nil
+}
+
+// virtualEndpoint validates a virtual client location at a border switch.
+func (c *Controller) virtualEndpoint(sw topo.NodeID, viaPort openflow.PortID) (endpoint, error) {
+	n, err := c.g.Node(sw)
+	if err != nil {
+		return endpoint{}, err
+	}
+	if n.Kind != topo.KindSwitch {
+		return endpoint{}, fmt.Errorf("core: node %d (%s) is not a switch", sw, n.Name)
+	}
+	if !c.inPartition(sw) {
+		return endpoint{}, fmt.Errorf("%w: switch %d", ErrForeignNode, sw)
+	}
+	if viaPort == 0 {
+		return endpoint{}, fmt.Errorf("core: virtual endpoint needs a border port")
+	}
+	if _, ok := c.g.PortToPeer(sw, viaPort); !ok {
+		return endpoint{}, fmt.Errorf("core: switch %d has no port %d", sw, viaPort)
+	}
+	return endpoint{node: sw, viaPort: viaPort}, nil
+}
+
+// joinTreeAsPublisher records DZ^t(p) for a publisher joining a tree.
+func (c *Controller) joinTreeAsPublisher(t *tree, pub *publisher, overlap dz.Set, rep *ReconfigReport) {
+	if !pub.trees[t.id] {
+		pub.trees[t.id] = true
+		rep.TreesJoined++
+	}
+	t.pubs[pub.id] = t.pubs[pub.id].Union(overlap)
+}
+
+// joinTreeAsSubscriber records DZ^t(s) for a subscriber joining a tree.
+func (c *Controller) joinTreeAsSubscriber(t *tree, sub *subscriber, overlap dz.Set) {
+	sub.trees[t.id] = true
+	t.subs[sub.id] = t.subs[sub.id].Union(overlap)
+}
+
+// addFlowMultSub implements the procedure of Algorithm 1 (lines 26–30):
+// every subscriber whose subscription overlaps the publisher's new tree
+// subspaces gets a path from the publisher.
+func (c *Controller) addFlowMultSub(t *tree, pub *publisher, set dz.Set,
+	touched touchedSet, rep *ReconfigReport) error {
+	for _, sid := range sortedKeys(c.subs) {
+		sub := c.subs[sid]
+		ov := set.Intersect(sub.sub)
+		if ov.IsEmpty() {
+			continue
+		}
+		c.joinTreeAsSubscriber(t, sub, ov)
+		if err := c.addPathContributions(t, pub, sub, ov, touched, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// createTree builds a new dissemination tree rooted at the publisher
+// (Section 3.2, procedure createTree): a shortest-path tree over the
+// partition.
+func (c *Controller) createTree(pub *publisher, set dz.Set, rep *ReconfigReport) (*tree, error) {
+	span, err := c.g.ShortestPathTree(pub.ep.node, c.includeFunc())
+	if err != nil {
+		return nil, fmt.Errorf("core: create tree: %w", err)
+	}
+	c.nextTree++
+	t := &tree{
+		id:   c.nextTree,
+		set:  set.Clone(),
+		span: span,
+		root: pub.ep.node,
+		pubs: map[string]dz.Set{pub.id: set.Clone()},
+		subs: make(map[string]dz.Set),
+	}
+	pub.trees[t.id] = true
+	c.trees[t.id] = t
+	c.stats.TreesCreated++
+	rep.TreesCreated++
+	if c.log != nil {
+		c.log.Debug("tree created", "tree", int(t.id), "root", int(t.root), "dz", t.set.String())
+	}
+	return t, nil
+}
+
+// dismantleTree removes a tree and all its residual state.
+func (c *Controller) dismantleTree(t *tree, touched touchedSet) {
+	c.contribs.removeByTree(t.id, touched)
+	for sid := range t.subs {
+		if s, ok := c.subs[sid]; ok {
+			delete(s.trees, t.id)
+		}
+	}
+	for pid := range t.pubs {
+		if p, ok := c.pubs[pid]; ok {
+			delete(p.trees, t.id)
+		}
+	}
+	delete(c.trees, t.id)
+}
+
+// mergeTreesIfNeeded merges trees while their number exceeds the
+// configured threshold (Section 3.2). The pair whose DZ sets share the
+// longest common prefix is merged first, so subspaces that canonicalise
+// into a coarser one (the paper's {0000,0010}+{0001,0011} ⇒ {00} example)
+// collapse naturally.
+func (c *Controller) mergeTreesIfNeeded(touched touchedSet, rep *ReconfigReport) error {
+	if c.maxTrees <= 0 {
+		return nil
+	}
+	for len(c.trees) > c.maxTrees && len(c.trees) >= 2 {
+		t1, t2 := c.pickMergePair()
+		if t1 == nil {
+			return nil
+		}
+		if err := c.mergeTrees(t1, t2, touched, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickMergePair chooses the two trees with the highest merge affinity
+// (longest common dz prefix between their DZ sets; ties by lower IDs).
+func (c *Controller) pickMergePair() (*tree, *tree) {
+	trees := c.sortedTrees()
+	if len(trees) < 2 {
+		return nil, nil
+	}
+	bestI, bestJ, bestAff := 0, 1, -1
+	for i := 0; i < len(trees); i++ {
+		for j := i + 1; j < len(trees); j++ {
+			aff := mergeAffinity(trees[i].set, trees[j].set)
+			if aff > bestAff {
+				bestI, bestJ, bestAff = i, j, aff
+			}
+		}
+	}
+	return trees[bestI], trees[bestJ]
+}
+
+func mergeAffinity(a, b dz.Set) int {
+	best := 0
+	for _, x := range a {
+		for _, y := range b {
+			if l := x.CommonPrefix(y).Len(); l > best {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+// mergeTrees folds t2 into t1: DZ sets union (and canonicalise into
+// coarser subspaces where siblings meet), publisher/subscriber overlaps
+// are recomputed against the merged set, and all paths of both trees are
+// rebuilt on t1's spanning tree.
+func (c *Controller) mergeTrees(t1, t2 *tree, touched touchedSet, rep *ReconfigReport) error {
+	c.contribs.removeByTree(t1.id, touched)
+	c.contribs.removeByTree(t2.id, touched)
+
+	merged := t1.set.Union(t2.set)
+	t1.set = merged
+
+	// Union memberships.
+	for pid := range t2.pubs {
+		if p, ok := c.pubs[pid]; ok {
+			delete(p.trees, t2.id)
+			p.trees[t1.id] = true
+		}
+		if _, ok := t1.pubs[pid]; !ok {
+			t1.pubs[pid] = nil
+		}
+	}
+	for sid := range t2.subs {
+		if s, ok := c.subs[sid]; ok {
+			delete(s.trees, t2.id)
+			s.trees[t1.id] = true
+		}
+		if _, ok := t1.subs[sid]; !ok {
+			t1.subs[sid] = nil
+		}
+	}
+	delete(c.trees, t2.id)
+
+	// Recompute overlaps against the merged DZ set.
+	for pid := range t1.pubs {
+		t1.pubs[pid] = c.pubs[pid].adv.Intersect(merged)
+	}
+	for sid := range t1.subs {
+		t1.subs[sid] = c.subs[sid].sub.Intersect(merged)
+	}
+
+	// Rebuild all paths of the merged tree.
+	for _, pid := range sortedKeys(t1.pubs) {
+		pub := c.pubs[pid]
+		pubSet := t1.pubs[pid]
+		for _, sid := range sortedKeys(t1.subs) {
+			sub := c.subs[sid]
+			ov := pubSet.Intersect(t1.subs[sid])
+			if ov.IsEmpty() {
+				continue
+			}
+			if err := c.addPathContributions(t1, pub, sub, ov, touched, rep); err != nil {
+				return err
+			}
+		}
+	}
+	c.stats.TreesMerged++
+	rep.TreesMerged++
+	if c.log != nil {
+		c.log.Debug("trees merged", "into", int(t1.id), "from", int(t2.id), "dz", t1.set.String())
+	}
+	return nil
+}
+
+// includeFunc returns the node filter for spanning trees of this
+// controller's partition.
+func (c *Controller) includeFunc() func(topo.NodeID) bool {
+	if c.partition == AnyPartition {
+		return nil
+	}
+	p := c.partition
+	return func(n topo.NodeID) bool { return c.g.Partition(n) == p }
+}
+
+// sortedTrees returns the trees ordered by ID for deterministic iteration.
+func (c *Controller) sortedTrees() []*tree {
+	out := make([]*tree, 0, len(c.trees))
+	for _, t := range c.trees {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RebuildTrees recomputes every dissemination tree's spanning tree over
+// the current topology and reinstalls all publisher→subscriber paths. The
+// controller calls it after a topology change (e.g. a link failure): the
+// spanning trees avoid failed links and the flow diff moves exactly the
+// affected paths — the controller-side reaction to network dynamics the
+// paper's conclusion names as follow-up work.
+func (c *Controller) RebuildTrees() (ReconfigReport, error) {
+	var rep ReconfigReport
+	touched := make(touchedSet)
+	for _, t := range c.sortedTrees() {
+		span, err := c.g.ShortestPathTree(t.root, c.includeFunc())
+		if err != nil {
+			return rep, fmt.Errorf("core: rebuild tree %d: %w", t.id, err)
+		}
+		t.span = span
+		c.contribs.removeByTree(t.id, touched)
+		for _, pid := range sortedKeys(t.pubs) {
+			pub := c.pubs[pid]
+			pubSet := t.pubs[pid]
+			for _, sid := range sortedKeys(t.subs) {
+				sub := c.subs[sid]
+				ov := pubSet.Intersect(t.subs[sid])
+				if ov.IsEmpty() {
+					continue
+				}
+				if err := c.addPathContributions(t, pub, sub, ov, touched, &rep); err != nil {
+					return rep, err
+				}
+			}
+		}
+	}
+	if err := c.refresh(touched, &rep); err != nil {
+		return rep, err
+	}
+	c.logOp("rebuild-trees", "", rep)
+	return rep, nil
+}

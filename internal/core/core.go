@@ -1,0 +1,337 @@
+// Package core implements the PLEROMA controller — the paper's primary
+// contribution. A Controller manages one network partition: it reacts to
+// advertisements and subscriptions (Algorithm 1), maintains a set of
+// publisher-rooted spanning trees with pairwise-disjoint DZ sets
+// (Section 3.2), and keeps the flow tables of the partition's switches
+// consistent with the registered publisher/subscriber paths (Section 3.3),
+// including the delete-or-downgrade behaviour on unsubscription.
+//
+// Flow-table state is maintained canonically: every established
+// publisher→subscriber path registers per-switch contributions
+// (dz-expression, out-port), and each switch's desired table is derived
+// from its contributions — an entry per contributed subspace whose
+// instruction set unions the ports of all covering contributions, with
+// priority equal to the dz length and entries that duplicate a coarser
+// entry pruned. This reproduces the incremental cases (1)–(5) of
+// Section 3.3.2 (verified against the paper's Figure 4 in the tests) while
+// staying consistent under arbitrary interleavings of (un)subscriptions
+// and (un)advertisements.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/netip"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/openflow"
+	"pleroma/internal/topo"
+)
+
+// FlowProgrammer abstracts the southbound interface the controller uses to
+// program switches (implemented by *netem.DataPlane).
+type FlowProgrammer interface {
+	AddFlow(sw topo.NodeID, f openflow.Flow) (openflow.FlowID, error)
+	DeleteFlow(sw topo.NodeID, id openflow.FlowID) error
+	ModifyFlow(sw topo.NodeID, id openflow.FlowID, priority int, actions []openflow.Action) error
+}
+
+// HostAddrFunc resolves the unicast address of a host node for the
+// terminal set-destination rewrite.
+type HostAddrFunc func(topo.NodeID) netip.Addr
+
+// TreeID identifies a dissemination tree within one controller.
+type TreeID int
+
+// AnyPartition makes a controller manage every node of the graph.
+const AnyPartition = -1
+
+// Errors callers can match.
+var (
+	// ErrUnknownClient is returned when unsubscribing or unadvertising an
+	// identifier that was never registered.
+	ErrUnknownClient = errors.New("core: unknown client id")
+	// ErrDuplicateClient is returned when an identifier is reused.
+	ErrDuplicateClient = errors.New("core: duplicate client id")
+	// ErrForeignNode is returned when a client attaches to a node outside
+	// the controller's partition.
+	ErrForeignNode = errors.New("core: node outside controller partition")
+)
+
+// endpoint locates a client in the network: a host node for regular
+// clients, or a border switch plus exit port for virtual clients that
+// represent a neighbouring partition (Section 4.2).
+type endpoint struct {
+	node    topo.NodeID
+	viaPort openflow.PortID // nonzero for virtual clients
+}
+
+func (e endpoint) virtual() bool { return e.viaPort != 0 }
+
+type publisher struct {
+	id  string
+	ep  endpoint
+	adv dz.Set
+	// trees the publisher joined.
+	trees map[TreeID]bool
+}
+
+type subscriber struct {
+	id  string
+	ep  endpoint
+	sub dz.Set
+	// trees the subscriber joined; empty while the subscription is only
+	// stored.
+	trees map[TreeID]bool
+}
+
+// tree is one dissemination tree t ∈ T.
+type tree struct {
+	id   TreeID
+	set  dz.Set // DZ(t), pairwise disjoint across trees
+	span *topo.SpanningTree
+	root topo.NodeID
+	// pubs maps publisher id -> DZ^t(p), the overlap of the publisher's
+	// advertisement with DZ(t).
+	pubs map[string]dz.Set
+	// subs maps subscriber id -> DZ^t(s).
+	subs map[string]dz.Set
+}
+
+// TreeInfo is the exported snapshot of one dissemination tree.
+type TreeInfo struct {
+	ID          TreeID
+	DZ          dz.Set
+	Root        topo.NodeID
+	Publishers  []string
+	Subscribers []string
+}
+
+// ReconfigReport summarises the work one control operation caused; the
+// reconfiguration-delay experiment (Figure 7f) converts it to time via a
+// CostModel.
+type ReconfigReport struct {
+	FlowAdds       int
+	FlowDeletes    int
+	FlowModifies   int
+	TreesCreated   int
+	TreesJoined    int
+	TreesMerged    int
+	RoutesComputed int
+	// Stored is true when a subscription matched no tree and was only
+	// recorded at the controller.
+	Stored bool
+}
+
+// FlowOps returns the total number of FlowMod messages of the operation.
+func (r ReconfigReport) FlowOps() int {
+	return r.FlowAdds + r.FlowDeletes + r.FlowModifies
+}
+
+// Stats accumulates controller-lifetime counters.
+type Stats struct {
+	Advertisements  uint64
+	Subscriptions   uint64
+	Unsubscriptions uint64
+	Unadverts       uint64
+	FlowAdds        uint64
+	FlowDeletes     uint64
+	FlowModifies    uint64
+	TreesCreated    uint64
+	TreesMerged     uint64
+	StoredSubs      uint64
+}
+
+// Requests returns the total number of processed control requests.
+func (s Stats) Requests() uint64 {
+	return s.Advertisements + s.Subscriptions + s.Unsubscriptions + s.Unadverts
+}
+
+// FlowOps returns the total number of FlowMod messages issued.
+func (s Stats) FlowOps() uint64 { return s.FlowAdds + s.FlowDeletes + s.FlowModifies }
+
+// contribution identifies one hop of one established path: packets of the
+// given subspace owed to (pub → sub on tree) leave switch sw via port.
+type contribKey struct {
+	pub  string
+	sub  string
+	tree TreeID
+	expr dz.Expr
+	sw   topo.NodeID
+	port openflow.PortID
+}
+
+// Controller is the PLEROMA middleware instance of one partition.
+type Controller struct {
+	g         *topo.Graph
+	prog      FlowProgrammer
+	hostAddr  HostAddrFunc
+	partition int
+	maxTrees  int
+	maxDzLen  int
+
+	log *slog.Logger
+
+	nextTree TreeID
+	trees    map[TreeID]*tree
+	pubs     map[string]*publisher
+	subs     map[string]*subscriber
+
+	// contribs aggregates all established path contributions; installed
+	// tracks the flows currently programmed per switch, keyed by match
+	// expression.
+	contribs  *contribState
+	installed map[topo.NodeID]map[dz.Expr]installedFlow
+
+	stats Stats
+}
+
+type installedFlow struct {
+	id       openflow.FlowID
+	priority int
+	actions  []openflow.Action
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithPartition restricts the controller to nodes of one partition.
+func WithPartition(p int) Option {
+	return func(c *Controller) { c.partition = p }
+}
+
+// WithMaxTrees sets the tree-count threshold above which trees are merged
+// (Section 3.2). Zero disables merging.
+func WithMaxTrees(n int) Option {
+	return func(c *Controller) { c.maxTrees = n }
+}
+
+// WithMaxDzLen truncates every dz-expression handled by the controller to
+// at most n bits, modelling the L_dz address-space constraint.
+func WithMaxDzLen(n int) Option {
+	return func(c *Controller) { c.maxDzLen = n }
+}
+
+// WithHostAddr overrides how host unicast addresses are derived.
+func WithHostAddr(f HostAddrFunc) Option {
+	return func(c *Controller) { c.hostAddr = f }
+}
+
+// WithLogger attaches a structured logger; the controller logs tree
+// life-cycle events and per-request reconfiguration summaries at Debug
+// level. Nil (the default) disables logging.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *Controller) { c.log = l }
+}
+
+// NewController creates a controller for (one partition of) the topology.
+func NewController(g *topo.Graph, prog FlowProgrammer, opts ...Option) (*Controller, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if prog == nil {
+		return nil, fmt.Errorf("core: nil flow programmer")
+	}
+	c := &Controller{
+		g:         g,
+		prog:      prog,
+		partition: AnyPartition,
+		maxDzLen:  0,
+		trees:     make(map[TreeID]*tree),
+		pubs:      make(map[string]*publisher),
+		subs:      make(map[string]*subscriber),
+		contribs:  newContribState(),
+		installed: make(map[topo.NodeID]map[dz.Expr]installedFlow),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.hostAddr == nil {
+		return nil, fmt.Errorf("core: host address function required (use WithHostAddr)")
+	}
+	return c, nil
+}
+
+// Partition returns the partition this controller manages (AnyPartition
+// for the whole graph).
+func (c *Controller) Partition() int { return c.partition }
+
+// Stats returns a copy of the lifetime counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Trees returns snapshots of all dissemination trees, ordered by ID.
+func (c *Controller) Trees() []TreeInfo {
+	out := make([]TreeInfo, 0, len(c.trees))
+	for id := TreeID(1); id <= c.nextTree; id++ {
+		t, ok := c.trees[id]
+		if !ok {
+			continue
+		}
+		info := TreeInfo{ID: t.id, DZ: t.set.Clone(), Root: t.root}
+		for p := range t.pubs {
+			info.Publishers = append(info.Publishers, p)
+		}
+		for s := range t.subs {
+			info.Subscribers = append(info.Subscribers, s)
+		}
+		sortStrings(info.Publishers)
+		sortStrings(info.Subscribers)
+		out = append(out, info)
+	}
+	return out
+}
+
+// StoredSubscriptions returns the ids of subscriptions that currently
+// match no tree.
+func (c *Controller) StoredSubscriptions() []string {
+	var out []string
+	for id, s := range c.subs {
+		if len(s.trees) == 0 {
+			out = append(out, id)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+// SubscriptionSet returns the registered DZ set of a subscription.
+func (c *Controller) SubscriptionSet(id string) (dz.Set, bool) {
+	s, ok := c.subs[id]
+	if !ok {
+		return nil, false
+	}
+	return s.sub.Clone(), true
+}
+
+// AdvertisementSet returns the registered DZ set of an advertisement.
+func (c *Controller) AdvertisementSet(id string) (dz.Set, bool) {
+	p, ok := c.pubs[id]
+	if !ok {
+		return nil, false
+	}
+	return p.adv.Clone(), true
+}
+
+// inPartition reports whether the controller manages the node.
+func (c *Controller) inPartition(n topo.NodeID) bool {
+	if c.partition == AnyPartition {
+		return true
+	}
+	return c.g.Partition(n) == c.partition
+}
+
+func (c *Controller) truncate(s dz.Set) dz.Set {
+	if c.maxDzLen <= 0 {
+		return s.Clone()
+	}
+	return s.Truncate(c.maxDzLen)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/openflow"
+	"pleroma/internal/topo"
+)
+
+// touchedSet records, per switch, the match expressions whose direct
+// contributions changed during one control operation. Only the prefix
+// family (ancestors are implicit, descendants are found by range scan) of
+// these expressions can need flow updates — the locality that the paper's
+// incremental cases (1)–(5) exploit.
+type touchedSet map[topo.NodeID]map[dz.Expr]bool
+
+func (t touchedSet) mark(sw topo.NodeID, e dz.Expr) {
+	m := t[sw]
+	if m == nil {
+		m = make(map[dz.Expr]bool)
+		t[sw] = m
+	}
+	m[e] = true
+}
+
+// contribState is the controller's aggregated view of all established
+// paths. Every (publisher, subscriber, tree, dz, switch, port) contribution
+// is refcounted so that flow derivation only sees distinct (expr, port)
+// pairs, and indexed by client/tree for cheap removal.
+type contribState struct {
+	// keys holds every live contribution.
+	keys map[contribKey]struct{}
+	// refs aggregates per switch: expr -> port -> number of live
+	// contributions.
+	refs map[topo.NodeID]map[dz.Expr]map[openflow.PortID]int
+	// sorted keeps each switch's direct expressions in lexicographic
+	// order; descendants of a prefix form a contiguous range.
+	sorted map[topo.NodeID][]dz.Expr
+	// bySub/byPub/byTree index keys for removal.
+	bySub  map[string][]contribKey
+	byPub  map[string][]contribKey
+	byTree map[TreeID][]contribKey
+}
+
+func newContribState() *contribState {
+	return &contribState{
+		keys:   make(map[contribKey]struct{}),
+		refs:   make(map[topo.NodeID]map[dz.Expr]map[openflow.PortID]int),
+		sorted: make(map[topo.NodeID][]dz.Expr),
+		bySub:  make(map[string][]contribKey),
+		byPub:  make(map[string][]contribKey),
+		byTree: make(map[TreeID][]contribKey),
+	}
+}
+
+// add registers one contribution, marking the expression as touched when
+// the (expr, port) pair became newly visible on the switch.
+func (cs *contribState) add(key contribKey, touched touchedSet) {
+	if _, dup := cs.keys[key]; dup {
+		return
+	}
+	cs.keys[key] = struct{}{}
+	cs.bySub[key.sub] = append(cs.bySub[key.sub], key)
+	cs.byPub[key.pub] = append(cs.byPub[key.pub], key)
+	cs.byTree[key.tree] = append(cs.byTree[key.tree], key)
+	exprs := cs.refs[key.sw]
+	if exprs == nil {
+		exprs = make(map[dz.Expr]map[openflow.PortID]int)
+		cs.refs[key.sw] = exprs
+	}
+	ports := exprs[key.expr]
+	if ports == nil {
+		ports = make(map[openflow.PortID]int)
+		exprs[key.expr] = ports
+		cs.insertSorted(key.sw, key.expr)
+	}
+	if ports[key.port]++; ports[key.port] == 1 {
+		touched.mark(key.sw, key.expr)
+	}
+}
+
+// remove drops one contribution if it is live.
+func (cs *contribState) remove(key contribKey, touched touchedSet) {
+	if _, ok := cs.keys[key]; !ok {
+		return
+	}
+	delete(cs.keys, key)
+	exprs := cs.refs[key.sw]
+	ports := exprs[key.expr]
+	if ports[key.port]--; ports[key.port] <= 0 {
+		delete(ports, key.port)
+		touched.mark(key.sw, key.expr)
+	}
+	if len(ports) == 0 {
+		delete(exprs, key.expr)
+		cs.deleteSorted(key.sw, key.expr)
+	}
+	if len(exprs) == 0 {
+		delete(cs.refs, key.sw)
+	}
+}
+
+func (cs *contribState) insertSorted(sw topo.NodeID, e dz.Expr) {
+	s := cs.sorted[sw]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= e })
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = e
+	cs.sorted[sw] = s
+}
+
+func (cs *contribState) deleteSorted(sw topo.NodeID, e dz.Expr) {
+	s := cs.sorted[sw]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= e })
+	if i < len(s) && s[i] == e {
+		copy(s[i:], s[i+1:])
+		cs.sorted[sw] = s[:len(s)-1]
+	}
+}
+
+// descendants appends to out every direct expression of sw that e strictly
+// or non-strictly covers.
+func (cs *contribState) descendants(sw topo.NodeID, e dz.Expr, out map[dz.Expr]bool) {
+	s := cs.sorted[sw]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= e })
+	for ; i < len(s); i++ {
+		if !strings.HasPrefix(string(s[i]), string(e)) {
+			break
+		}
+		out[s[i]] = true
+	}
+}
+
+// removeList drops every live contribution in the index list.
+func (cs *contribState) removeList(list []contribKey, touched touchedSet) {
+	for _, key := range list {
+		cs.remove(key, touched)
+	}
+}
+
+// removeBySub tears down all contributions of one subscriber.
+func (cs *contribState) removeBySub(id string, touched touchedSet) {
+	cs.removeList(cs.bySub[id], touched)
+	delete(cs.bySub, id)
+}
+
+// removeByPub tears down all contributions of one publisher.
+func (cs *contribState) removeByPub(id string, touched touchedSet) {
+	cs.removeList(cs.byPub[id], touched)
+	delete(cs.byPub, id)
+}
+
+// removeByTree tears down all contributions of one tree.
+func (cs *contribState) removeByTree(id TreeID, touched touchedSet) {
+	cs.removeList(cs.byTree[id], touched)
+	delete(cs.byTree, id)
+}
+
+// addPathContributions computes the route of one (publisher, subscriber,
+// tree) path and registers a contribution per hop for every expression in
+// exprs.
+func (c *Controller) addPathContributions(t *tree, pub *publisher, sub *subscriber,
+	exprs dz.Set, touched touchedSet, rep *ReconfigReport) error {
+	if exprs.IsEmpty() {
+		return nil
+	}
+	hops, err := c.routeHops(t, pub.ep, sub.ep)
+	if err != nil {
+		return err
+	}
+	rep.RoutesComputed++
+	for _, e := range exprs {
+		for _, hop := range hops {
+			c.contribs.add(contribKey{
+				pub:  pub.id,
+				sub:  sub.id,
+				tree: t.id,
+				expr: e,
+				sw:   hop.Switch,
+				port: hop.OutPort,
+			}, touched)
+		}
+	}
+	return nil
+}
+
+// routeHops computes the (switch, out-port) sequence between two endpoints
+// along the tree. Virtual endpoints sit on a border switch and extend the
+// route with the cross-partition exit port.
+func (c *Controller) routeHops(t *tree, from, to endpoint) ([]topo.Hop, error) {
+	path, err := t.span.PathBetween(from.node, to.node)
+	if err != nil {
+		return nil, fmt.Errorf("core: route on tree %d: %w", t.id, err)
+	}
+	hops, err := c.g.RouteHops(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: route hops: %w", err)
+	}
+	if to.virtual() {
+		hops = append(hops, topo.Hop{Switch: to.node, OutPort: to.viaPort})
+	}
+	return hops, nil
+}
+
+// portSet is a small set of out-ports.
+type portSet map[openflow.PortID]bool
+
+func (p portSet) sorted() []openflow.PortID {
+	out := make([]openflow.PortID, 0, len(p))
+	for port := range p {
+		out = append(out, port)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (p portSet) equal(o portSet) bool {
+	if len(p) != len(o) {
+		return false
+	}
+	for port := range p {
+		if !o[port] {
+			return false
+		}
+	}
+	return true
+}
+
+// desiredEntry derives the canonical flow entry of one expression: the
+// union of the direct ports of every covering (prefix) contribution
+// including itself; nil when the expression has no direct contribution or
+// when the entry duplicates its nearest strictly-coarser entry (pruned,
+// cf. case (2) of Section 3.3.2).
+func desiredEntry(direct map[dz.Expr]map[openflow.PortID]int, x dz.Expr,
+	memo map[dz.Expr]portSet) portSet {
+	if _, present := direct[x]; !present {
+		return nil
+	}
+	want := unionOfPrefixes(direct, x, memo)
+	for l := x.Len() - 1; l >= 0; l-- {
+		if _, ok := direct[x[:l]]; !ok {
+			continue
+		}
+		if unionOfPrefixes(direct, x[:l], memo).equal(want) {
+			return nil // redundant: the coarser entry forwards identically
+		}
+		break
+	}
+	return want
+}
+
+// unionOfPrefixes unions the direct port sets of every prefix of x
+// (including x itself).
+func unionOfPrefixes(direct map[dz.Expr]map[openflow.PortID]int, x dz.Expr,
+	memo map[dz.Expr]portSet) portSet {
+	if u, ok := memo[x]; ok {
+		return u
+	}
+	u := make(portSet)
+	for l := 0; l <= x.Len(); l++ {
+		if ports, ok := direct[x[:l]]; ok {
+			for p := range ports {
+				u[p] = true
+			}
+		}
+	}
+	memo[x] = u
+	return u
+}
+
+// desiredTable derives the full canonical flow table of one switch. It is
+// the oracle the incremental refresh is verified against (VerifyTables);
+// the hot path uses refreshSwitch instead.
+func (c *Controller) desiredTable(sw topo.NodeID) map[dz.Expr]portSet {
+	direct := c.contribs.refs[sw]
+	if len(direct) == 0 {
+		return nil
+	}
+	memo := make(map[dz.Expr]portSet, len(direct))
+	entries := make(map[dz.Expr]portSet, len(direct))
+	for e := range direct {
+		if want := desiredEntry(direct, e, memo); want != nil {
+			entries[e] = want
+		}
+	}
+	return entries
+}
+
+// actionsFor converts a port set into an OpenFlow instruction set, adding
+// the terminal destination rewrite on host-facing ports.
+func (c *Controller) actionsFor(sw topo.NodeID, ports portSet) []openflow.Action {
+	sorted := ports.sorted()
+	actions := make([]openflow.Action, 0, len(sorted))
+	for _, port := range sorted {
+		a := openflow.Action{OutPort: port}
+		if peer, ok := c.g.PortToPeer(sw, port); ok {
+			if n, err := c.g.Node(peer); err == nil && n.Kind == topo.KindHost {
+				a.SetDest = c.hostAddr(peer)
+			}
+		}
+		actions = append(actions, a)
+	}
+	return actions
+}
+
+func actionsEqual(a, b []openflow.Action) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refreshSwitch reconciles the flows of one switch for the expressions
+// whose contributions changed. Affected entries are exactly the changed
+// expressions and their direct descendants: an entry's port union depends
+// only on its prefixes, and its pruning decision on its nearest coarser
+// entry, so changes never propagate outside the prefix family.
+func (c *Controller) refreshSwitch(sw topo.NodeID, changed map[dz.Expr]bool, rep *ReconfigReport) error {
+	direct := c.contribs.refs[sw]
+	affected := make(map[dz.Expr]bool, len(changed)*2)
+	for e := range changed {
+		affected[e] = true
+		c.contribs.descendants(sw, e, affected)
+	}
+	inst := c.installed[sw]
+	if inst == nil {
+		inst = make(map[dz.Expr]installedFlow)
+		c.installed[sw] = inst
+	}
+	memo := make(map[dz.Expr]portSet, len(affected))
+	exprs := make([]dz.Expr, 0, len(affected))
+	for e := range affected {
+		exprs = append(exprs, e)
+	}
+	sort.Slice(exprs, func(i, j int) bool { return exprs[i] < exprs[j] })
+	for _, e := range exprs {
+		want := desiredEntry(direct, e, memo)
+		fl, installed := inst[e]
+		switch {
+		case want == nil && installed:
+			if err := c.prog.DeleteFlow(sw, fl.id); err != nil {
+				return fmt.Errorf("core: delete flow on %d: %w", sw, err)
+			}
+			delete(inst, e)
+			rep.FlowDeletes++
+			c.stats.FlowDeletes++
+		case want != nil && !installed:
+			actions := c.actionsFor(sw, want)
+			prio := e.Len()
+			f, err := openflow.NewFlow(e, prio, actions...)
+			if err != nil {
+				return fmt.Errorf("core: build flow: %w", err)
+			}
+			id, err := c.prog.AddFlow(sw, f)
+			if err != nil {
+				return fmt.Errorf("core: add flow on %d: %w", sw, err)
+			}
+			inst[e] = installedFlow{id: id, priority: prio, actions: actions}
+			rep.FlowAdds++
+			c.stats.FlowAdds++
+		case want != nil && installed:
+			actions := c.actionsFor(sw, want)
+			prio := e.Len()
+			if fl.priority != prio || !actionsEqual(fl.actions, actions) {
+				if err := c.prog.ModifyFlow(sw, fl.id, prio, actions); err != nil {
+					return fmt.Errorf("core: modify flow on %d: %w", sw, err)
+				}
+				inst[e] = installedFlow{id: fl.id, priority: prio, actions: actions}
+				rep.FlowModifies++
+				c.stats.FlowModifies++
+			}
+		}
+	}
+	if len(inst) == 0 {
+		delete(c.installed, sw)
+	}
+	return nil
+}
+
+// refresh reconciles every touched switch.
+func (c *Controller) refresh(touched touchedSet, rep *ReconfigReport) error {
+	sws := make([]topo.NodeID, 0, len(touched))
+	for sw := range touched {
+		sws = append(sws, sw)
+	}
+	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
+	for _, sw := range sws {
+		if err := c.refreshSwitch(sw, touched[sw], rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyTables cross-checks the incrementally maintained flow state
+// against the full canonical derivation; it is used by tests and returns
+// the first inconsistency found.
+func (c *Controller) VerifyTables() error {
+	// Every switch with installed flows or contributions must agree.
+	seen := make(map[topo.NodeID]bool)
+	for sw := range c.installed {
+		seen[sw] = true
+	}
+	for sw := range c.contribs.refs {
+		seen[sw] = true
+	}
+	for sw := range seen {
+		want := c.desiredTable(sw)
+		have := c.installed[sw]
+		if len(want) != len(have) {
+			return fmt.Errorf("core: switch %d has %d flows, canonical says %d", sw, len(have), len(want))
+		}
+		for e, ports := range want {
+			fl, ok := have[e]
+			if !ok {
+				return fmt.Errorf("core: switch %d misses flow %s", sw, e)
+			}
+			actions := c.actionsFor(sw, ports)
+			if fl.priority != e.Len() || !actionsEqual(fl.actions, actions) {
+				return fmt.Errorf("core: switch %d flow %s diverges from canonical", sw, e)
+			}
+		}
+	}
+	return nil
+}
+
+// InstalledFlowCount returns the number of flows the controller currently
+// has programmed across all switches (the TCAM budget of requirement 3).
+func (c *Controller) InstalledFlowCount() int {
+	total := 0
+	for _, m := range c.installed {
+		total += len(m)
+	}
+	return total
+}
+
+// InstalledFlowsOn returns the match expressions programmed on one switch,
+// sorted — used by tests and the dzcalc tool.
+func (c *Controller) InstalledFlowsOn(sw topo.NodeID) []dz.Expr {
+	m := c.installed[sw]
+	out := make([]dz.Expr, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

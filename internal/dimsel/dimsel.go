@@ -1,0 +1,157 @@
+// Package dimsel implements PLEROMA's dimension selection (Section 5):
+// out of the full attribute set Ω, it picks the subset Ω_D that is most
+// effective for in-network filtering. The criterion is the variability of
+// the subscription sets matched by recent event traffic along each
+// dimension: a PCA over the per-dimension match-count matrix W ranks the
+// original dimensions by the magnitude of their coefficient in the
+// principal eigenvector (the feature-selection scheme of Malhi & Gao the
+// paper adopts), and the smallest k whose coefficient mass exceeds an
+// administrator threshold wins.
+package dimsel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/space"
+)
+
+// Result reports the outcome of a dimension-selection round.
+type Result struct {
+	// Ranking lists all dimensions, most important first.
+	Ranking []int
+	// Coefficients holds |q_i| of the principal eigenvector per original
+	// dimension.
+	Coefficients []float64
+	// K is the number of selected dimensions.
+	K int
+	// Selected is the first K entries of Ranking (the Ω_D set).
+	Selected []int
+	// Eigenvalues of the covariance matrix, descending.
+	Eigenvalues []float64
+}
+
+// Select runs the Section 5 pipeline on a match-count matrix w, where
+// w[d][e] = |S^e_d| is the number of subscriptions matched by event e
+// along dimension d. threshold ∈ (0,1] is the coefficient-mass cut-off for
+// choosing k.
+func Select(w [][]float64, threshold float64) (Result, error) {
+	if len(w) == 0 {
+		return Result{}, fmt.Errorf("dimsel: empty match matrix")
+	}
+	if threshold <= 0 || threshold > 1 {
+		return Result{}, fmt.Errorf("dimsel: threshold %v out of (0,1]", threshold)
+	}
+	cols := len(w[0])
+	for d, row := range w {
+		if len(row) != cols {
+			return Result{}, fmt.Errorf("dimsel: ragged matrix at row %d", d)
+		}
+	}
+	if cols == 0 {
+		return Result{}, fmt.Errorf("dimsel: match matrix has no events")
+	}
+
+	centred := centerRows(w)
+	cov := covariance(centred)
+	values, vectors, err := jacobiEigen(cov)
+	if err != nil {
+		return Result{}, err
+	}
+
+	n := len(values)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return values[order[i]] > values[order[j]] })
+
+	principal := order[0]
+	coeffs := make([]float64, n)
+	total := 0.0
+	for d := 0; d < n; d++ {
+		coeffs[d] = math.Abs(vectors[d][principal])
+		total += coeffs[d]
+	}
+
+	ranking := make([]int, n)
+	for i := range ranking {
+		ranking[i] = i
+	}
+	sort.Slice(ranking, func(i, j int) bool {
+		if coeffs[ranking[i]] != coeffs[ranking[j]] {
+			return coeffs[ranking[i]] > coeffs[ranking[j]]
+		}
+		return ranking[i] < ranking[j]
+	})
+
+	k := n
+	if total > 0 {
+		mass := 0.0
+		for i, d := range ranking {
+			mass += coeffs[d]
+			if mass/total >= threshold {
+				k = i + 1
+				break
+			}
+		}
+	}
+
+	eigs := make([]float64, n)
+	for i, o := range order {
+		eigs[i] = values[o]
+	}
+	return Result{
+		Ranking:      ranking,
+		Coefficients: coeffs,
+		K:            k,
+		Selected:     append([]int(nil), ranking[:k]...),
+		Eigenvalues:  eigs,
+	}, nil
+}
+
+// BuildMatrix derives the match-count matrix from subscription rectangles
+// and a window of recent events: w[d][e] counts the subscriptions whose
+// range along dimension d contains event e's value on d.
+func BuildMatrix(subs []dz.Rect, events []space.Event) ([][]float64, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("dimsel: no events in window")
+	}
+	dims := len(events[0].Values)
+	for _, s := range subs {
+		if len(s) != dims {
+			return nil, fmt.Errorf("dimsel: subscription dims %d != event dims %d", len(s), dims)
+		}
+	}
+	w := make([][]float64, dims)
+	for d := range w {
+		w[d] = make([]float64, len(events))
+	}
+	for e, ev := range events {
+		if len(ev.Values) != dims {
+			return nil, fmt.Errorf("dimsel: event %d has %d dims, want %d", e, len(ev.Values), dims)
+		}
+		for d := 0; d < dims; d++ {
+			count := 0.0
+			for _, s := range subs {
+				if s[d].Contains(ev.Values[d]) {
+					count++
+				}
+			}
+			w[d][e] = count
+		}
+	}
+	return w, nil
+}
+
+// SelectFromWorkload is the convenience composition: build W from the
+// current subscriptions and the recent event window, then select Ω_D.
+func SelectFromWorkload(subs []dz.Rect, events []space.Event, threshold float64) (Result, error) {
+	w, err := BuildMatrix(subs, events)
+	if err != nil {
+		return Result{}, err
+	}
+	return Select(w, threshold)
+}

@@ -1,0 +1,262 @@
+package dimsel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/space"
+)
+
+func TestJacobiDiagonal(t *testing.T) {
+	a := [][]float64{{3, 0}, {0, 1}}
+	values, vectors, err := jacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]float64(nil), values...)
+	if got[0] < got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if math.Abs(got[0]-3) > 1e-9 || math.Abs(got[1]-1) > 1e-9 {
+		t.Errorf("values=%v, want [3 1]", values)
+	}
+	_ = vectors
+}
+
+func TestJacobiKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := [][]float64{{2, 1}, {1, 2}}
+	values, _, err := jacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Min(values[0], values[1]), math.Max(values[0], values[1])
+	if math.Abs(hi-3) > 1e-9 || math.Abs(lo-1) > 1e-9 {
+		t.Errorf("values=%v, want {1,3}", values)
+	}
+}
+
+func TestJacobiValidation(t *testing.T) {
+	if _, _, err := jacobiEigen(nil); err == nil {
+		t.Error("empty must fail")
+	}
+	if _, _, err := jacobiEigen([][]float64{{1, 2}}); err == nil {
+		t.Error("non-square must fail")
+	}
+	if _, _, err := jacobiEigen([][]float64{{1, 2}, {3, 1}}); err == nil {
+		t.Error("asymmetric must fail")
+	}
+}
+
+// TestPropertyEigenEquation: A·v = λ·v for random symmetric matrices, and
+// eigenvectors are orthonormal.
+func TestPropertyEigenEquation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				x := r.NormFloat64() * 10
+				a[i][j] = x
+				a[j][i] = x
+			}
+		}
+		values, vectors, err := jacobiEigen(a)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			// Check A·v_k = λ_k·v_k.
+			for i := 0; i < n; i++ {
+				av := 0.0
+				for j := 0; j < n; j++ {
+					av += a[i][j] * vectors[j][k]
+				}
+				if math.Abs(av-values[k]*vectors[i][k]) > 1e-6 {
+					return false
+				}
+			}
+			// Check normalisation and orthogonality.
+			for l := k; l < n; l++ {
+				dot := 0.0
+				for i := 0; i < n; i++ {
+					dot += vectors[i][k] * vectors[i][l]
+				}
+				want := 0.0
+				if k == l {
+					want = 1.0
+				}
+				if math.Abs(dot-want) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectPrefersHighVarianceDimension(t *testing.T) {
+	// Dimension 0: match counts vary wildly between events; dimension 1:
+	// constant. Dimension 0 must rank first.
+	w := [][]float64{
+		{10, 0, 10, 0, 10, 0},
+		{5, 5, 5, 5, 5, 5},
+	}
+	res, err := Select(w, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranking[0] != 0 {
+		t.Errorf("ranking=%v, want dim 0 first", res.Ranking)
+	}
+	if res.K != 1 {
+		t.Errorf("K=%d, want 1 (dim 1 contributes nothing)", res.K)
+	}
+	if res.Selected[0] != 0 {
+		t.Errorf("Selected=%v", res.Selected)
+	}
+	if res.Eigenvalues[0] <= res.Eigenvalues[len(res.Eigenvalues)-1] {
+		t.Error("eigenvalues must be descending")
+	}
+}
+
+func TestSelectThresholdControlsK(t *testing.T) {
+	// Two equally variable, uncorrelated dimensions: low threshold picks
+	// one, high threshold picks both... with equal variability the
+	// principal eigenvector may favour one; use threshold 1.0 to force all
+	// contributing dimensions in.
+	w := [][]float64{
+		{9, 0, 9, 0},
+		{0, 7, 0, 7},
+		{3, 3, 3, 3},
+	}
+	low, err := Select(w, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Select(w, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.K > high.K {
+		t.Errorf("K must grow with threshold: %d vs %d", low.K, high.K)
+	}
+	if high.K < 2 {
+		t.Errorf("high threshold K=%d, want ≥2", high.K)
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	if _, err := Select(nil, 0.5); err == nil {
+		t.Error("empty matrix must fail")
+	}
+	if _, err := Select([][]float64{{1}}, 0); err == nil {
+		t.Error("zero threshold must fail")
+	}
+	if _, err := Select([][]float64{{1}}, 1.5); err == nil {
+		t.Error("threshold >1 must fail")
+	}
+	if _, err := Select([][]float64{{1, 2}, {1}}, 0.5); err == nil {
+		t.Error("ragged matrix must fail")
+	}
+	if _, err := Select([][]float64{{}, {}}, 0.5); err == nil {
+		t.Error("no events must fail")
+	}
+}
+
+func TestBuildMatrix(t *testing.T) {
+	subs := []dz.Rect{
+		{{Lo: 0, Hi: 10}, {Lo: 0, Hi: 100}},
+		{{Lo: 5, Hi: 20}, {Lo: 50, Hi: 60}},
+	}
+	events := []space.Event{
+		{Values: []uint32{7, 55}},  // dim0: both; dim1: both
+		{Values: []uint32{0, 99}},  // dim0: first; dim1: first
+		{Values: []uint32{30, 55}}, // dim0: none; dim1: both
+	}
+	w, err := BuildMatrix(subs, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{
+		{2, 1, 0},
+		{2, 1, 2},
+	}
+	for d := range want {
+		for e := range want[d] {
+			if w[d][e] != want[d][e] {
+				t.Errorf("w[%d][%d]=%v, want %v", d, e, w[d][e], want[d][e])
+			}
+		}
+	}
+}
+
+func TestBuildMatrixValidation(t *testing.T) {
+	if _, err := BuildMatrix(nil, nil); err == nil {
+		t.Error("no events must fail")
+	}
+	subs := []dz.Rect{{{Lo: 0, Hi: 1}}}
+	events := []space.Event{{Values: []uint32{1, 2}}}
+	if _, err := BuildMatrix(subs, events); err == nil {
+		t.Error("dims mismatch must fail")
+	}
+	ev2 := []space.Event{{Values: []uint32{1}}, {Values: []uint32{1, 2}}}
+	if _, err := BuildMatrix([]dz.Rect{{{Lo: 0, Hi: 1}}}, ev2); err == nil {
+		t.Error("ragged events must fail")
+	}
+}
+
+func TestSelectFromWorkloadEndToEnd(t *testing.T) {
+	// Subscriptions are selective on dimension 0 (narrow, scattered
+	// ranges) and unconstrained on dimension 1. Events sweep both
+	// dimensions uniformly: dimension 0 must be selected.
+	r := rand.New(rand.NewSource(5))
+	var subs []dz.Rect
+	for i := 0; i < 40; i++ {
+		lo := uint32(r.Intn(1000))
+		subs = append(subs, dz.Rect{
+			{Lo: lo, Hi: lo + 20},
+			{Lo: 0, Hi: 1023},
+		})
+	}
+	var events []space.Event
+	for i := 0; i < 100; i++ {
+		events = append(events, space.Event{Values: []uint32{
+			uint32(r.Intn(1024)), uint32(r.Intn(1024)),
+		}})
+	}
+	res, err := SelectFromWorkload(subs, events, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranking[0] != 0 {
+		t.Errorf("dimension 0 (selective) must rank first: %v (coeffs %v)", res.Ranking, res.Coefficients)
+	}
+}
+
+func BenchmarkSelect10x1000(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	w := make([][]float64, 10)
+	for d := range w {
+		w[d] = make([]float64, 1000)
+		for e := range w[d] {
+			w[d][e] = float64(r.Intn(100))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Select(w, 0.8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package dimsel
+
+import (
+	"fmt"
+	"math"
+)
+
+// jacobiEigen computes the eigendecomposition of a symmetric matrix using
+// the cyclic Jacobi rotation method. It returns the eigenvalues and the
+// matrix of eigenvectors (column i corresponds to eigenvalue i), both
+// unsorted. The input is not modified.
+func jacobiEigen(a [][]float64) (values []float64, vectors [][]float64, err error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("dimsel: empty matrix")
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, nil, fmt.Errorf("dimsel: matrix is not square (row %d has %d cols, want %d)", i, len(row), n)
+		}
+	}
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	// Verify symmetry (within tolerance).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(m[i][j]-m[j][i]) > 1e-9*(1+math.Abs(m[i][j])) {
+				return nil, nil, fmt.Errorf("dimsel: matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	v := identity(n)
+
+	const (
+		maxSweeps = 100
+		tol       = 1e-12
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-300 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m[i][i]
+	}
+	return values, v, nil
+}
+
+// rotate applies the Jacobi rotation (p,q,c,s) to matrix m and accumulates
+// it into the eigenvector matrix v.
+func rotate(m, v [][]float64, p, q int, c, s float64) {
+	n := len(m)
+	for i := 0; i < n; i++ {
+		mip, miq := m[i][p], m[i][q]
+		m[i][p] = c*mip - s*miq
+		m[i][q] = s*mip + c*miq
+	}
+	for j := 0; j < n; j++ {
+		mpj, mqj := m[p][j], m[q][j]
+		m[p][j] = c*mpj - s*mqj
+		m[q][j] = s*mpj + c*mqj
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v[i][p], v[i][q]
+		v[i][p] = c*vip - s*viq
+		v[i][q] = s*vip + c*viq
+	}
+}
+
+func identity(n int) [][]float64 {
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	return v
+}
+
+// centerRows subtracts each row's mean from its entries, returning a new
+// matrix (the paper's centred matrix W̃).
+func centerRows(w [][]float64) [][]float64 {
+	out := make([][]float64, len(w))
+	for i, row := range w {
+		mean := 0.0
+		for _, x := range row {
+			mean += x
+		}
+		if len(row) > 0 {
+			mean /= float64(len(row))
+		}
+		out[i] = make([]float64, len(row))
+		for j, x := range row {
+			out[i][j] = x - mean
+		}
+	}
+	return out
+}
+
+// covariance computes C = W̃ · W̃ᵀ for a row-centred matrix.
+func covariance(w [][]float64) [][]float64 {
+	n := len(w)
+	c := make([][]float64, n)
+	for i := range c {
+		c[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			sum := 0.0
+			for k := range w[i] {
+				sum += w[i][k] * w[j][k]
+			}
+			c[i][j] = sum
+			c[j][i] = sum
+		}
+	}
+	return c
+}

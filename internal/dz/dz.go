@@ -1,0 +1,428 @@
+// Package dz implements the dz-expression algebra that PLEROMA uses for
+// spatial indexing of the event space (Section 2 of the paper).
+//
+// The event space is recursively bisected, cycling through the dimensions;
+// every subspace reachable by such bisections is identified by a binary
+// string called a dz-expression. The algebra has four defining properties:
+//
+//  1. the shorter the dz, the larger the subspace;
+//  2. dz_i covers dz_j iff dz_i is a prefix of dz_j (written dz_i ≥ dz_j);
+//  3. two subspaces overlap iff one covers the other, and the overlap is
+//     identified by the longer of the two expressions;
+//  4. the difference of two overlapping subspaces is in general a set of
+//     subspaces (the "siblings" along the refinement path).
+//
+// Expressions compose into Sets, which are kept canonical: no member covers
+// another, complete sibling pairs are merged, and members are sorted.
+package dz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a dz-expression: a string over the alphabet {0,1}. The empty
+// expression denotes the whole event space.
+type Expr string
+
+// Whole is the dz-expression of the entire event space.
+const Whole Expr = ""
+
+// Validate reports whether the expression contains only '0' and '1'.
+func (e Expr) Validate() error {
+	for i := 0; i < len(e); i++ {
+		if e[i] != '0' && e[i] != '1' {
+			return fmt.Errorf("dz: invalid character %q at index %d in %q", e[i], i, string(e))
+		}
+	}
+	return nil
+}
+
+// Len returns the number of bisections encoded by the expression.
+func (e Expr) Len() int { return len(e) }
+
+// Covers reports whether e covers o, i.e. whether the subspace of o is
+// contained in the subspace of e. This is the prefix relation: e ≥ o.
+// Every expression covers itself.
+func (e Expr) Covers(o Expr) bool {
+	return len(e) <= len(o) && o[:len(e)] == e
+}
+
+// CoversStrictly reports whether e covers o and e != o.
+func (e Expr) CoversStrictly(o Expr) bool {
+	return len(e) < len(o) && o[:len(e)] == e
+}
+
+// Overlaps reports whether the two subspaces overlap, which for
+// dz-expressions means one covers the other.
+func (e Expr) Overlaps(o Expr) bool {
+	return e.Covers(o) || o.Covers(e)
+}
+
+// Overlap returns the overlap of the two subspaces (the longer expression)
+// and whether they overlap at all.
+func (e Expr) Overlap(o Expr) (Expr, bool) {
+	switch {
+	case e.Covers(o):
+		return o, true
+	case o.Covers(e):
+		return e, true
+	default:
+		return "", false
+	}
+}
+
+// Child returns the expression refined by one bisection step. bit must be 0
+// or 1.
+func (e Expr) Child(bit byte) Expr {
+	if bit == 0 {
+		return e + "0"
+	}
+	return e + "1"
+}
+
+// Parent returns the expression with the last bisection removed. The whole
+// space has no parent; ok is false in that case.
+func (e Expr) Parent() (parent Expr, ok bool) {
+	if len(e) == 0 {
+		return "", false
+	}
+	return e[:len(e)-1], true
+}
+
+// Sibling returns the expression denoting the other half of e's parent
+// subspace. The whole space has no sibling; ok is false in that case.
+func (e Expr) Sibling() (sib Expr, ok bool) {
+	if len(e) == 0 {
+		return "", false
+	}
+	last := e[len(e)-1]
+	flipped := byte('0')
+	if last == '0' {
+		flipped = '1'
+	}
+	return e[:len(e)-1] + Expr(flipped), true
+}
+
+// Subtract returns the set of maximal subspaces of e that do not overlap o.
+// If e and o do not overlap, the result is {e}. If o covers e, the result is
+// empty. Otherwise (e strictly covers o) the result is the set of siblings
+// along the refinement path from e to o; e.g. "0" − "000" = {"001", "01"}.
+func (e Expr) Subtract(o Expr) []Expr {
+	if !e.Overlaps(o) {
+		return []Expr{e}
+	}
+	if o.Covers(e) {
+		return nil
+	}
+	// e strictly covers o: collect the sibling of each step on the path.
+	out := make([]Expr, 0, len(o)-len(e))
+	for i := len(e); i < len(o); i++ {
+		prefix := o[:i+1]
+		sib, _ := prefix.Sibling()
+		out = append(out, sib)
+	}
+	return out
+}
+
+// CommonPrefix returns the longest expression covering both e and o.
+func (e Expr) CommonPrefix(o Expr) Expr {
+	n := len(e)
+	if len(o) < n {
+		n = len(o)
+	}
+	i := 0
+	for i < n && e[i] == o[i] {
+		i++
+	}
+	return e[:i]
+}
+
+// Truncate returns the expression limited to at most maxLen bisections.
+// Truncation coarsens the subspace and is the source of false positives when
+// the address space cannot hold the full expression (Section 6.4).
+func (e Expr) Truncate(maxLen int) Expr {
+	if maxLen < 0 {
+		maxLen = 0
+	}
+	if len(e) <= maxLen {
+		return e
+	}
+	return e[:maxLen]
+}
+
+// Compare orders expressions lexicographically with shorter prefixes first.
+// It returns -1, 0, or 1.
+func (e Expr) Compare(o Expr) int {
+	if e == o {
+		return 0
+	}
+	if e < o {
+		return -1
+	}
+	return 1
+}
+
+// String implements fmt.Stringer. The whole space prints as "ε".
+func (e Expr) String() string {
+	if len(e) == 0 {
+		return "ε"
+	}
+	return string(e)
+}
+
+// Parse converts a textual dz-expression ("ε" or a 0/1 string) into an Expr.
+func Parse(s string) (Expr, error) {
+	if s == "ε" || s == "" {
+		return Whole, nil
+	}
+	e := Expr(s)
+	if err := e.Validate(); err != nil {
+		return "", err
+	}
+	return e, nil
+}
+
+// Set is a collection of dz-expressions describing a (possibly
+// disconnected) region of the event space. Sets returned by this package
+// are canonical: sorted, with no member covering another and with complete
+// sibling pairs merged into their parent.
+type Set []Expr
+
+// NewSet builds a canonical set from the given expressions.
+func NewSet(exprs ...Expr) Set {
+	s := make(Set, len(exprs))
+	copy(s, exprs)
+	return s.Canonical()
+}
+
+// Canonical returns the canonical form of the set: members sorted, covered
+// members removed, and complete sibling pairs merged into their parent
+// (repeatedly, until a fixed point).
+func (s Set) Canonical() Set {
+	if len(s) == 0 {
+		return nil
+	}
+	work := make([]Expr, len(s))
+	copy(work, s)
+	for {
+		sort.Slice(work, func(i, j int) bool { return work[i] < work[j] })
+		// Remove duplicates and covered members. After sorting, a covering
+		// prefix sorts before everything it covers... not in general (e.g.
+		// "0" < "00" holds, and "1" < "10"), so a single linear pass with the
+		// last kept member suffices: any member covered by an earlier member
+		// is adjacent to some retained prefix in lexicographic order.
+		kept := work[:0]
+		for _, e := range work {
+			if len(kept) > 0 && kept[len(kept)-1].Covers(e) {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		work = kept
+		// Merge complete sibling pairs.
+		merged := false
+		out := work[:0]
+		i := 0
+		for i < len(work) {
+			if i+1 < len(work) {
+				a, b := work[i], work[i+1]
+				if sa, ok := a.Sibling(); ok && sa == b {
+					out = append(out, a[:len(a)-1])
+					merged = true
+					i += 2
+					continue
+				}
+			}
+			out = append(out, work[i])
+			i++
+		}
+		work = out
+		if !merged {
+			break
+		}
+	}
+	if len(work) == 0 {
+		return nil
+	}
+	res := make(Set, len(work))
+	copy(res, work)
+	return res
+}
+
+// IsEmpty reports whether the set describes the empty region.
+func (s Set) IsEmpty() bool { return len(s) == 0 }
+
+// IsWhole reports whether the set describes the entire event space.
+func (s Set) IsWhole() bool { return len(s) == 1 && s[0] == Whole }
+
+// Contains reports whether the region of the set covers the expression e.
+// It relies on the canonical form (sorted, pairwise disjoint members): at
+// most one member can cover e, and every expression between that member
+// and e in lexicographic order would share its prefix, so the candidate is
+// always the member immediately at or before e.
+func (s Set) Contains(e Expr) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] > e })
+	return i > 0 && s[i-1].Covers(e)
+}
+
+// Overlaps reports whether the set's region overlaps the expression e:
+// either some member covers e, or e covers some member. Members covered by
+// e form a contiguous lexicographic range starting at the insertion point
+// of e (canonical form assumed, as in Contains).
+func (s Set) Overlaps(e Expr) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] > e })
+	if i > 0 && s[i-1].Covers(e) {
+		return true
+	}
+	return i < len(s) && e.Covers(s[i])
+}
+
+// OverlapsSet reports whether two regions overlap.
+func (s Set) OverlapsSet(o Set) bool {
+	for _, m := range s {
+		if o.Overlaps(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Covers reports whether the region of s covers the entire region of o.
+func (s Set) Covers(o Set) bool {
+	for _, e := range o {
+		rest := Set{e}
+		for _, m := range s {
+			rest = rest.SubtractExpr(m)
+			if rest.IsEmpty() {
+				break
+			}
+		}
+		if !rest.IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the canonical intersection of the two regions.
+func (s Set) Intersect(o Set) Set {
+	var out []Expr
+	for _, a := range s {
+		for _, b := range o {
+			if ov, ok := a.Overlap(b); ok {
+				out = append(out, ov)
+			}
+		}
+	}
+	return NewSet(out...)
+}
+
+// IntersectExpr returns the canonical intersection of the region with a
+// single expression.
+func (s Set) IntersectExpr(e Expr) Set {
+	return s.Intersect(Set{e})
+}
+
+// SubtractExpr returns the canonical region of s minus the subspace of e.
+func (s Set) SubtractExpr(e Expr) Set {
+	var out []Expr
+	for _, m := range s {
+		out = append(out, m.Subtract(e)...)
+	}
+	return NewSet(out...)
+}
+
+// Subtract returns the canonical region of s minus the region of o.
+func (s Set) Subtract(o Set) Set {
+	res := s
+	for _, e := range o {
+		res = res.SubtractExpr(e)
+		if res.IsEmpty() {
+			return nil
+		}
+	}
+	return res
+}
+
+// Union returns the canonical union of the two regions.
+func (s Set) Union(o Set) Set {
+	out := make([]Expr, 0, len(s)+len(o))
+	out = append(out, s...)
+	out = append(out, o...)
+	return NewSet(out...)
+}
+
+// Equal reports whether two canonical sets describe the same region.
+// Callers should canonicalise first (sets produced by this package are).
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	if s == nil {
+		return nil
+	}
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Truncate returns the canonical set with every member truncated to maxLen.
+func (s Set) Truncate(maxLen int) Set {
+	out := make([]Expr, len(s))
+	for i, e := range s {
+		out[i] = e.Truncate(maxLen)
+	}
+	return NewSet(out...)
+}
+
+// MaxLen returns the length of the longest member.
+func (s Set) MaxLen() int {
+	m := 0
+	for _, e := range s {
+		if len(e) > m {
+			m = len(e)
+		}
+	}
+	return m
+}
+
+// Fraction returns the fraction of the whole event space covered by the
+// region, assuming the set is canonical (members pairwise disjoint).
+func (s Set) Fraction() float64 {
+	f := 0.0
+	for _, e := range s {
+		f += 1.0 / float64(uint64(1)<<uint(min(e.Len(), 62)))
+	}
+	return f
+}
+
+// String renders the set as "{dz1, dz2, ...}".
+func (s Set) String() string {
+	if len(s) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+// Package experiments contains the harness that regenerates every figure
+// of the paper's evaluation (Section 6, Figure 7 panels a–h) plus the
+// ablation studies listed in DESIGN.md. Each experiment is a named runner
+// producing one or more metrics.Tables whose rows correspond to the series
+// of the original figure.
+//
+// Every runner accepts a Config: Quick mode shrinks the parameter sweeps
+// to sizes suitable for unit tests and testing.B benchmarks, while the
+// full mode (cmd/pleroma-sim) uses the paper's original scales.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pleroma/internal/metrics"
+)
+
+// Config parameterises an experiment run.
+type Config struct {
+	// Seed drives every random generator of the run.
+	Seed int64
+	// Quick shrinks workloads for fast CI/bench runs.
+	Quick bool
+}
+
+// DefaultConfig is the configuration used by tests and benchmarks.
+var DefaultConfig = Config{Seed: 42, Quick: true}
+
+// FullConfig reproduces the paper's original parameter scales.
+var FullConfig = Config{Seed: 42, Quick: false}
+
+// Runner executes one experiment.
+type Runner func(Config) ([]*metrics.Table, error)
+
+// registry maps experiment ids to runners and descriptions.
+type registration struct {
+	run  Runner
+	desc string
+}
+
+var registry = map[string]registration{
+	"fig7a":          {RunFig7aDelayVsFlows, "end-to-end delay vs. flow-table size (Figure 7a)"},
+	"fig7b":          {RunFig7bDelayVsSubscriptions, "end-to-end delay vs. number of subscriptions (Figure 7b)"},
+	"fig7c":          {RunFig7cThroughput, "event throughput vs. publish rate (Figure 7c)"},
+	"fig7d":          {RunFig7dFPRVsDzLength, "false-positive rate vs. dz length (Figure 7d)"},
+	"fig7e":          {RunFig7eFPRDimSelection, "false-positive rate under dimension selection (Figure 7e)"},
+	"fig7f":          {RunFig7fReconfigDelay, "reconfiguration delay vs. deployed subscriptions (Figure 7f)"},
+	"fig7g":          {RunFig7gControllerOverhead, "normalized controller overhead vs. number of controllers (Figure 7g)"},
+	"fig7h":          {RunFig7hControlTraffic, "total control traffic vs. number of controllers (Figure 7h)"},
+	"abl-broker":     {RunAblationBrokerVsSDN, "ablation: broker overlay vs. in-network filtering"},
+	"abl-trees":      {RunAblationTreeStrategy, "ablation: single shared tree vs. per-publisher trees"},
+	"abl-cover":      {RunAblationCoveringForwarding, "ablation: covering-based inter-domain forwarding on/off"},
+	"abl-merge":      {RunAblationMergeThreshold, "ablation: tree-merge threshold sweep (Section 3.2)"},
+	"abl-flows":      {RunAblationFlowBudget, "ablation: flow-table footprint vs. filtering precision"},
+	"ext-activation": {RunExtActivationLatency, "extension: in-band subscription activation latency (requirement 1)"},
+}
+
+// IDs returns all experiment identifiers, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the human-readable description of an experiment.
+func Describe(id string) (string, bool) {
+	r, ok := registry[id]
+	if !ok {
+		return "", false
+	}
+	return r.desc, true
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) ([]*metrics.Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r.run(cfg)
+}
+
+// RunAndPrint executes an experiment and renders its tables.
+func RunAndPrint(id string, cfg Config, w io.Writer) error {
+	tables, err := Run(id, cfg)
+	if err != nil {
+		return err
+	}
+	for i, t := range tables {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := t.Fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pick returns q in quick mode, f otherwise.
+func pick(cfg Config, q, f int) int {
+	if cfg.Quick {
+		return q
+	}
+	return f
+}
+
+func pickInts(cfg Config, q, f []int) []int {
+	if cfg.Quick {
+		return q
+	}
+	return f
+}

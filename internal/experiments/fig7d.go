@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"pleroma/internal/dz"
+	"pleroma/internal/metrics"
+	"pleroma/internal/space"
+	"pleroma/internal/workload"
+)
+
+// fig7dDims is the schema width of the false-positive experiments.
+const fig7dDims = 5
+
+// fig7dHosts is the number of end hosts subscriptions are divided among.
+const fig7dHosts = 8
+
+// fig7dMaxSubspaces caps per-subscription DZ set size. The cap must be
+// generous enough that the dz length, not the budget, dominates the
+// approximation error under study.
+const fig7dMaxSubspaces = 512
+
+// RunFig7dFPRVsDzLength reproduces Figure 7(d): the false positive rate as
+// a function of the dz length L_dz, for 100/400/1600 subscriptions under
+// the uniform and zipfian models. Longer dz-expressions refine the
+// subspace granularity and cut false positives; more subscriptions per
+// host also reduce the *measured* FPR because a truncation-matched event
+// often matches a sibling subscription exactly (Section 6.4's argument).
+func RunFig7dFPRVsDzLength(cfg Config) ([]*metrics.Table, error) {
+	subCounts := pickInts(cfg, []int{100, 400}, []int{100, 400, 1600})
+	lengths := pickInts(cfg, []int{5, 10, 15, 20, 25}, []int{5, 10, 15, 20, 25})
+	events := pick(cfg, 500, 5000)
+
+	table := &metrics.Table{
+		Title:   "Figure 7(d): false positive rate (%) vs. dz length",
+		Columns: []string{"dz-length"},
+	}
+	for _, model := range []workload.Model{workload.Uniform, workload.Zipfian} {
+		for _, n := range subCounts {
+			table.Columns = append(table.Columns, columnName(n, model))
+		}
+	}
+
+	type cell struct{ fpr float64 }
+	rows := make(map[int][]cell, len(lengths))
+	for _, model := range []workload.Model{workload.Uniform, workload.Zipfian} {
+		for _, n := range subCounts {
+			fprs, err := fig7dRun(cfg.Seed, n, events, lengths, model)
+			if err != nil {
+				return nil, err
+			}
+			for i, l := range lengths {
+				rows[l] = append(rows[l], cell{fpr: fprs[i]})
+			}
+		}
+	}
+	for _, l := range lengths {
+		cells := make([]any, 0, len(rows[l])+1)
+		cells = append(cells, l)
+		for _, c := range rows[l] {
+			cells = append(cells, c.fpr)
+		}
+		table.AddRow(cells...)
+	}
+	return []*metrics.Table{table}, nil
+}
+
+func columnName(n int, m workload.Model) string {
+	return m.String() + "-" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// fig7dRun computes the FPR for each dz length over one workload. The
+// dissemination model is evaluated analytically (no network needed): a
+// host receives an event iff the truncated dz of the event is covered by
+// the truncated DZ set of any of its subscriptions; the delivery is a
+// false positive iff no subscription on that host matches the event
+// exactly.
+func fig7dRun(seed int64, nSubs, nEvents int, lengths []int, model workload.Model) ([]float64, error) {
+	sch, err := space.UniformSchema(fig7dDims)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.New(sch, model, seed)
+	if err != nil {
+		return nil, err
+	}
+	rects := gen.SubscriptionRects(nSubs)
+	events := gen.Events(nEvents)
+
+	// Assign subscriptions to hosts round-robin (the random division of
+	// the paper).
+	hostRects := make([][]dz.Rect, fig7dHosts)
+	for i, r := range rects {
+		h := i % fig7dHosts
+		hostRects[h] = append(hostRects[h], r)
+	}
+
+	out := make([]float64, 0, len(lengths))
+	for _, ldz := range lengths {
+		// Per-host truncated DZ region (union over its subscriptions).
+		hostSets := make([]dz.Set, fig7dHosts)
+		for h, list := range hostRects {
+			var union dz.Set
+			for _, r := range list {
+				set, err := sch.DecomposeRectLimited(r, ldz, fig7dMaxSubspaces)
+				if err != nil {
+					return nil, err
+				}
+				union = union.Union(set)
+			}
+			hostSets[h] = union
+		}
+		var fp metrics.FalsePositives
+		for _, ev := range events {
+			expr, err := sch.Encode(ev, ldz)
+			if err != nil {
+				return nil, err
+			}
+			for h := 0; h < fig7dHosts; h++ {
+				if !hostSets[h].Overlaps(expr) {
+					continue // not delivered
+				}
+				matched := false
+				for _, r := range hostRects[h] {
+					if dz.RectContainsPoint(r, ev.Values) {
+						matched = true
+						break
+					}
+				}
+				fp.Record(matched)
+			}
+		}
+		out = append(out, fp.Rate())
+	}
+	return out, nil
+}

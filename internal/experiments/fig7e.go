@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pleroma/internal/dimsel"
+	"pleroma/internal/dz"
+	"pleroma/internal/metrics"
+	"pleroma/internal/space"
+	"pleroma/internal/workload"
+)
+
+// fig7eDims is the 7-attribute event space of the paper's dimension
+// selection experiment.
+const fig7eDims = 7
+
+// fig7eLdz is the fixed dz-length budget shared by the selected
+// dimensions; spreading it over fewer, well-chosen dimensions increases
+// per-dimension granularity.
+const fig7eLdz = 21
+
+// fig7eWorkloads defines the three zipfian variants of Section 6.4: they
+// differ in how many dimensions have their event variance restricted (and
+// therefore carry no filtering information).
+var fig7eWorkloads = []struct {
+	name       string
+	restricted map[int]float64
+}{
+	{"zipfian-1", nil},
+	{"zipfian-2", map[int]float64{5: 0.02, 6: 0.02}},
+	{"zipfian-3", map[int]float64{3: 0.02, 4: 0.02, 5: 0.02, 6: 0.02}},
+}
+
+// RunFig7eFPRDimSelection reproduces Figure 7(e): the false positive rate
+// when spatial indexing runs only on the top-k dimensions chosen by the
+// PCA selection of Section 5. For workloads whose event traffic varies
+// only along a few dimensions, a small, well-chosen Ω_D filters better
+// than indexing all seven attributes with the same address budget.
+func RunFig7eFPRDimSelection(cfg Config) ([]*metrics.Table, error) {
+	nSubs := pick(cfg, 200, 800)
+	nEvents := pick(cfg, 400, 4000)
+	window := pick(cfg, 100, 500)
+
+	table := &metrics.Table{
+		Title:   "Figure 7(e): false positive rate (%) vs. selected dimensions k",
+		Columns: []string{"k"},
+	}
+	for _, w := range fig7eWorkloads {
+		table.Columns = append(table.Columns, w.name)
+	}
+
+	results := make([][]float64, 0, len(fig7eWorkloads))
+	for wi, w := range fig7eWorkloads {
+		fprs, err := fig7eRun(cfg.Seed+int64(wi), nSubs, nEvents, window, w.restricted)
+		if err != nil {
+			return nil, fmt.Errorf("fig7e %s: %w", w.name, err)
+		}
+		results = append(results, fprs)
+	}
+	for k := 1; k <= fig7eDims; k++ {
+		cells := []any{k}
+		for _, fprs := range results {
+			cells = append(cells, fprs[k-1])
+		}
+		table.AddRow(cells...)
+	}
+	return []*metrics.Table{table}, nil
+}
+
+// fig7eRun measures the FPR for each k = 1..7 on one workload: the PCA
+// ranking orders the dimensions, the top-k are selected, subscriptions and
+// events are re-indexed over the projected schema with the fixed L_dz
+// budget, and deliveries are evaluated analytically against ground truth.
+func fig7eRun(seed int64, nSubs, nEvents, window int, restricted map[int]float64) ([]float64, error) {
+	sch, err := space.UniformSchema(fig7eDims)
+	if err != nil {
+		return nil, err
+	}
+	opts := []workload.Option{}
+	if restricted != nil {
+		opts = append(opts, workload.WithRestrictedDims(restricted))
+	}
+	gen, err := workload.New(sch, workload.Zipfian, seed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rects := gen.SubscriptionRects(nSubs)
+	events := gen.Events(nEvents)
+
+	// Rank dimensions from the recent traffic window (the controller's
+	// periodic collection of Section 5).
+	res, err := dimsel.SelectFromWorkload(rects, events[:window], 0.999999)
+	if err != nil {
+		return nil, err
+	}
+
+	hostRects := make([][]dz.Rect, fig7dHosts)
+	for i, r := range rects {
+		h := i % fig7dHosts
+		hostRects[h] = append(hostRects[h], r)
+	}
+
+	out := make([]float64, 0, fig7eDims)
+	for k := 1; k <= fig7eDims; k++ {
+		dims := append([]int(nil), res.Ranking[:k]...)
+		proj, err := sch.Project(dims)
+		if err != nil {
+			return nil, err
+		}
+		projectRect := func(r dz.Rect) dz.Rect {
+			pr := make(dz.Rect, len(dims))
+			for i, d := range dims {
+				pr[i] = r[d]
+			}
+			return pr
+		}
+		hostSets := make([]dz.Set, fig7dHosts)
+		for h, list := range hostRects {
+			var union dz.Set
+			for _, r := range list {
+				set, err := proj.DecomposeRectLimited(projectRect(r), fig7eLdz, fig7dMaxSubspaces)
+				if err != nil {
+					return nil, err
+				}
+				union = union.Union(set)
+			}
+			hostSets[h] = union
+		}
+		var fp metrics.FalsePositives
+		for _, ev := range events {
+			pev := ev.Project(dims)
+			expr, err := proj.Encode(pev, fig7eLdz)
+			if err != nil {
+				return nil, err
+			}
+			for h := 0; h < fig7dHosts; h++ {
+				if !hostSets[h].Overlaps(expr) {
+					continue
+				}
+				matched := false
+				for _, r := range hostRects[h] {
+					if dz.RectContainsPoint(r, ev.Values) {
+						matched = true
+						break
+					}
+				}
+				fp.Record(matched)
+			}
+		}
+		out = append(out, fp.Rate())
+	}
+	return out, nil
+}

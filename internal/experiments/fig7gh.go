@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pleroma/internal/interdomain"
+	"pleroma/internal/metrics"
+	"pleroma/internal/netem"
+	"pleroma/internal/sim"
+	"pleroma/internal/space"
+	"pleroma/internal/topo"
+	"pleroma/internal/workload"
+)
+
+// fig7gSwitches is the Mininet scale of the paper (20 switches).
+const fig7gSwitches = 20
+
+// fig7gSubCounts are the subscription workloads of Figures 7(g) and 7(h).
+var fig7gSubCounts = []int{100, 200, 400}
+
+// RunFig7gControllerOverhead reproduces Figure 7(g): the average request
+// load per controller, normalised to the single-controller case, as the
+// 20-switch ring is split into 1–10 partitions. Partitioning spreads
+// internal requests across controllers and covering-based forwarding
+// keeps the external traffic sub-linear, so the normalised overhead
+// drops — the more subscriptions, the bigger the benefit.
+func RunFig7gControllerOverhead(cfg Config) ([]*metrics.Table, error) {
+	controllers := pickInts(cfg, []int{1, 2, 4, 10}, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+
+	table := &metrics.Table{
+		Title:   "Figure 7(g): normalized avg controller overhead vs. number of controllers",
+		Columns: []string{"controllers"},
+	}
+	for _, n := range fig7gSubCounts {
+		table.Columns = append(table.Columns, itoa(n)+"-subs")
+	}
+
+	// Baselines: average load at 1 controller per subscription count.
+	base := make(map[int]float64, len(fig7gSubCounts))
+	for _, subs := range fig7gSubCounts {
+		st, err := fig7ghRun(cfg.Seed, 1, subs)
+		if err != nil {
+			return nil, err
+		}
+		base[subs] = st.AverageControllerLoad()
+	}
+	for _, nc := range controllers {
+		cells := []any{nc}
+		for _, subs := range fig7gSubCounts {
+			st, err := fig7ghRun(cfg.Seed, nc, subs)
+			if err != nil {
+				return nil, err
+			}
+			norm := 0.0
+			if base[subs] > 0 {
+				norm = st.AverageControllerLoad() / base[subs] * 100
+			}
+			cells = append(cells, norm)
+		}
+		table.AddRow(cells...)
+	}
+	return []*metrics.Table{table}, nil
+}
+
+// RunFig7hControlTraffic reproduces Figure 7(h): total control traffic
+// (end-host requests plus controller-to-controller messages) versus the
+// number of partitions. Partitioning adds inter-controller messages, but
+// the relative increase shrinks for larger subscription workloads because
+// covering-based forwarding suppresses more of them.
+func RunFig7hControlTraffic(cfg Config) ([]*metrics.Table, error) {
+	controllers := pickInts(cfg, []int{1, 2, 4, 10}, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+
+	table := &metrics.Table{
+		Title:   "Figure 7(h): total control traffic vs. number of controllers",
+		Columns: []string{"controllers"},
+	}
+	for _, n := range fig7gSubCounts {
+		table.Columns = append(table.Columns,
+			itoa(n)+"-subs-total", itoa(n)+"-suppressed")
+	}
+	for _, nc := range controllers {
+		cells := []any{nc}
+		for _, subs := range fig7gSubCounts {
+			st, err := fig7ghRun(cfg.Seed, nc, subs)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, st.TotalControlTraffic(), st.SuppressedByCovering)
+		}
+		table.AddRow(cells...)
+	}
+	return []*metrics.Table{table}, nil
+}
+
+// fig7ghRun deploys publishers and a uniform subscription workload on a
+// 20-switch ring split into nControllers partitions and returns the
+// fabric's control-plane statistics.
+func fig7ghRun(seed int64, nControllers, nSubs int) (interdomain.Stats, error) {
+	g, err := topo.Ring(fig7gSwitches, topo.DefaultLinkParams)
+	if err != nil {
+		return interdomain.Stats{}, err
+	}
+	if err := topo.PartitionRing(g, nControllers); err != nil {
+		return interdomain.Stats{}, err
+	}
+	dp := netem.New(g, sim.NewEngine())
+	fab, err := interdomain.NewFabric(g, dp)
+	if err != nil {
+		return interdomain.Stats{}, err
+	}
+	sch, err := space.UniformSchema(2)
+	if err != nil {
+		return interdomain.Stats{}, err
+	}
+	gen, err := workload.New(sch, workload.Uniform, seed)
+	if err != nil {
+		return interdomain.Stats{}, err
+	}
+	hosts := g.Hosts()
+
+	// Four publishers spread around the ring advertise broad regions.
+	for i := 0; i < 4; i++ {
+		rect := gen.SubscriptionRect()
+		// Broaden the advertisement so most subscriptions overlap it.
+		for d := range rect {
+			rect[d].Lo = rect[d].Lo / 2
+			hi := rect[d].Hi + (sch.DomainMax()-rect[d].Hi)/2
+			rect[d].Hi = hi
+		}
+		set, err := sch.DecomposeRectLimited(rect, fig7bMaxDzLen, fig7bMaxSubspaces)
+		if err != nil {
+			return interdomain.Stats{}, err
+		}
+		if err := fab.Advertise(fmt.Sprintf("p%d", i), hosts[(i*len(hosts))/4], set); err != nil {
+			return interdomain.Stats{}, err
+		}
+	}
+	for i := 0; i < nSubs; i++ {
+		set, err := sch.DecomposeRectLimited(gen.SubscriptionRect(), fig7bMaxDzLen, fig7bMaxSubspaces)
+		if err != nil {
+			return interdomain.Stats{}, err
+		}
+		host := hosts[int(gen.Event().Values[0])%len(hosts)]
+		if err := fab.Subscribe(fmt.Sprintf("s%d", i), host, set); err != nil {
+			return interdomain.Stats{}, err
+		}
+	}
+	return fab.Stats(), nil
+}

@@ -1,0 +1,372 @@
+// Package interdomain implements PLEROMA's interoperability layer for
+// multiple independently controlled partitions (Section 4): border
+// discovery (the LLDP extension of Section 4.1), controller-to-controller
+// request forwarding through border switch-port tuples, virtual hosts for
+// external advertisements and subscriptions, and covering-based
+// suppression of redundant inter-partition control traffic (Section 4.2).
+//
+// A Fabric owns one core.Controller per partition of the topology and
+// mediates every publish/subscribe request: local processing happens at
+// the partition's own controller, then the request propagates to
+// neighbouring partitions where it is replayed as a virtual client
+// attached to the receiving border switch. Advertisements flood across all
+// partitions; subscriptions follow the reverse paths of the overlapping
+// advertisements they match.
+package interdomain
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pleroma/internal/core"
+	"pleroma/internal/dz"
+	"pleroma/internal/netem"
+	"pleroma/internal/openflow"
+	"pleroma/internal/topo"
+)
+
+// BorderPort is one end of an inter-partition link as seen by the local
+// partition's controller: the switch-port tuple packets to the neighbour
+// leave through, plus the remote end learned during discovery.
+type BorderPort struct {
+	LocalSwitch  topo.NodeID
+	LocalPort    openflow.PortID
+	RemotePart   int
+	RemoteSwitch topo.NodeID
+	RemotePort   openflow.PortID
+}
+
+// ControllerLoad counts the control requests one controller received.
+type ControllerLoad struct {
+	// Internal requests arrive from end hosts of the own partition.
+	Internal uint64
+	// External requests arrive from neighbouring controllers.
+	External uint64
+}
+
+// Total returns all requests handled by the controller.
+func (l ControllerLoad) Total() uint64 { return l.Internal + l.External }
+
+// Stats aggregates fabric-wide control-plane activity.
+type Stats struct {
+	// PerController maps partition id to its request load.
+	PerController map[int]ControllerLoad
+	// MessagesSent counts controller-to-controller messages.
+	MessagesSent uint64
+	// SuppressedByCovering counts forwardings skipped because a covering
+	// request had already been sent to that neighbour.
+	SuppressedByCovering uint64
+}
+
+// TotalControlTraffic returns internal + external message count — the
+// quantity of Figure 7(h).
+func (s Stats) TotalControlTraffic() uint64 {
+	var t uint64
+	for _, l := range s.PerController {
+		t += l.Internal
+	}
+	return t + s.MessagesSent
+}
+
+// AverageControllerLoad returns the mean number of requests per
+// controller — the quantity of Figure 7(g).
+func (s Stats) AverageControllerLoad() float64 {
+	if len(s.PerController) == 0 {
+		return 0
+	}
+	var t uint64
+	for _, l := range s.PerController {
+		t += l.Total()
+	}
+	return float64(t) / float64(len(s.PerController))
+}
+
+// extAdv records an external advertisement known at one partition.
+type extAdv struct {
+	origin   string // original advertisement id
+	set      dz.Set // subspaces received (cumulative)
+	fromPart int    // neighbour partition it arrived from
+}
+
+// partitionState is the fabric's bookkeeping for one partition.
+type partitionState struct {
+	part int
+	ctl  *core.Controller
+	// borders maps neighbour partition -> ordered border ports (the first
+	// one is the canonical crossing used for virtual clients).
+	borders map[int][]BorderPort
+	// treeNbs marks the neighbours on the partition spanning tree; only
+	// these are used for request forwarding and event crossings.
+	treeNbs map[int]bool
+	// extAdvs lists external advertisements received, in arrival order.
+	extAdvs []*extAdv
+	// rcvdAdv/rcvdSub accumulate the subspaces already accepted per origin
+	// id, so duplicate floodings (cycles in the partition graph) die out.
+	rcvdAdv map[string]dz.Set
+	rcvdSub map[string]dz.Set
+	// fwdAdvByOrigin/fwdSubByOrigin record what was already forwarded per
+	// neighbour and origin; their unions drive covering-based suppression
+	// and per-origin tracking allows rebuilds after removals.
+	fwdAdvByOrigin map[int]map[string]dz.Set
+	fwdSubByOrigin map[int]map[string]dz.Set
+	// localAdvs/localSubs are the partition's own clients.
+	localAdvs map[string]dz.Set
+	localSubs map[string]dz.Set
+	// virtual client counters for unique ids.
+	vseq int
+	load ControllerLoad
+}
+
+// Option configures a Fabric.
+type Option func(*Fabric)
+
+// WithCovering toggles covering-based forwarding suppression (on by
+// default; the ablation benchmark switches it off).
+func WithCovering(enabled bool) Option {
+	return func(f *Fabric) { f.covering = enabled }
+}
+
+// WithControllerOptions passes extra options to every per-partition
+// controller.
+func WithControllerOptions(opts ...core.Option) Option {
+	return func(f *Fabric) { f.ctlOpts = append(f.ctlOpts, opts...) }
+}
+
+// WithStaticDiscovery replaces the LLDP probe exchange with a direct read
+// of the topology (useful when the caller owns the data plane's punt
+// handler or wants zero simulated discovery traffic).
+func WithStaticDiscovery() Option {
+	return func(f *Fabric) { f.staticDiscovery = true }
+}
+
+// Fabric manages the controllers of all partitions of a topology.
+type Fabric struct {
+	g               *topo.Graph
+	dp              *netem.DataPlane
+	parts           map[int]*partitionState
+	order           []int
+	covering        bool
+	staticDiscovery bool
+	ctlOpts         []core.Option
+
+	messagesSent  uint64
+	suppressed    uint64
+	signalDelay   time.Duration
+	signalStats   SignalStats
+	inBandEnabled bool
+
+	// registrations maps an origin client id to the virtual replicas
+	// created in other partitions, for teardown.
+	advReplicas map[string][]replica
+	subReplicas map[string][]replica
+	// advHome/subHome record the partition of the original client;
+	// advOrder/subOrder preserve arrival order for rebuilds.
+	advHome  map[string]int
+	subHome  map[string]int
+	advOrder []string
+	subOrder []string
+}
+
+type replica struct {
+	part int
+	id   string
+}
+
+// NewFabric creates one controller per partition and performs border
+// discovery. The graph must already be partitioned (topo.PartitionRing or
+// topo.PartitionFatTree).
+func NewFabric(g *topo.Graph, dp *netem.DataPlane, opts ...Option) (*Fabric, error) {
+	f := &Fabric{
+		g:           g,
+		dp:          dp,
+		parts:       make(map[int]*partitionState),
+		covering:    true,
+		advReplicas: make(map[string][]replica),
+		subReplicas: make(map[string][]replica),
+		advHome:     make(map[string]int),
+		subHome:     make(map[string]int),
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	for _, p := range g.Partitions() {
+		opts := append([]core.Option{
+			core.WithHostAddr(netem.HostAddr),
+			core.WithPartition(p),
+		}, f.ctlOpts...)
+		ctl, err := core.NewController(g, dp, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("interdomain: controller for partition %d: %w", p, err)
+		}
+		f.parts[p] = &partitionState{
+			part:           p,
+			ctl:            ctl,
+			borders:        make(map[int][]BorderPort),
+			rcvdAdv:        make(map[string]dz.Set),
+			rcvdSub:        make(map[string]dz.Set),
+			fwdAdvByOrigin: make(map[int]map[string]dz.Set),
+			fwdSubByOrigin: make(map[int]map[string]dz.Set),
+			localAdvs:      make(map[string]dz.Set),
+			localSubs:      make(map[string]dz.Set),
+		}
+		f.order = append(f.order, p)
+	}
+	sort.Ints(f.order)
+	if f.staticDiscovery {
+		f.discoverBordersStatic()
+	} else if err := f.discoverBordersLLDP(); err != nil {
+		return nil, err
+	}
+	f.buildPartitionTree()
+	return f, nil
+}
+
+// buildPartitionTree restricts inter-partition request forwarding and
+// event crossings to a spanning tree of the partition adjacency graph.
+// With a cyclic partition graph, per-advertisement reverse paths recorded
+// by different partitions can point opposite ways around a cycle; because
+// flows merge by dz regardless of which path installed them, events would
+// then circulate the cycle, duplicating deliveries until the hop limit.
+// On a tree, non-backtracking walks are simple paths, and the canonical
+// border (same physical link both ways) plus ingress-port suppression
+// rules out the backtracking case — so every event crosses each partition
+// at most once.
+func (f *Fabric) buildPartitionTree() {
+	for _, s := range f.parts {
+		s.treeNbs = make(map[int]bool)
+	}
+	if len(f.order) == 0 {
+		return
+	}
+	visited := map[int]bool{f.order[0]: true}
+	queue := []int{f.order[0]}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, nb := range f.physicalNeighbors(p) {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			f.parts[p].treeNbs[nb] = true
+			f.parts[nb].treeNbs[p] = true
+			queue = append(queue, nb)
+		}
+	}
+}
+
+// physicalNeighbors lists every partition reachable over a border link.
+func (f *Fabric) physicalNeighbors(partition int) []int {
+	s, ok := f.parts[partition]
+	if !ok {
+		return nil
+	}
+	out := make([]int, 0, len(s.borders))
+	for p := range s.borders {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// discoverBordersStatic derives the border ports directly from the
+// topology. It yields exactly the same result as the LLDP exchange (a
+// property the tests assert) and both sort by the link-symmetric key so
+// the two endpoint partitions agree on the canonical crossing.
+func (f *Fabric) discoverBordersStatic() {
+	links := f.g.BorderLinks()
+	sort.Slice(links, func(i, j int) bool {
+		return borderKey(links[i].A, links[i].B) < borderKey(links[j].A, links[j].B)
+	})
+	for _, l := range links {
+		if l.Down {
+			continue
+		}
+		pa := f.g.Partition(l.A)
+		pb := f.g.Partition(l.B)
+		if sa, ok := f.parts[pa]; ok {
+			sa.borders[pb] = append(sa.borders[pb], BorderPort{
+				LocalSwitch: l.A, LocalPort: l.APort, RemotePart: pb,
+				RemoteSwitch: l.B, RemotePort: l.BPort,
+			})
+		}
+		if sb, ok := f.parts[pb]; ok {
+			sb.borders[pa] = append(sb.borders[pa], BorderPort{
+				LocalSwitch: l.B, LocalPort: l.BPort, RemotePart: pa,
+				RemoteSwitch: l.A, RemotePort: l.APort,
+			})
+		}
+	}
+}
+
+// Controller returns the controller of one partition.
+func (f *Fabric) Controller(partition int) (*core.Controller, error) {
+	s, ok := f.parts[partition]
+	if !ok {
+		return nil, fmt.Errorf("interdomain: unknown partition %d", partition)
+	}
+	return s.ctl, nil
+}
+
+// Partitions returns the managed partition ids, ascending.
+func (f *Fabric) Partitions() []int {
+	return append([]int(nil), f.order...)
+}
+
+// Neighbors returns the partitions physically adjacent to one partition
+// (discovered border links, whether or not they are on the forwarding
+// tree).
+func (f *Fabric) Neighbors(partition int) []int {
+	return f.physicalNeighbors(partition)
+}
+
+// TreeNeighbors returns the neighbours used for request forwarding and
+// event crossings: the partition's edges on the spanning tree of the
+// partition graph.
+func (f *Fabric) TreeNeighbors(partition int) []int {
+	s, ok := f.parts[partition]
+	if !ok {
+		return nil
+	}
+	out := make([]int, 0, len(s.treeNbs))
+	for p := range s.treeNbs {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BorderPorts returns the border ports of a partition towards a neighbour.
+func (f *Fabric) BorderPorts(partition, neighbour int) []BorderPort {
+	s, ok := f.parts[partition]
+	if !ok {
+		return nil
+	}
+	return append([]BorderPort(nil), s.borders[neighbour]...)
+}
+
+// Stats returns a snapshot of the fabric's control-plane counters.
+func (f *Fabric) Stats() Stats {
+	st := Stats{
+		PerController:        make(map[int]ControllerLoad, len(f.parts)),
+		MessagesSent:         f.messagesSent,
+		SuppressedByCovering: f.suppressed,
+	}
+	for p, s := range f.parts {
+		st.PerController[p] = s.load
+	}
+	return st
+}
+
+// RebuildTrees makes every partition controller recompute its spanning
+// trees and reinstall its paths — the fabric-wide reaction to a topology
+// change such as a link failure.
+func (f *Fabric) RebuildTrees() error {
+	for _, p := range f.order {
+		if _, err := f.parts[p].ctl.RebuildTrees(); err != nil {
+			return fmt.Errorf("interdomain: rebuild partition %d: %w", p, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package interdomain
+
+import (
+	"fmt"
+
+	"pleroma/internal/dz"
+)
+
+// HandleTopologyChange reacts to link failures or repairs: the fabric
+// tears down every virtual replica, re-discovers the border ports (failed
+// links drop the LLDP probes, so vanished adjacencies disappear on their
+// own), rebuilds the partition spanning tree, lets every controller
+// recompute its intra-partition trees, and finally re-propagates all
+// advertisements and subscriptions in their original arrival order.
+//
+// With a redundant partition graph (e.g. a ring of partitions) traffic
+// therefore survives the loss of a border link: the partition tree grows
+// around the failure.
+func (f *Fabric) HandleTopologyChange() error {
+	// 1. Tear down all virtual replicas in every partition.
+	for origin, reps := range f.advReplicas {
+		for _, r := range reps {
+			if _, err := f.parts[r.part].ctl.Unadvertise(r.id); err != nil {
+				return fmt.Errorf("interdomain: teardown adv replica %q: %w", r.id, err)
+			}
+		}
+		delete(f.advReplicas, origin)
+	}
+	for origin, reps := range f.subReplicas {
+		for _, r := range reps {
+			if _, err := f.parts[r.part].ctl.Unsubscribe(r.id); err != nil {
+				return fmt.Errorf("interdomain: teardown sub replica %q: %w", r.id, err)
+			}
+		}
+		delete(f.subReplicas, origin)
+	}
+
+	// 2. Reset inter-domain bookkeeping; local clients stay registered.
+	for _, ps := range f.parts {
+		ps.borders = make(map[int][]BorderPort)
+		ps.extAdvs = nil
+		ps.rcvdAdv = make(map[string]dz.Set)
+		ps.rcvdSub = make(map[string]dz.Set)
+		ps.fwdAdvByOrigin = make(map[int]map[string]dz.Set)
+		ps.fwdSubByOrigin = make(map[int]map[string]dz.Set)
+		for id, set := range ps.localAdvs {
+			ps.rcvdAdv[id] = set.Clone()
+		}
+		for id, set := range ps.localSubs {
+			ps.rcvdSub[id] = set.Clone()
+		}
+	}
+
+	// 3. Re-discover borders over the changed topology and rebuild the
+	// partition spanning tree.
+	if f.staticDiscovery {
+		f.discoverBordersStatic()
+	} else if err := f.discoverBordersLLDP(); err != nil {
+		return err
+	}
+	f.buildPartitionTree()
+
+	// 4. Every controller recomputes its intra-partition trees and paths.
+	for _, p := range f.order {
+		if _, err := f.parts[p].ctl.RebuildTrees(); err != nil {
+			return fmt.Errorf("interdomain: rebuild partition %d: %w", p, err)
+		}
+	}
+
+	// 5. Re-propagate all requests along the new partition tree.
+	for _, id := range f.advOrder {
+		home := f.advHome[id]
+		f.forwardAdv(home, id, f.parts[home].localAdvs[id], home)
+	}
+	for _, id := range f.subOrder {
+		home := f.subHome[id]
+		f.forwardSub(home, id, f.parts[home].localSubs[id], home)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+// Package ipmc implements the embedding of dz-expressions into IPv6
+// multicast addresses that PLEROMA uses so that content filters become
+// CIDR prefix matches executable in switch TCAMs (Section 3.3.2).
+//
+// The reserved multicast block is ff0e::/16: the first 16 bits of every
+// embedded address are 0xff0e, the following |dz| bits are the
+// dz-expression, and the remainder is zero. A subspace maps to the prefix
+// ff0e:<dz bits>::/(16+|dz|); an event carrying dz=101101 therefore matches
+// a flow for dz=101 because ff0e:a000::/19 contains ff0e:b400::.
+package ipmc
+
+import (
+	"fmt"
+	"net/netip"
+
+	"pleroma/internal/dz"
+)
+
+// MaxDzLen is the number of bits available for a dz-expression after the
+// 16-bit ff0e prefix of an IPv6 address.
+const MaxDzLen = 112
+
+// basePrefixLen is the length of the reserved multicast prefix (ff0e).
+const basePrefixLen = 16
+
+// base returns the 16-byte ff0e::/16 address template.
+func base() [16]byte {
+	var b [16]byte
+	b[0] = 0xff
+	b[1] = 0x0e
+	return b
+}
+
+// SignalAddr is the reserved address IP_vir to which hosts send
+// advertisement and subscription requests; no switch installs a flow for
+// it, so such packets are punted to the controller (Section 2). It lies
+// outside the ff0e::/16 block so no dz flow can ever match it.
+var SignalAddr = netip.AddrFrom16([16]byte{0xff, 0x0f, 0, 0, 0, 0, 0, 0,
+	0, 0, 0, 0, 0, 0, 0, 0x01})
+
+// FromExpr converts a dz-expression into its IPv6 multicast CIDR prefix.
+func FromExpr(e dz.Expr) (netip.Prefix, error) {
+	if err := e.Validate(); err != nil {
+		return netip.Prefix{}, err
+	}
+	if e.Len() > MaxDzLen {
+		return netip.Prefix{}, fmt.Errorf("ipmc: dz length %d exceeds %d bits", e.Len(), MaxDzLen)
+	}
+	b := base()
+	for i := 0; i < e.Len(); i++ {
+		if e[i] == '1' {
+			bit := basePrefixLen + i
+			b[bit/8] |= 1 << uint(7-bit%8)
+		}
+	}
+	return netip.PrefixFrom(netip.AddrFrom16(b), basePrefixLen+e.Len()), nil
+}
+
+// EventAddr converts the dz-expression carried by an event into a concrete
+// destination address (the prefix bits with a zero-padded suffix).
+func EventAddr(e dz.Expr) (netip.Addr, error) {
+	p, err := FromExpr(e)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	return p.Addr(), nil
+}
+
+// ToExpr recovers the dz-expression from a multicast prefix produced by
+// FromExpr.
+func ToExpr(p netip.Prefix) (dz.Expr, error) {
+	if !p.Addr().Is6() {
+		return "", fmt.Errorf("ipmc: prefix %v is not IPv6", p)
+	}
+	if p.Bits() < basePrefixLen {
+		return "", fmt.Errorf("ipmc: prefix length %d shorter than the ff0e base", p.Bits())
+	}
+	b := p.Addr().As16()
+	if b[0] != 0xff || b[1] != 0x0e {
+		return "", fmt.Errorf("ipmc: address %v is outside ff0e::/16", p.Addr())
+	}
+	n := p.Bits() - basePrefixLen
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		bit := basePrefixLen + i
+		if b[bit/8]&(1<<uint(7-bit%8)) != 0 {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return dz.Expr(buf), nil
+}
+
+// ExprFromAddr extracts the first length dz bits from an event address.
+func ExprFromAddr(addr netip.Addr, length int) (dz.Expr, error) {
+	if !addr.Is6() {
+		return "", fmt.Errorf("ipmc: address %v is not IPv6", addr)
+	}
+	if length < 0 || length > MaxDzLen {
+		return "", fmt.Errorf("ipmc: dz length %d out of range [0,%d]", length, MaxDzLen)
+	}
+	b := addr.As16()
+	if b[0] != 0xff || b[1] != 0x0e {
+		return "", fmt.Errorf("ipmc: address %v is outside ff0e::/16", addr)
+	}
+	buf := make([]byte, length)
+	for i := 0; i < length; i++ {
+		bit := basePrefixLen + i
+		if b[bit/8]&(1<<uint(7-bit%8)) != 0 {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return dz.Expr(buf), nil
+}
+
+// Matches reports whether an event destination address matches the flow
+// prefix of a (covering) dz-expression — the TCAM operation.
+func Matches(flowPrefix netip.Prefix, eventAddr netip.Addr) bool {
+	return flowPrefix.Contains(eventAddr)
+}
+
+// IsSignal reports whether the address is the reserved controller signal
+// address IP_vir.
+func IsSignal(addr netip.Addr) bool { return addr == SignalAddr }

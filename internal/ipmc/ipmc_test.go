@@ -1,0 +1,206 @@
+package ipmc
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"pleroma/internal/dz"
+)
+
+// TestPaperExamples checks the exact address embeddings given in
+// Section 3.3.2 of the paper.
+func TestPaperExamples(t *testing.T) {
+	tests := []struct {
+		expr dz.Expr
+		want string
+	}{
+		{"101101", "ff0e:b400::/22"},
+		{"101", "ff0e:a000::/19"},
+		{"100", "ff0e:8000::/19"}, // Figure 3: 100* ⇒ ff0e:8000::/19
+		{"1", "ff0e:8000::/17"},   // Figure 3: destIP = ff0e:8000::/17
+		{dz.Whole, "ff0e::/16"},
+	}
+	for _, tt := range tests {
+		got, err := FromExpr(tt.expr)
+		if err != nil {
+			t.Fatalf("FromExpr(%q): %v", tt.expr, err)
+		}
+		if got.String() != tt.want {
+			t.Errorf("FromExpr(%q)=%v, want %v", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestPaperMatchExample(t *testing.T) {
+	// "an event dz = 101101 can be matched against a flow with dz = 101":
+	// ff0e:a000::/19 ≥ ff0e:b400::/22.
+	flow, err := FromExpr("101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := EventAddr("101101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Matches(flow, ev) {
+		t.Error("flow 101 must match event 101101")
+	}
+	other, err := EventAddr("100101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Matches(flow, other) {
+		t.Error("flow 101 must not match event 100101")
+	}
+}
+
+func TestFromExprValidation(t *testing.T) {
+	if _, err := FromExpr("10x"); err == nil {
+		t.Error("invalid expr must fail")
+	}
+	long := make([]byte, MaxDzLen+1)
+	for i := range long {
+		long[i] = '0'
+	}
+	if _, err := FromExpr(dz.Expr(long)); err == nil {
+		t.Error("over-long expr must fail")
+	}
+	max := make([]byte, MaxDzLen)
+	for i := range max {
+		max[i] = '1'
+	}
+	if _, err := FromExpr(dz.Expr(max)); err != nil {
+		t.Errorf("max-length expr must succeed: %v", err)
+	}
+}
+
+func TestToExprErrors(t *testing.T) {
+	if _, err := ToExpr(netip.MustParsePrefix("10.0.0.0/8")); err == nil {
+		t.Error("IPv4 must fail")
+	}
+	if _, err := ToExpr(netip.MustParsePrefix("ff0e::/8")); err == nil {
+		t.Error("short prefix must fail")
+	}
+	if _, err := ToExpr(netip.MustParsePrefix("fe80::/64")); err == nil {
+		t.Error("non-ff0e must fail")
+	}
+}
+
+func TestExprFromAddr(t *testing.T) {
+	addr, err := EventAddr("10110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExprFromAddr(addr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "101" {
+		t.Errorf("ExprFromAddr=%q, want 101", got)
+	}
+	if _, err := ExprFromAddr(netip.MustParseAddr("1.2.3.4"), 3); err == nil {
+		t.Error("IPv4 must fail")
+	}
+	if _, err := ExprFromAddr(addr, -1); err == nil {
+		t.Error("negative length must fail")
+	}
+	if _, err := ExprFromAddr(netip.MustParseAddr("fe80::1"), 3); err == nil {
+		t.Error("non-ff0e must fail")
+	}
+}
+
+func TestSignalAddr(t *testing.T) {
+	if !IsSignal(SignalAddr) {
+		t.Error("SignalAddr must be a signal")
+	}
+	ev, _ := EventAddr("0")
+	if IsSignal(ev) {
+		t.Error("event addr must not be a signal")
+	}
+}
+
+func randomExpr(r *rand.Rand, maxLen int) dz.Expr {
+	n := r.Intn(maxLen + 1)
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte('0' + r.Intn(2))
+	}
+	return dz.Expr(buf)
+}
+
+// TestPropertyRoundTrip: ToExpr(FromExpr(e)) == e for all valid e.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, MaxDzLen)
+		p, err := FromExpr(e)
+		if err != nil {
+			return false
+		}
+		back, err := ToExpr(p)
+		if err != nil {
+			return false
+		}
+		return back == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCoverEquivalence: dz covering ⟺ prefix containment of the
+// embedded addresses, provided the event expression is at least as long as
+// the flow expression (PLEROMA's invariant: events carry maximum-length dz,
+// flows are truncated). This is the core claim that makes TCAM filtering
+// equivalent to content filtering.
+func TestPropertyCoverEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomExpr(r, 24)
+		// The event dz must be at least as long as the flow dz; bias half
+		// the cases towards true coverage so both outcomes are exercised.
+		var b dz.Expr
+		if r.Intn(2) == 0 {
+			b = a + randomExpr(r, 10)
+		} else {
+			b = randomExpr(r, 34)
+			for b.Len() < a.Len() {
+				b = b.Child(byte(r.Intn(2)))
+			}
+		}
+		pa, err := FromExpr(a)
+		if err != nil {
+			return false
+		}
+		addrB, err := EventAddr(b)
+		if err != nil {
+			return false
+		}
+		// A flow for subspace a matches an event with dz b iff a covers b.
+		return Matches(pa, addrB) == a.Covers(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFromExpr(b *testing.B) {
+	e := dz.Expr("101101001110101010110010")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromExpr(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatches(b *testing.B) {
+	p, _ := FromExpr("10110100111")
+	a, _ := EventAddr("101101001110101010110010")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Matches(p, a)
+	}
+}

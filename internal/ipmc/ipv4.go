@@ -1,0 +1,103 @@
+package ipmc
+
+import (
+	"fmt"
+	"net/netip"
+
+	"pleroma/internal/dz"
+)
+
+// The paper notes that dz-expressions can be embedded in the IPv4 or the
+// IPv6 multicast range. The IPv4 variant reserves the administratively
+// scoped block 239.0.0.0/8 and places the dz bits directly after the
+// 8-bit prefix, leaving at most 24 bits per expression — a much tighter
+// L_dz budget than IPv6, which is why the evaluation (and this library's
+// defaults) use IPv6.
+
+// MaxDzLen4 is the number of dz bits available after the 239/8 prefix.
+const MaxDzLen4 = 24
+
+// base4PrefixLen is the length of the reserved IPv4 multicast prefix.
+const base4PrefixLen = 8
+
+// base4 is the first octet of the reserved block (239.0.0.0/8).
+const base4 = 0xef
+
+// FromExpr4 converts a dz-expression into its IPv4 multicast CIDR prefix.
+func FromExpr4(e dz.Expr) (netip.Prefix, error) {
+	if err := e.Validate(); err != nil {
+		return netip.Prefix{}, err
+	}
+	if e.Len() > MaxDzLen4 {
+		return netip.Prefix{}, fmt.Errorf("ipmc: dz length %d exceeds %d bits (IPv4)", e.Len(), MaxDzLen4)
+	}
+	var b [4]byte
+	b[0] = base4
+	for i := 0; i < e.Len(); i++ {
+		if e[i] == '1' {
+			bit := base4PrefixLen + i
+			b[bit/8] |= 1 << uint(7-bit%8)
+		}
+	}
+	return netip.PrefixFrom(netip.AddrFrom4(b), base4PrefixLen+e.Len()), nil
+}
+
+// EventAddr4 converts the dz-expression carried by an event into a
+// concrete IPv4 destination address.
+func EventAddr4(e dz.Expr) (netip.Addr, error) {
+	p, err := FromExpr4(e)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	return p.Addr(), nil
+}
+
+// ToExpr4 recovers the dz-expression from a prefix produced by FromExpr4.
+func ToExpr4(p netip.Prefix) (dz.Expr, error) {
+	if !p.Addr().Is4() {
+		return "", fmt.Errorf("ipmc: prefix %v is not IPv4", p)
+	}
+	if p.Bits() < base4PrefixLen {
+		return "", fmt.Errorf("ipmc: prefix length %d shorter than the 239/8 base", p.Bits())
+	}
+	b := p.Addr().As4()
+	if b[0] != base4 {
+		return "", fmt.Errorf("ipmc: address %v is outside 239.0.0.0/8", p.Addr())
+	}
+	n := p.Bits() - base4PrefixLen
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		bit := base4PrefixLen + i
+		if b[bit/8]&(1<<uint(7-bit%8)) != 0 {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return dz.Expr(buf), nil
+}
+
+// ExprFromAddr4 extracts the first length dz bits from an IPv4 event
+// address.
+func ExprFromAddr4(addr netip.Addr, length int) (dz.Expr, error) {
+	if !addr.Is4() {
+		return "", fmt.Errorf("ipmc: address %v is not IPv4", addr)
+	}
+	if length < 0 || length > MaxDzLen4 {
+		return "", fmt.Errorf("ipmc: dz length %d out of range [0,%d] (IPv4)", length, MaxDzLen4)
+	}
+	b := addr.As4()
+	if b[0] != base4 {
+		return "", fmt.Errorf("ipmc: address %v is outside 239.0.0.0/8", addr)
+	}
+	buf := make([]byte, length)
+	for i := 0; i < length; i++ {
+		bit := base4PrefixLen + i
+		if b[bit/8]&(1<<uint(7-bit%8)) != 0 {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return dz.Expr(buf), nil
+}

@@ -1,0 +1,132 @@
+package ipmc
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"pleroma/internal/dz"
+)
+
+func TestFromExpr4Basics(t *testing.T) {
+	tests := []struct {
+		expr dz.Expr
+		want string
+	}{
+		{dz.Whole, "239.0.0.0/8"},
+		{"1", "239.128.0.0/9"},
+		{"101", "239.160.0.0/11"},
+		{"101101", "239.180.0.0/14"},
+	}
+	for _, tt := range tests {
+		got, err := FromExpr4(tt.expr)
+		if err != nil {
+			t.Fatalf("FromExpr4(%q): %v", tt.expr, err)
+		}
+		if got.String() != tt.want {
+			t.Errorf("FromExpr4(%q)=%v, want %v", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestFromExpr4Validation(t *testing.T) {
+	if _, err := FromExpr4("1x"); err == nil {
+		t.Error("invalid expr must fail")
+	}
+	long := make([]byte, MaxDzLen4+1)
+	for i := range long {
+		long[i] = '1'
+	}
+	if _, err := FromExpr4(dz.Expr(long)); err == nil {
+		t.Error("over-long expr must fail")
+	}
+	if _, err := FromExpr4(dz.Expr(long[:MaxDzLen4])); err != nil {
+		t.Errorf("max-length expr must work: %v", err)
+	}
+}
+
+func TestToExpr4Errors(t *testing.T) {
+	if _, err := ToExpr4(netip.MustParsePrefix("ff0e::/16")); err == nil {
+		t.Error("IPv6 must fail")
+	}
+	if _, err := ToExpr4(netip.MustParsePrefix("239.0.0.0/4")); err == nil {
+		t.Error("short prefix must fail")
+	}
+	if _, err := ToExpr4(netip.MustParsePrefix("10.0.0.0/16")); err == nil {
+		t.Error("non-239 must fail")
+	}
+}
+
+func TestExprFromAddr4(t *testing.T) {
+	addr, err := EventAddr4("10110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExprFromAddr4(addr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "101" {
+		t.Errorf("ExprFromAddr4=%q", got)
+	}
+	if _, err := ExprFromAddr4(netip.MustParseAddr("ff0e::1"), 3); err == nil {
+		t.Error("IPv6 must fail")
+	}
+	if _, err := ExprFromAddr4(addr, -1); err == nil {
+		t.Error("negative length must fail")
+	}
+	if _, err := ExprFromAddr4(netip.MustParseAddr("10.1.2.3"), 3); err == nil {
+		t.Error("non-239 must fail")
+	}
+}
+
+// TestPropertyRoundTrip4 mirrors the IPv6 round-trip property.
+func TestPropertyRoundTrip4(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, MaxDzLen4)
+		p, err := FromExpr4(e)
+		if err != nil {
+			return false
+		}
+		back, err := ToExpr4(p)
+		if err != nil {
+			return false
+		}
+		return back == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCoverEquivalence4: dz covering ⟺ IPv4 prefix containment,
+// under the events-carry-longer-dz invariant.
+func TestPropertyCoverEquivalence4(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomExpr(r, 16)
+		var b dz.Expr
+		if r.Intn(2) == 0 {
+			b = a + randomExpr(r, 8)
+		} else {
+			b = randomExpr(r, MaxDzLen4)
+			for b.Len() < a.Len() {
+				b = b.Child(byte(r.Intn(2)))
+			}
+		}
+		pa, err := FromExpr4(a)
+		if err != nil {
+			return false
+		}
+		addrB, err := EventAddr4(b)
+		if err != nil {
+			return false
+		}
+		return pa.Contains(addrB) == a.Covers(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLatencyEmpty(t *testing.T) {
+	var l Latency
+	if l.Count() != 0 || l.Mean() != 0 || l.Min() != 0 || l.Max() != 0 ||
+		l.Percentile(0.5) != 0 || l.StdDev() != 0 {
+		t.Error("empty collector must return zeros")
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	var l Latency
+	for _, d := range []time.Duration{30, 10, 20, 40, 50} {
+		l.Add(d * time.Millisecond)
+	}
+	if l.Count() != 5 {
+		t.Errorf("Count=%d", l.Count())
+	}
+	if l.Mean() != 30*time.Millisecond {
+		t.Errorf("Mean=%v", l.Mean())
+	}
+	if l.Min() != 10*time.Millisecond || l.Max() != 50*time.Millisecond {
+		t.Errorf("Min/Max=%v/%v", l.Min(), l.Max())
+	}
+	if got := l.Percentile(0.5); got != 30*time.Millisecond {
+		t.Errorf("P50=%v", got)
+	}
+	if got := l.Percentile(1.0); got != 50*time.Millisecond {
+		t.Errorf("P100=%v", got)
+	}
+	if got := l.Percentile(-1); got != 10*time.Millisecond {
+		t.Errorf("P<0=%v", got)
+	}
+	if got := l.Percentile(2); got != 50*time.Millisecond {
+		t.Errorf("P>1=%v", got)
+	}
+	if l.StdDev() <= 0 {
+		t.Error("StdDev must be positive")
+	}
+	// Adding after sorting keeps stats correct.
+	l.Add(time.Millisecond)
+	if l.Min() != time.Millisecond {
+		t.Errorf("Min after re-add=%v", l.Min())
+	}
+}
+
+func TestFalsePositives(t *testing.T) {
+	var f FalsePositives
+	if f.Rate() != 0 {
+		t.Error("empty rate must be 0")
+	}
+	f.Record(true)
+	f.Record(true)
+	f.Record(true)
+	f.Record(false)
+	if f.TruePositives() != 3 || f.FalsePositiveCount() != 1 || f.Total() != 4 {
+		t.Errorf("counts wrong: %+v", f)
+	}
+	if got := f.Rate(); got != 25 {
+		t.Errorf("Rate=%v, want 25", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:   "Fig X",
+		Columns: []string{"n", "delay"},
+	}
+	tab.AddRow(10, 5*time.Millisecond)
+	tab.AddRow("many", 1.5)
+	out := tab.String()
+	if !strings.Contains(out, "## Fig X") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "delay") || !strings.Contains(out, "5ms") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "1.500") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("lines=%d:\n%s", len(lines), out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := NewHistogram(); err == nil {
+		t.Error("no bounds must fail")
+	}
+	if _, err := NewHistogram(2*time.Millisecond, time.Millisecond); err == nil {
+		t.Error("non-ascending bounds must fail")
+	}
+	h, err := NewHistogram(time.Millisecond, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(500 * time.Microsecond) // bucket 0
+	h.Add(5 * time.Millisecond)   // bucket 1
+	h.Add(5 * time.Millisecond)   // bucket 1
+	h.Add(time.Second)            // overflow
+	if h.Total() != 4 {
+		t.Errorf("Total=%d", h.Total())
+	}
+	bk := h.Buckets()
+	if bk[0].Count != 1 || bk[1].Count != 2 || bk[2].Count != 1 {
+		t.Errorf("buckets=%+v", bk)
+	}
+	out := h.String()
+	if !strings.Contains(out, "+inf") || !strings.Contains(out, "#") {
+		t.Errorf("String()=%q", out)
+	}
+}

@@ -1,0 +1,71 @@
+package netem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"pleroma/internal/openflow"
+	"pleroma/internal/topo"
+)
+
+// HostAddr derives the unicast address of a host node (fd00::<id+1>); the
+// controller uses it for the terminal set-destination rewrite.
+func HostAddr(h topo.NodeID) netip.Addr {
+	var b [16]byte
+	b[0] = 0xfd
+	binary.BigEndian.PutUint64(b[8:], uint64(h)+1)
+	return netip.AddrFrom16(b)
+}
+
+// AddFlow installs a flow on a switch (FlowProgrammer surface). It fails
+// with openflow.ErrTableFull when the switch's TCAM budget is exhausted.
+func (dp *DataPlane) AddFlow(sw topo.NodeID, f openflow.Flow) (openflow.FlowID, error) {
+	t, err := dp.Table(sw)
+	if err != nil {
+		return 0, err
+	}
+	return t.TryAdd(f)
+}
+
+// DeleteFlow removes a flow from a switch.
+func (dp *DataPlane) DeleteFlow(sw topo.NodeID, id openflow.FlowID) error {
+	t, err := dp.Table(sw)
+	if err != nil {
+		return err
+	}
+	if !t.Delete(id) {
+		return fmt.Errorf("netem: switch %d has no flow %d", sw, id)
+	}
+	return nil
+}
+
+// ModifyFlow updates priority and actions of an installed flow.
+func (dp *DataPlane) ModifyFlow(sw topo.NodeID, id openflow.FlowID, priority int, actions []openflow.Action) error {
+	t, err := dp.Table(sw)
+	if err != nil {
+		return err
+	}
+	if !t.Modify(id, priority, actions) {
+		return fmt.Errorf("netem: switch %d has no flow %d", sw, id)
+	}
+	return nil
+}
+
+// Flows lists the flows installed on a switch.
+func (dp *DataPlane) Flows(sw topo.NodeID) ([]openflow.Flow, error) {
+	t, err := dp.Table(sw)
+	if err != nil {
+		return nil, err
+	}
+	return t.Flows(), nil
+}
+
+// FlowModCount sums FlowMod operations over all switches.
+func (dp *DataPlane) FlowModCount() uint64 {
+	var total uint64
+	for _, t := range dp.tables {
+		total += t.Stats().Total()
+	}
+	return total
+}

@@ -1,0 +1,509 @@
+// Package netem emulates the data plane of an SDN network on top of the
+// deterministic simulation engine: packets traverse links with propagation
+// and serialization delay, switches match them against OpenFlow tables with
+// a constant TCAM lookup cost, and end hosts ingest events at a bounded
+// processing rate (the bottleneck observed in the paper's throughput
+// experiment, Section 6.3).
+//
+// It substitutes for the paper's Open vSwitch testbed and Mininet: the
+// observables of the evaluation — end-to-end delay, throughput saturation,
+// link load — are functions of exactly the quantities modelled here.
+package netem
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/ipmc"
+	"pleroma/internal/openflow"
+	"pleroma/internal/sim"
+	"pleroma/internal/space"
+	"pleroma/internal/topo"
+)
+
+// Packet is an event datagram travelling through the data plane.
+type Packet struct {
+	// Dst is the destination address: a dz-embedded multicast address for
+	// events, a host address after terminal rewrite, or IP_vir for
+	// control signalling.
+	Dst netip.Addr
+	// Expr is the dz-expression carried by the event (convenience copy of
+	// the bits embedded in Dst when the packet was published).
+	Expr dz.Expr
+	// Event is the content payload, used by receivers for false-positive
+	// accounting.
+	Event space.Event
+	// Publisher is the originating host.
+	Publisher topo.NodeID
+	// Seq numbers packets per publisher.
+	Seq uint64
+	// SizeBytes is the wire size (the paper uses up to 64-byte UDP
+	// packets).
+	SizeBytes int
+	// SentAt is the simulated publish instant.
+	SentAt time.Duration
+	// HopLimit guards against forwarding loops.
+	HopLimit int
+	// Control carries controller-originated payloads (e.g. LLDP discovery
+	// probes) opaque to the data plane.
+	Control any
+	// Path records the switches traversed when path recording is enabled.
+	Path []topo.NodeID
+}
+
+// DefaultPacketSize is the event packet size used in the paper (≤64 bytes).
+const DefaultPacketSize = 64
+
+// DefaultHopLimit bounds the number of switch hops of a packet.
+const DefaultHopLimit = 64
+
+// SwitchConfig models the forwarding cost of a switch.
+type SwitchConfig struct {
+	// LookupDelay is the per-packet match cost. TCAM lookups are constant
+	// time regardless of table occupancy — the property Figure 7(a)
+	// demonstrates.
+	LookupDelay time.Duration
+	// PerFlowPenalty adds table-size-dependent cost per 1000 installed
+	// flows, emulating a software switch with linear search. Zero for
+	// hardware/TCAM behaviour.
+	PerFlowPenalty time.Duration
+}
+
+// DefaultSwitchConfig models an Open vSwitch style fast path.
+var DefaultSwitchConfig = SwitchConfig{LookupDelay: 10 * time.Microsecond}
+
+// HostConfig models the event-processing capability of an end host.
+type HostConfig struct {
+	// CapacityPerSec is the sustained event ingestion rate; zero means
+	// unlimited. The paper measures ~70–80k events/s on its end hosts and
+	// ~170k on faster machines.
+	CapacityPerSec int
+	// MaxQueue is the ingress backlog (packets) before drops; zero uses
+	// DefaultMaxQueue.
+	MaxQueue int
+}
+
+// DefaultMaxQueue is the default host ingress queue depth.
+const DefaultMaxQueue = 512
+
+// Delivery reports one packet handed to application code on a host.
+type Delivery struct {
+	Host   topo.NodeID
+	Packet Packet
+	// At is the simulated delivery completion time.
+	At time.Duration
+}
+
+// DeliverFunc consumes deliveries on a host.
+type DeliverFunc func(Delivery)
+
+// PuntFunc consumes packets addressed to IP_vir (control signalling) or
+// packets without a matching flow; inPort is the switch ingress port.
+type PuntFunc func(sw topo.NodeID, inPort openflow.PortID, pkt Packet)
+
+// SwitchStats counts per-switch data-plane activity.
+type SwitchStats struct {
+	Forwarded   uint64
+	TableMisses uint64
+	HopExceeded uint64
+	Punted      uint64
+}
+
+// LinkStats counts packets and bytes per link direction (indexed by the
+// transmitting node).
+type LinkStats struct {
+	Packets map[topo.NodeID]uint64
+	Bytes   map[topo.NodeID]uint64
+	// Dropped counts tail-drops at a bounded transmit queue.
+	Dropped map[topo.NodeID]uint64
+}
+
+type hostState struct {
+	cfg       HostConfig
+	busyUntil time.Duration
+	queued    int
+	received  uint64
+	dropped   uint64
+	deliver   DeliverFunc
+}
+
+// DataPlane wires a topology, per-switch flow tables, and host models onto
+// a simulation engine.
+type DataPlane struct {
+	g      *topo.Graph
+	eng    *sim.Engine
+	tables map[topo.NodeID]*openflow.Table
+	swCfg  map[topo.NodeID]SwitchConfig
+	hosts  map[topo.NodeID]*hostState
+	// busyUntil tracks per-direction link availability for serialization;
+	// queued tracks the per-direction transmit backlog for tail-drops.
+	busyUntil map[linkDir]time.Duration
+	queued    map[linkDir]int
+	swStats   map[topo.NodeID]*SwitchStats
+	linkStats map[*topo.Link]*LinkStats
+	punt      PuntFunc
+	seq       map[topo.NodeID]uint64
+	// recordPaths makes every packet accumulate the switches it visits.
+	recordPaths bool
+}
+
+type linkDir struct {
+	link *topo.Link
+	from topo.NodeID
+}
+
+// New creates a data plane for the topology on the given engine. Every
+// switch gets an empty flow table and DefaultSwitchConfig; every host gets
+// an unlimited-capacity model until configured.
+func New(g *topo.Graph, eng *sim.Engine) *DataPlane {
+	dp := &DataPlane{
+		g:         g,
+		eng:       eng,
+		tables:    make(map[topo.NodeID]*openflow.Table),
+		swCfg:     make(map[topo.NodeID]SwitchConfig),
+		hosts:     make(map[topo.NodeID]*hostState),
+		busyUntil: make(map[linkDir]time.Duration),
+		queued:    make(map[linkDir]int),
+		swStats:   make(map[topo.NodeID]*SwitchStats),
+		linkStats: make(map[*topo.Link]*LinkStats),
+		seq:       make(map[topo.NodeID]uint64),
+	}
+	for _, sw := range g.Switches() {
+		dp.tables[sw] = openflow.NewTable()
+		dp.swCfg[sw] = DefaultSwitchConfig
+		dp.swStats[sw] = &SwitchStats{}
+	}
+	for _, h := range g.Hosts() {
+		dp.hosts[h] = &hostState{}
+	}
+	return dp
+}
+
+// Graph returns the underlying topology.
+func (dp *DataPlane) Graph() *topo.Graph { return dp.g }
+
+// Engine returns the simulation engine.
+func (dp *DataPlane) Engine() *sim.Engine { return dp.eng }
+
+// Table returns the flow table of a switch.
+func (dp *DataPlane) Table(sw topo.NodeID) (*openflow.Table, error) {
+	t, ok := dp.tables[sw]
+	if !ok {
+		return nil, fmt.Errorf("netem: node %d is not a switch", sw)
+	}
+	return t, nil
+}
+
+// SetSwitchConfig overrides the forwarding model of one switch.
+func (dp *DataPlane) SetSwitchConfig(sw topo.NodeID, cfg SwitchConfig) error {
+	if _, ok := dp.tables[sw]; !ok {
+		return fmt.Errorf("netem: node %d is not a switch", sw)
+	}
+	dp.swCfg[sw] = cfg
+	return nil
+}
+
+// SetAllSwitchConfigs overrides the forwarding model of every switch.
+func (dp *DataPlane) SetAllSwitchConfigs(cfg SwitchConfig) {
+	for sw := range dp.swCfg {
+		dp.swCfg[sw] = cfg
+	}
+}
+
+// ConfigureHost sets the processing model and delivery callback of a host.
+func (dp *DataPlane) ConfigureHost(h topo.NodeID, cfg HostConfig, deliver DeliverFunc) error {
+	hs, ok := dp.hosts[h]
+	if !ok {
+		return fmt.Errorf("netem: node %d is not a host", h)
+	}
+	hs.cfg = cfg
+	hs.deliver = deliver
+	return nil
+}
+
+// SetPuntHandler registers the controller-bound punt path.
+func (dp *DataPlane) SetPuntHandler(f PuntFunc) { dp.punt = f }
+
+// RecordPaths toggles per-packet path recording (each visited switch is
+// appended to Packet.Path) — a debugging aid and the hook the forwarding
+// invariants are tested against.
+func (dp *DataPlane) RecordPaths(on bool) { dp.recordPaths = on }
+
+// SwitchStatsFor returns a copy of the counters of one switch.
+func (dp *DataPlane) SwitchStatsFor(sw topo.NodeID) SwitchStats {
+	if s, ok := dp.swStats[sw]; ok {
+		return *s
+	}
+	return SwitchStats{}
+}
+
+// HostReceived returns the number of packets delivered to the host
+// application.
+func (dp *DataPlane) HostReceived(h topo.NodeID) uint64 {
+	if hs, ok := dp.hosts[h]; ok {
+		return hs.received
+	}
+	return 0
+}
+
+// HostDropped returns the number of packets dropped at host ingress.
+func (dp *DataPlane) HostDropped(h topo.NodeID) uint64 {
+	if hs, ok := dp.hosts[h]; ok {
+		return hs.dropped
+	}
+	return 0
+}
+
+// LinkStatsFor returns the counters of one link (may be nil if unused).
+func (dp *DataPlane) LinkStatsFor(l *topo.Link) *LinkStats {
+	return dp.linkStats[l]
+}
+
+// TotalLinkPackets sums packet transmissions over all links — the
+// bandwidth-usage measure used by the tree-strategy ablation.
+func (dp *DataPlane) TotalLinkPackets() uint64 {
+	var total uint64
+	for _, ls := range dp.linkStats {
+		for _, c := range ls.Packets {
+			total += c
+		}
+	}
+	return total
+}
+
+// Publish injects an event packet from a host. The destination address is
+// derived from the expression; the sequence number is assigned per
+// publisher.
+func (dp *DataPlane) Publish(host topo.NodeID, expr dz.Expr, ev space.Event, size int) error {
+	addr, err := ipmc.EventAddr(expr)
+	if err != nil {
+		return fmt.Errorf("netem: publish: %w", err)
+	}
+	if size <= 0 {
+		size = DefaultPacketSize
+	}
+	dp.seq[host]++
+	pkt := Packet{
+		Dst:       addr,
+		Expr:      expr,
+		Event:     ev,
+		Publisher: host,
+		Seq:       dp.seq[host],
+		SizeBytes: size,
+		SentAt:    dp.eng.Now(),
+		HopLimit:  DefaultHopLimit,
+	}
+	return dp.SendFromHost(host, pkt)
+}
+
+// SendFromHost transmits an arbitrary packet from a host onto its access
+// link (also used for IP_vir control signalling).
+func (dp *DataPlane) SendFromHost(host topo.NodeID, pkt Packet) error {
+	sw, err := dp.g.AttachedSwitch(host)
+	if err != nil {
+		return fmt.Errorf("netem: send from host: %w", err)
+	}
+	link, ok := dp.g.LinkBetween(host, sw)
+	if !ok {
+		return fmt.Errorf("netem: host %d has no link to switch %d", host, sw)
+	}
+	inPort, _ := link.PortAt(sw)
+	dp.transmit(link, host, pkt, func(p Packet) {
+		dp.arriveAtSwitch(sw, inPort, p)
+	})
+	return nil
+}
+
+// SendFromSwitchPort transmits a packet out of a specific switch port — the
+// OpenFlow packet-out primitive controllers use for LLDP discovery probes
+// (Section 4.1 of the paper). The packet is not matched against the
+// sending switch's table; it arrives at the peer as regular traffic.
+func (dp *DataPlane) SendFromSwitchPort(sw topo.NodeID, port openflow.PortID, pkt Packet) error {
+	if _, ok := dp.tables[sw]; !ok {
+		return fmt.Errorf("netem: node %d is not a switch", sw)
+	}
+	peer, ok := dp.g.PortToPeer(sw, port)
+	if !ok {
+		return fmt.Errorf("netem: switch %d has no port %d", sw, port)
+	}
+	link, ok := dp.g.LinkBetween(sw, peer)
+	if !ok {
+		return fmt.Errorf("netem: switch %d: no link on port %d", sw, port)
+	}
+	if pkt.HopLimit <= 0 {
+		pkt.HopLimit = DefaultHopLimit
+	}
+	if pkt.SizeBytes <= 0 {
+		pkt.SizeBytes = DefaultPacketSize
+	}
+	peerNode, err := dp.g.Node(peer)
+	if err != nil {
+		return err
+	}
+	switch peerNode.Kind {
+	case topo.KindSwitch:
+		peerPort, _ := link.PortAt(peer)
+		dp.transmit(link, sw, pkt, func(p Packet) {
+			dp.arriveAtSwitch(peer, peerPort, p)
+		})
+	case topo.KindHost:
+		dp.transmit(link, sw, pkt, func(p Packet) {
+			dp.arriveAtHost(peer, p)
+		})
+	}
+	return nil
+}
+
+// transmit models serialization + propagation of a packet over one link
+// direction and schedules the arrival callback.
+func (dp *DataPlane) transmit(link *topo.Link, from topo.NodeID, pkt Packet, arrive func(Packet)) {
+	now := dp.eng.Now()
+	dir := linkDir{link: link, from: from}
+	ls := dp.linkStats[link]
+	if ls == nil {
+		ls = &LinkStats{
+			Packets: make(map[topo.NodeID]uint64),
+			Bytes:   make(map[topo.NodeID]uint64),
+			Dropped: make(map[topo.NodeID]uint64),
+		}
+		dp.linkStats[link] = ls
+	}
+	if link.Down {
+		ls.Dropped[from]++
+		return
+	}
+	if q := link.Params.QueuePackets; q > 0 && dp.queued[dir] >= q {
+		ls.Dropped[from]++
+		return
+	}
+	var ser time.Duration
+	if bw := link.Params.BandwidthBps; bw > 0 {
+		ser = time.Duration(int64(pkt.SizeBytes) * 8 * int64(time.Second) / bw)
+	}
+	depart := now
+	if b := dp.busyUntil[dir]; b > depart {
+		depart = b
+	}
+	depart += ser
+	dp.busyUntil[dir] = depart
+	arriveAt := depart + link.Params.Latency
+
+	dp.queued[dir]++
+	dp.eng.At(depart, func() { dp.queued[dir]-- })
+
+	ls.Packets[from]++
+	ls.Bytes[from] += uint64(pkt.SizeBytes)
+
+	dp.eng.At(arriveAt, func() { arrive(pkt) })
+}
+
+// arriveAtSwitch performs the table lookup and fans the packet out.
+func (dp *DataPlane) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, pkt Packet) {
+	stats := dp.swStats[sw]
+	if pkt.HopLimit <= 0 {
+		stats.HopExceeded++
+		return
+	}
+	pkt.HopLimit--
+	if dp.recordPaths {
+		pkt.Path = append(append([]topo.NodeID(nil), pkt.Path...), sw)
+	}
+
+	if ipmc.IsSignal(pkt.Dst) {
+		stats.Punted++
+		if dp.punt != nil {
+			dp.punt(sw, inPort, pkt)
+		}
+		return
+	}
+
+	cfg := dp.swCfg[sw]
+	table := dp.tables[sw]
+	delay := cfg.LookupDelay
+	if cfg.PerFlowPenalty > 0 {
+		delay += cfg.PerFlowPenalty * time.Duration(table.Len()) / 1000
+	}
+	dp.eng.Schedule(delay, func() {
+		flow, ok := table.Lookup(pkt.Dst)
+		if !ok {
+			stats.TableMisses++
+			if dp.punt != nil {
+				stats.Punted++
+				dp.punt(sw, inPort, pkt)
+			}
+			return
+		}
+		for _, action := range flow.Actions {
+			if action.OutPort == inPort {
+				continue // never forward out the ingress port
+			}
+			peer, ok := dp.g.PortToPeer(sw, action.OutPort)
+			if !ok {
+				continue
+			}
+			link, ok := dp.g.LinkBetween(sw, peer)
+			if !ok {
+				continue
+			}
+			out := pkt
+			if action.SetDest.IsValid() {
+				out.Dst = action.SetDest
+			}
+			stats.Forwarded++
+			peerNode, err := dp.g.Node(peer)
+			if err != nil {
+				continue
+			}
+			switch peerNode.Kind {
+			case topo.KindSwitch:
+				peerPort, _ := link.PortAt(peer)
+				dp.transmit(link, sw, out, func(p Packet) {
+					dp.arriveAtSwitch(peer, peerPort, p)
+				})
+			case topo.KindHost:
+				dp.transmit(link, sw, out, func(p Packet) {
+					dp.arriveAtHost(peer, p)
+				})
+			}
+		}
+	})
+}
+
+// arriveAtHost applies the host processing model and hands the packet to
+// the application.
+func (dp *DataPlane) arriveAtHost(h topo.NodeID, pkt Packet) {
+	hs := dp.hosts[h]
+	now := dp.eng.Now()
+	if hs.cfg.CapacityPerSec <= 0 {
+		hs.received++
+		if hs.deliver != nil {
+			hs.deliver(Delivery{Host: h, Packet: pkt, At: now})
+		}
+		return
+	}
+	maxQueue := hs.cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	if hs.queued >= maxQueue {
+		hs.dropped++
+		return
+	}
+	service := time.Duration(int64(time.Second) / int64(hs.cfg.CapacityPerSec))
+	start := now
+	if hs.busyUntil > start {
+		start = hs.busyUntil
+	}
+	done := start + service
+	hs.busyUntil = done
+	hs.queued++
+	dp.eng.At(done, func() {
+		hs.queued--
+		hs.received++
+		if hs.deliver != nil {
+			hs.deliver(Delivery{Host: h, Packet: pkt, At: dp.eng.Now()})
+		}
+	})
+}

@@ -1,0 +1,376 @@
+// Package openflow models the subset of the OpenFlow switch abstraction
+// that PLEROMA relies on (Section 3.3.2): flow entries with an IPv6
+// destination match field (a dz-expression embedded as a CIDR prefix), a
+// priority order, and an instruction set that outputs on a set of ports and
+// optionally rewrites the destination address on terminal switches.
+//
+// A Table emulates the TCAM: lookups return the single highest-priority
+// matching entry (ties broken by longer prefix, then installation order),
+// and FlowMod operations are counted so experiments can account for control
+// traffic and reconfiguration cost.
+package openflow
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/ipmc"
+)
+
+// PortID is a switch-local port number. Port numbering starts at 1 as in
+// OpenFlow; 0 is "no port".
+type PortID int
+
+// Action is one entry of a flow's instruction set: forward on a port,
+// optionally rewriting the destination IP first (used on terminal switches
+// to address the subscriber host directly, cf. Figure 3).
+type Action struct {
+	// OutPort is the port the packet is forwarded on.
+	OutPort PortID
+	// SetDest, when valid, replaces the packet's destination address
+	// before output.
+	SetDest netip.Addr
+}
+
+// FlowID identifies an installed flow within one table.
+type FlowID uint64
+
+// Flow is a single flow-table entry.
+type Flow struct {
+	// ID is assigned by the table on installation; zero for new flows.
+	ID FlowID
+	// Expr is the dz-expression of the match field.
+	Expr dz.Expr
+	// Match is the CIDR form of Expr (maintained by the table).
+	Match netip.Prefix
+	// Priority orders entries; higher wins. PLEROMA keeps priorities
+	// aligned with |Expr| so that longer (finer) subspaces match first.
+	Priority int
+	// Actions is the instruction set.
+	Actions []Action
+}
+
+// NewFlow builds a flow for the given subspace, priority, and actions.
+func NewFlow(expr dz.Expr, priority int, actions ...Action) (Flow, error) {
+	match, err := ipmc.FromExpr(expr)
+	if err != nil {
+		return Flow{}, fmt.Errorf("openflow: %w", err)
+	}
+	return Flow{
+		Expr:     expr,
+		Match:    match,
+		Priority: priority,
+		Actions:  append([]Action(nil), actions...),
+	}, nil
+}
+
+// OutPorts returns the sorted set of output ports of the flow.
+func (f Flow) OutPorts() []PortID {
+	ports := make([]PortID, 0, len(f.Actions))
+	seen := make(map[PortID]bool, len(f.Actions))
+	for _, a := range f.Actions {
+		if !seen[a.OutPort] {
+			seen[a.OutPort] = true
+			ports = append(ports, a.OutPort)
+		}
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	return ports
+}
+
+// HasPort reports whether the flow outputs on the given port.
+func (f Flow) HasPort(p PortID) bool {
+	for _, a := range f.Actions {
+		if a.OutPort == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Covers reports whether f covers o per Section 3.3.2: f's subspace covers
+// o's subspace AND o's out ports are a subset of f's.
+func (f Flow) Covers(o Flow) bool {
+	if !f.Expr.Covers(o.Expr) {
+		return false
+	}
+	for _, p := range o.OutPorts() {
+		if !f.HasPort(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// PartiallyCovers reports whether f partially covers o: f's subspace covers
+// o's subspace but not all of o's out ports are in f's instruction set.
+func (f Flow) PartiallyCovers(o Flow) bool {
+	if !f.Expr.Covers(o.Expr) {
+		return false
+	}
+	for _, p := range o.OutPorts() {
+		if !f.HasPort(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the flow like the paper's figures: "100* > 2,3 :PO=1".
+func (f Flow) String() string {
+	ports := f.OutPorts()
+	parts := make([]string, len(ports))
+	for i, p := range ports {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return fmt.Sprintf("%s* > %s :PO=%d", f.Expr, strings.Join(parts, ","), f.Priority)
+}
+
+// ModStats counts FlowMod operations applied to a table; the controller
+// experiments use these to quantify reconfiguration cost.
+type ModStats struct {
+	Adds    uint64
+	Deletes uint64
+	Mods    uint64
+}
+
+// Total returns the total number of FlowMod messages.
+func (s ModStats) Total() uint64 { return s.Adds + s.Deletes + s.Mods }
+
+// Table is one switch's flow table.
+//
+// Lookups emulate a TCAM: the highest-priority matching entry wins. When
+// every installed flow keeps the PLEROMA invariant priority == |dz| (the
+// controller always does), the table serves lookups from a prefix index in
+// O(distinct lengths) instead of scanning, mirroring the constant-time
+// behaviour of hardware TCAMs that Figure 7(a) demonstrates. Any flow
+// violating the invariant drops the table back to a full scan.
+type Table struct {
+	flows  map[FlowID]*Flow
+	nextID FlowID
+	stats  ModStats
+
+	// byExpr indexes flows by match expression for the fast path.
+	byExpr map[dz.Expr][]*Flow
+	// lenCount tracks how many flows exist per expression length.
+	lenCount map[int]int
+	// slowFlows counts flows with priority != |expr|; nonzero disables
+	// the fast path.
+	slowFlows int
+	// capacity bounds the number of installed flows (the TCAM budget of
+	// requirement 3 in the paper: vendors ship 40k–180k entries); zero
+	// means unbounded.
+	capacity int
+	// rejected counts adds refused because the table was full.
+	rejected uint64
+}
+
+// ErrTableFull is returned (wrapped) when an Add exceeds the configured
+// TCAM capacity.
+var ErrTableFull = errors.New("openflow: flow table full")
+
+// NewTable returns an empty flow table.
+func NewTable() *Table {
+	return &Table{
+		flows:    make(map[FlowID]*Flow),
+		byExpr:   make(map[dz.Expr][]*Flow),
+		lenCount: make(map[int]int),
+	}
+}
+
+// Len returns the number of installed flows.
+func (t *Table) Len() int { return len(t.flows) }
+
+// Stats returns the FlowMod counters.
+func (t *Table) Stats() ModStats { return t.stats }
+
+// ResetStats zeroes the FlowMod counters.
+func (t *Table) ResetStats() { t.stats = ModStats{} }
+
+// SetCapacity bounds the table to n entries (0 = unbounded). Existing
+// entries above the new capacity stay installed; only future Adds are
+// refused.
+func (t *Table) SetCapacity(n int) { t.capacity = n }
+
+// Capacity returns the configured TCAM budget (0 = unbounded).
+func (t *Table) Capacity() int { return t.capacity }
+
+// Rejected returns the number of Adds refused due to a full table.
+func (t *Table) Rejected() uint64 { return t.rejected }
+
+// Add installs a flow and returns its assigned ID.
+func (t *Table) Add(f Flow) FlowID {
+	id, _ := t.TryAdd(f)
+	return id
+}
+
+// TryAdd installs a flow, enforcing the TCAM capacity. On a full table it
+// returns ErrTableFull and installs nothing.
+func (t *Table) TryAdd(f Flow) (FlowID, error) {
+	if t.capacity > 0 && len(t.flows) >= t.capacity {
+		t.rejected++
+		return 0, fmt.Errorf("%w: %d entries installed", ErrTableFull, len(t.flows))
+	}
+	t.nextID++
+	f.ID = t.nextID
+	t.flows[f.ID] = &f
+	t.index(&f)
+	t.stats.Adds++
+	return f.ID, nil
+}
+
+// Delete removes the flow with the given ID. It reports whether a flow was
+// removed.
+func (t *Table) Delete(id FlowID) bool {
+	f, ok := t.flows[id]
+	if !ok {
+		return false
+	}
+	t.unindex(f)
+	delete(t.flows, id)
+	t.stats.Deletes++
+	return true
+}
+
+// Modify replaces the actions and priority of an installed flow.
+func (t *Table) Modify(id FlowID, priority int, actions []Action) bool {
+	f, ok := t.flows[id]
+	if !ok {
+		return false
+	}
+	t.unindex(f)
+	f.Priority = priority
+	f.Actions = append([]Action(nil), actions...)
+	t.index(f)
+	t.stats.Mods++
+	return true
+}
+
+func (t *Table) index(f *Flow) {
+	t.byExpr[f.Expr] = append(t.byExpr[f.Expr], f)
+	t.lenCount[f.Expr.Len()]++
+	if f.Priority != f.Expr.Len() {
+		t.slowFlows++
+	}
+}
+
+func (t *Table) unindex(f *Flow) {
+	bucket := t.byExpr[f.Expr]
+	for i, other := range bucket {
+		if other.ID == f.ID {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(t.byExpr, f.Expr)
+	} else {
+		t.byExpr[f.Expr] = bucket
+	}
+	if t.lenCount[f.Expr.Len()]--; t.lenCount[f.Expr.Len()] == 0 {
+		delete(t.lenCount, f.Expr.Len())
+	}
+	if f.Priority != f.Expr.Len() {
+		t.slowFlows--
+	}
+}
+
+// Get returns a copy of the flow with the given ID.
+func (t *Table) Get(id FlowID) (Flow, bool) {
+	f, ok := t.flows[id]
+	if !ok {
+		return Flow{}, false
+	}
+	return *f, true
+}
+
+// Flows returns copies of all installed flows, ordered by ID.
+func (t *Table) Flows() []Flow {
+	out := make([]Flow, 0, len(t.flows))
+	for _, f := range t.flows {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the flow the switch applies to a packet with the given
+// destination address: the highest-priority match, ties broken by longer
+// prefix and then earlier installation. ok is false if nothing matches
+// (the packet would be dropped or punted to the controller).
+func (t *Table) Lookup(dst netip.Addr) (Flow, bool) {
+	if t.slowFlows == 0 {
+		return t.fastLookup(dst)
+	}
+	var best *Flow
+	for _, f := range t.flows {
+		if !f.Match.Contains(dst) {
+			continue
+		}
+		if best == nil || flowLess(best, f) {
+			best = f
+		}
+	}
+	if best == nil {
+		return Flow{}, false
+	}
+	return *best, true
+}
+
+// fastLookup serves the PLEROMA invariant (priority == |dz|): the winning
+// entry is the longest installed prefix of the destination's dz bits.
+func (t *Table) fastLookup(dst netip.Addr) (Flow, bool) {
+	maxLen := -1
+	for l := range t.lenCount {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen < 0 {
+		return Flow{}, false
+	}
+	bits, err := ipmc.ExprFromAddr(dst, min(maxLen, ipmc.MaxDzLen))
+	if err != nil {
+		return Flow{}, false // non-dz destination: no dz flow matches
+	}
+	for l := bits.Len(); l >= 0; l-- {
+		if t.lenCount[l] == 0 {
+			continue
+		}
+		bucket := t.byExpr[bits[:l]]
+		if len(bucket) == 0 {
+			continue
+		}
+		best := bucket[0]
+		for _, f := range bucket[1:] {
+			if f.ID < best.ID {
+				best = f
+			}
+		}
+		return *best, true
+	}
+	return Flow{}, false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// flowLess reports whether candidate b should win over current best a.
+func flowLess(a, b *Flow) bool {
+	if a.Priority != b.Priority {
+		return b.Priority > a.Priority
+	}
+	if len(a.Expr) != len(b.Expr) {
+		return len(b.Expr) > len(a.Expr)
+	}
+	return b.ID < a.ID
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 30*time.Millisecond {
+		t.Errorf("end=%v, want 30ms", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order=%v", got)
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events must run FIFO, got %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []time.Duration
+	e.Schedule(time.Millisecond, func() {
+		trace = append(trace, e.Now())
+		e.Schedule(2*time.Millisecond, func() {
+			trace = append(trace, e.Now())
+		})
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != time.Millisecond || trace[1] != 3*time.Millisecond {
+		t.Errorf("trace=%v", trace)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {
+		e.Schedule(-time.Hour, func() {
+			if e.Now() != time.Second {
+				t.Errorf("clamped event ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestAtInPastClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {
+		e.At(0, func() {
+			if e.Now() != time.Second {
+				t.Errorf("past event ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(time.Millisecond, func() { ran++ })
+	e.Schedule(3*time.Millisecond, func() { ran++ })
+	e.Schedule(10*time.Millisecond, func() { ran++ })
+	now := e.RunUntil(5 * time.Millisecond)
+	if now != 5*time.Millisecond {
+		t.Errorf("now=%v", now)
+	}
+	if ran != 2 {
+		t.Errorf("ran=%d, want 2", ran)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending=%d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 3 {
+		t.Errorf("ran=%d, want 3", ran)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty queue must return false")
+	}
+	if e.Now() != 0 {
+		t.Error("clock must stay at zero")
+	}
+}
+
+// TestPropertyMonotoneClock: for any set of scheduled delays, events run in
+// nondecreasing time order and the final clock equals the max delay.
+func TestPropertyMonotoneClock(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		n := 1 + r.Intn(50)
+		delays := make([]time.Duration, n)
+		var times []time.Duration
+		for i := range delays {
+			delays[i] = time.Duration(r.Intn(1000)) * time.Microsecond
+			e.Schedule(delays[i], func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		if len(times) != n {
+			return false
+		}
+		if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+			return false
+		}
+		maxDelay := delays[0]
+		for _, d := range delays[1:] {
+			if d > maxDelay {
+				maxDelay = d
+			}
+		}
+		return e.Now() == maxDelay
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j%97)*time.Microsecond, func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,228 @@
+package topo
+
+import (
+	"fmt"
+)
+
+// TestbedFatTree builds the hierarchical fat-tree of the paper's SDN
+// testbed (Figure 6): 10 switches R1..R10 in three tiers (4 edge, 4
+// aggregation, 2 core) and 8 end hosts h1..h8, two per edge switch.
+func TestbedFatTree(params LinkParams) (*Graph, error) {
+	g := NewGraph()
+	edge := make([]NodeID, 4)
+	agg := make([]NodeID, 4)
+	core := make([]NodeID, 2)
+	for i := range edge {
+		edge[i] = g.AddSwitch(fmt.Sprintf("R%d", i+1))
+	}
+	for i := range agg {
+		agg[i] = g.AddSwitch(fmt.Sprintf("R%d", i+5))
+	}
+	for i := range core {
+		core[i] = g.AddSwitch(fmt.Sprintf("R%d", i+9))
+	}
+	// Two pods: pod 0 = edges R1,R2 + aggs R5,R6; pod 1 = edges R3,R4 +
+	// aggs R7,R8. Every edge connects to both aggs of its pod; every agg
+	// connects to both cores.
+	for pod := 0; pod < 2; pod++ {
+		for e := 0; e < 2; e++ {
+			for a := 0; a < 2; a++ {
+				if _, _, err := g.Connect(edge[pod*2+e], agg[pod*2+a], params); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for a := 0; a < 2; a++ {
+			for c := 0; c < 2; c++ {
+				if _, _, err := g.Connect(agg[pod*2+a], core[c], params); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Two hosts per edge switch: h1..h8.
+	h := 1
+	for _, e := range edge {
+		for j := 0; j < 2; j++ {
+			host := g.AddHost(fmt.Sprintf("h%d", h))
+			h++
+			if _, _, err := g.Connect(host, e, params); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// FatTree builds a generic pod-based fat-tree: pods pods of 2 aggregation
+// and 2 edge switches each, numCore core switches fully meshed with all
+// aggregation switches, and hostsPerEdge hosts per edge switch. With
+// pods=4, numCore=4 this is the paper's 20-switch Mininet fat-tree.
+func FatTree(pods, numCore, hostsPerEdge int, params LinkParams) (*Graph, error) {
+	if pods <= 0 || numCore <= 0 || hostsPerEdge < 0 {
+		return nil, fmt.Errorf("topo: invalid fat-tree shape pods=%d core=%d hosts=%d",
+			pods, numCore, hostsPerEdge)
+	}
+	g := NewGraph()
+	core := make([]NodeID, numCore)
+	for i := range core {
+		core[i] = g.AddSwitch(fmt.Sprintf("core%d", i))
+	}
+	hostNum := 1
+	for p := 0; p < pods; p++ {
+		aggs := []NodeID{
+			g.AddSwitch(fmt.Sprintf("agg%d-0", p)),
+			g.AddSwitch(fmt.Sprintf("agg%d-1", p)),
+		}
+		edges := []NodeID{
+			g.AddSwitch(fmt.Sprintf("edge%d-0", p)),
+			g.AddSwitch(fmt.Sprintf("edge%d-1", p)),
+		}
+		for _, e := range edges {
+			for _, a := range aggs {
+				if _, _, err := g.Connect(e, a, params); err != nil {
+					return nil, err
+				}
+			}
+			for j := 0; j < hostsPerEdge; j++ {
+				host := g.AddHost(fmt.Sprintf("h%d", hostNum))
+				hostNum++
+				if _, _, err := g.Connect(host, e, params); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Each aggregation switch connects to half the cores (classic
+		// fat-tree wiring); with 2 aggs per pod, agg i takes cores with
+		// index ≡ i mod 2 — and always at least one core.
+		for ai, a := range aggs {
+			connected := false
+			for c := ai; c < numCore; c += 2 {
+				if _, _, err := g.Connect(a, core[c], params); err != nil {
+					return nil, err
+				}
+				connected = true
+			}
+			if !connected {
+				if _, _, err := g.Connect(a, core[0], params); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Ring builds a ring of n switches, each with one attached host — the
+// paper's second Mininet topology (Section 6.1).
+func Ring(n int, params LinkParams) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topo: ring needs at least 3 switches, got %d", n)
+	}
+	g := NewGraph()
+	sw := make([]NodeID, n)
+	for i := range sw {
+		sw[i] = g.AddSwitch(fmt.Sprintf("R%d", i+1))
+	}
+	for i := range sw {
+		if _, _, err := g.Connect(sw[i], sw[(i+1)%n], params); err != nil {
+			return nil, err
+		}
+	}
+	for i, s := range sw {
+		host := g.AddHost(fmt.Sprintf("h%d", i+1))
+		if _, _, err := g.Connect(host, s, params); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Linear builds a chain of n switches with one host at each end — handy
+// for longest-path delay measurements.
+func Linear(n int, params LinkParams) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topo: linear needs at least 1 switch, got %d", n)
+	}
+	g := NewGraph()
+	sw := make([]NodeID, n)
+	for i := range sw {
+		sw[i] = g.AddSwitch(fmt.Sprintf("R%d", i+1))
+		if i > 0 {
+			if _, _, err := g.Connect(sw[i-1], sw[i], params); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, name := range []string{"h1", "h2"} {
+		host := g.AddHost(name)
+		attach := sw[0]
+		if name == "h2" {
+			attach = sw[n-1]
+		}
+		if _, _, err := g.Connect(host, attach, params); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// PartitionRing splits a ring topology (as built by Ring) into n contiguous
+// arcs, assigning partition IDs 0..n-1 to switches and propagating them to
+// hosts. Every arc is internally connected.
+func PartitionRing(g *Graph, n int) error {
+	sw := g.Switches()
+	if n <= 0 || n > len(sw) {
+		return fmt.Errorf("topo: cannot split %d switches into %d partitions", len(sw), n)
+	}
+	per := len(sw) / n
+	rem := len(sw) % n
+	idx := 0
+	for p := 0; p < n; p++ {
+		count := per
+		if p < rem {
+			count++
+		}
+		for i := 0; i < count; i++ {
+			if err := g.SetPartition(sw[idx], p); err != nil {
+				return err
+			}
+			idx++
+		}
+	}
+	return g.InheritHostPartitions()
+}
+
+// PartitionFatTree splits a FatTree-generated graph into n partitions:
+// pods 1..n-1 each become their own partition, while partition 0 keeps the
+// core switches and every remaining pod (cores keep partition 0 internally
+// connected; every other partition is a single, internally connected pod).
+// Pod-to-core links of the non-zero partitions become border links.
+func PartitionFatTree(g *Graph, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("topo: need at least one partition")
+	}
+	for _, node := range g.Nodes() {
+		if node.Kind != KindSwitch {
+			continue
+		}
+		p := 0
+		var pod int
+		switch {
+		case len(node.Name) > 3 && node.Name[:3] == "agg":
+			if _, err := fmt.Sscanf(node.Name, "agg%d-", &pod); err == nil && pod < n-1 {
+				p = pod + 1
+			}
+		case len(node.Name) > 4 && node.Name[:4] == "edge":
+			if _, err := fmt.Sscanf(node.Name, "edge%d-", &pod); err == nil && pod < n-1 {
+				p = pod + 1
+			}
+		default: // core switches stay in partition 0
+			p = 0
+		}
+		if err := g.SetPartition(node.ID, p); err != nil {
+			return err
+		}
+	}
+	return g.InheritHostPartitions()
+}

@@ -1,0 +1,232 @@
+// Package wire defines PLEROMA's on-the-wire encodings: the payload of
+// event datagrams (attribute values; the dz-expression itself travels in
+// the IPv6 destination address) and the control requests hosts send to
+// IP_vir (Section 2). The formats are versioned, length-prefixed, and
+// fully validated on decode — the codec a real deployment would put on
+// UDP sockets, used here by the in-band signalling path.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/space"
+)
+
+// Version is the current wire format version.
+const Version = 1
+
+// Limits guarding decoders against hostile input.
+const (
+	// MaxDims bounds the attribute count of an event payload.
+	MaxDims = 64
+	// MaxIDLen bounds client identifier length.
+	MaxIDLen = 255
+	// MaxSetMembers bounds the DZ set size of a control request.
+	MaxSetMembers = 4096
+	// MaxExprLen bounds a single dz-expression.
+	MaxExprLen = 112
+)
+
+// EncodeEvent renders an event payload:
+//
+//	[version u8][dims u8][value u32 big-endian]×dims
+func EncodeEvent(ev space.Event) ([]byte, error) {
+	if len(ev.Values) == 0 || len(ev.Values) > MaxDims {
+		return nil, fmt.Errorf("wire: event has %d values, want 1..%d", len(ev.Values), MaxDims)
+	}
+	buf := make([]byte, 2+4*len(ev.Values))
+	buf[0] = Version
+	buf[1] = byte(len(ev.Values))
+	for i, v := range ev.Values {
+		binary.BigEndian.PutUint32(buf[2+4*i:], v)
+	}
+	return buf, nil
+}
+
+// DecodeEvent parses an event payload.
+func DecodeEvent(b []byte) (space.Event, error) {
+	if len(b) < 2 {
+		return space.Event{}, fmt.Errorf("wire: event payload too short (%d bytes)", len(b))
+	}
+	if b[0] != Version {
+		return space.Event{}, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	dims := int(b[1])
+	if dims == 0 || dims > MaxDims {
+		return space.Event{}, fmt.Errorf("wire: event dims %d out of range", dims)
+	}
+	if len(b) != 2+4*dims {
+		return space.Event{}, fmt.Errorf("wire: event payload length %d, want %d", len(b), 2+4*dims)
+	}
+	vals := make([]uint32, dims)
+	for i := range vals {
+		vals[i] = binary.BigEndian.Uint32(b[2+4*i:])
+	}
+	return space.Event{Values: vals}, nil
+}
+
+// packExpr appends a dz-expression as [len u8][bits packed MSB-first].
+func packExpr(buf []byte, e dz.Expr) ([]byte, error) {
+	if e.Len() > MaxExprLen {
+		return nil, fmt.Errorf("wire: dz expression of %d bits exceeds %d", e.Len(), MaxExprLen)
+	}
+	buf = append(buf, byte(e.Len()))
+	var cur byte
+	for i := 0; i < e.Len(); i++ {
+		if e[i] == '1' {
+			cur |= 1 << uint(7-i%8)
+		}
+		if i%8 == 7 {
+			buf = append(buf, cur)
+			cur = 0
+		}
+	}
+	if e.Len()%8 != 0 {
+		buf = append(buf, cur)
+	}
+	return buf, nil
+}
+
+// unpackExpr reads one packed expression, returning it and the remainder.
+func unpackExpr(b []byte) (dz.Expr, []byte, error) {
+	if len(b) < 1 {
+		return "", nil, fmt.Errorf("wire: truncated dz expression header")
+	}
+	n := int(b[0])
+	if n > MaxExprLen {
+		return "", nil, fmt.Errorf("wire: dz expression of %d bits exceeds %d", n, MaxExprLen)
+	}
+	nbytes := (n + 7) / 8
+	if len(b) < 1+nbytes {
+		return "", nil, fmt.Errorf("wire: truncated dz expression body")
+	}
+	bits := make([]byte, n)
+	for i := 0; i < n; i++ {
+		if b[1+i/8]&(1<<uint(7-i%8)) != 0 {
+			bits[i] = '1'
+		} else {
+			bits[i] = '0'
+		}
+	}
+	return dz.Expr(bits), b[1+nbytes:], nil
+}
+
+// Op codes of control requests.
+const (
+	opAdvertise byte = iota + 1
+	opSubscribe
+	opUnsubscribe
+	opUnadvertise
+)
+
+// Signal is the decoded form of an IP_vir control request.
+type Signal struct {
+	Op   string // "advertise" | "subscribe" | "unsubscribe" | "unadvertise"
+	ID   string
+	Host uint32
+	Set  dz.Set
+}
+
+func opCode(op string) (byte, error) {
+	switch op {
+	case "advertise":
+		return opAdvertise, nil
+	case "subscribe":
+		return opSubscribe, nil
+	case "unsubscribe":
+		return opUnsubscribe, nil
+	case "unadvertise":
+		return opUnadvertise, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown op %q", op)
+	}
+}
+
+func opName(code byte) (string, error) {
+	switch code {
+	case opAdvertise:
+		return "advertise", nil
+	case opSubscribe:
+		return "subscribe", nil
+	case opUnsubscribe:
+		return "unsubscribe", nil
+	case opUnadvertise:
+		return "unadvertise", nil
+	default:
+		return "", fmt.Errorf("wire: unknown op code %d", code)
+	}
+}
+
+// EncodeSignal renders a control request:
+//
+//	[version u8][op u8][idLen u8][id][host u32][count u16][expr]×count
+func EncodeSignal(s Signal) ([]byte, error) {
+	code, err := opCode(s.Op)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.ID) == 0 || len(s.ID) > MaxIDLen {
+		return nil, fmt.Errorf("wire: id length %d out of range 1..%d", len(s.ID), MaxIDLen)
+	}
+	if len(s.Set) > MaxSetMembers {
+		return nil, fmt.Errorf("wire: DZ set of %d members exceeds %d", len(s.Set), MaxSetMembers)
+	}
+	buf := make([]byte, 0, 16+len(s.ID)+4*len(s.Set))
+	buf = append(buf, Version, code, byte(len(s.ID)))
+	buf = append(buf, s.ID...)
+	buf = binary.BigEndian.AppendUint32(buf, s.Host)
+	if len(s.Set) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: DZ set too large")
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s.Set)))
+	for _, e := range s.Set {
+		buf, err = packExpr(buf, e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeSignal parses a control request.
+func DecodeSignal(b []byte) (Signal, error) {
+	if len(b) < 3 {
+		return Signal{}, fmt.Errorf("wire: signal too short (%d bytes)", len(b))
+	}
+	if b[0] != Version {
+		return Signal{}, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	op, err := opName(b[1])
+	if err != nil {
+		return Signal{}, err
+	}
+	idLen := int(b[2])
+	rest := b[3:]
+	if idLen == 0 || len(rest) < idLen+6 {
+		return Signal{}, fmt.Errorf("wire: truncated signal id/header")
+	}
+	id := string(rest[:idLen])
+	rest = rest[idLen:]
+	host := binary.BigEndian.Uint32(rest)
+	count := int(binary.BigEndian.Uint16(rest[4:]))
+	rest = rest[6:]
+	if count > MaxSetMembers {
+		return Signal{}, fmt.Errorf("wire: DZ set of %d members exceeds %d", count, MaxSetMembers)
+	}
+	exprs := make([]dz.Expr, 0, count)
+	for i := 0; i < count; i++ {
+		var e dz.Expr
+		e, rest, err = unpackExpr(rest)
+		if err != nil {
+			return Signal{}, err
+		}
+		exprs = append(exprs, e)
+	}
+	if len(rest) != 0 {
+		return Signal{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	return Signal{Op: op, ID: id, Host: host, Set: dz.NewSet(exprs...)}, nil
+}

@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/space"
+)
+
+func TestEventRoundTrip(t *testing.T) {
+	ev := space.Event{Values: []uint32{0, 1023, 42, 4294967295}}
+	b, err := EncodeEvent(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEvent(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Values) != 4 {
+		t.Fatalf("values=%v", got.Values)
+	}
+	for i := range ev.Values {
+		if got.Values[i] != ev.Values[i] {
+			t.Errorf("value %d: %d != %d", i, got.Values[i], ev.Values[i])
+		}
+	}
+}
+
+func TestEventValidation(t *testing.T) {
+	if _, err := EncodeEvent(space.Event{}); err == nil {
+		t.Error("empty event must fail")
+	}
+	if _, err := EncodeEvent(space.Event{Values: make([]uint32, MaxDims+1)}); err == nil {
+		t.Error("oversized event must fail")
+	}
+	if _, err := DecodeEvent(nil); err == nil {
+		t.Error("nil payload must fail")
+	}
+	if _, err := DecodeEvent([]byte{99, 1, 0, 0, 0, 0}); err == nil {
+		t.Error("bad version must fail")
+	}
+	if _, err := DecodeEvent([]byte{Version, 0}); err == nil {
+		t.Error("zero dims must fail")
+	}
+	if _, err := DecodeEvent([]byte{Version, 2, 0, 0, 0, 0}); err == nil {
+		t.Error("truncated values must fail")
+	}
+}
+
+func TestSignalRoundTrip(t *testing.T) {
+	s := Signal{
+		Op:   "subscribe",
+		ID:   "trader-42",
+		Host: 17,
+		Set:  dz.NewSet("101", "0010", ""),
+	}
+	b, err := EncodeSignal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSignal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != s.Op || got.ID != s.ID || got.Host != s.Host {
+		t.Errorf("got=%+v", got)
+	}
+	if !got.Set.Equal(s.Set) {
+		t.Errorf("set=%v, want %v", got.Set, s.Set)
+	}
+}
+
+func TestSignalAllOps(t *testing.T) {
+	for _, op := range []string{"advertise", "subscribe", "unsubscribe", "unadvertise"} {
+		s := Signal{Op: op, ID: "x", Host: 1, Set: dz.NewSet("1")}
+		b, err := EncodeSignal(s)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		got, err := DecodeSignal(b)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if got.Op != op {
+			t.Errorf("op=%q, want %q", got.Op, op)
+		}
+	}
+}
+
+func TestSignalValidation(t *testing.T) {
+	if _, err := EncodeSignal(Signal{Op: "bogus", ID: "x"}); err == nil {
+		t.Error("unknown op must fail")
+	}
+	if _, err := EncodeSignal(Signal{Op: "subscribe", ID: ""}); err == nil {
+		t.Error("empty id must fail")
+	}
+	if _, err := EncodeSignal(Signal{Op: "subscribe", ID: strings.Repeat("x", 300)}); err == nil {
+		t.Error("oversized id must fail")
+	}
+	long := make([]byte, MaxExprLen+1)
+	for i := range long {
+		long[i] = '0'
+	}
+	if _, err := EncodeSignal(Signal{Op: "subscribe", ID: "x",
+		Set: dz.Set{dz.Expr(long)}}); err == nil {
+		t.Error("oversized expr must fail")
+	}
+	if _, err := DecodeSignal(nil); err == nil {
+		t.Error("nil must fail")
+	}
+	if _, err := DecodeSignal([]byte{Version, 77, 1, 'x', 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("bad op code must fail")
+	}
+	ok, _ := EncodeSignal(Signal{Op: "subscribe", ID: "x", Set: dz.NewSet("1")})
+	if _, err := DecodeSignal(ok[:len(ok)-1]); err == nil {
+		t.Error("truncated must fail")
+	}
+	if _, err := DecodeSignal(append(ok, 0)); err == nil {
+		t.Error("trailing bytes must fail")
+	}
+}
+
+// TestPropertySignalRoundTrip: random valid signals survive the codec.
+func TestPropertySignalRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops := []string{"advertise", "subscribe", "unsubscribe", "unadvertise"}
+		n := r.Intn(5)
+		exprs := make([]dz.Expr, n)
+		for i := range exprs {
+			l := r.Intn(30)
+			buf := make([]byte, l)
+			for j := range buf {
+				buf[j] = byte('0' + r.Intn(2))
+			}
+			exprs[i] = dz.Expr(buf)
+		}
+		s := Signal{
+			Op:   ops[r.Intn(len(ops))],
+			ID:   "id" + string(rune('a'+r.Intn(26))),
+			Host: r.Uint32(),
+			Set:  dz.NewSet(exprs...),
+		}
+		b, err := EncodeSignal(s)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeSignal(b)
+		if err != nil {
+			return false
+		}
+		return got.Op == s.Op && got.ID == s.ID && got.Host == s.Host && got.Set.Equal(s.Set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzDecodeSignal: the decoder must never panic and accepted inputs must
+// re-encode.
+func FuzzDecodeSignal(f *testing.F) {
+	seed, _ := EncodeSignal(Signal{Op: "subscribe", ID: "s", Host: 3, Set: dz.NewSet("10")})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{Version, opSubscribe, 1, 'x'})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSignal(b)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeSignal(s); err != nil {
+			t.Fatalf("decoded signal does not re-encode: %+v: %v", s, err)
+		}
+	})
+}
+
+// FuzzDecodeEvent: same for event payloads.
+func FuzzDecodeEvent(f *testing.F) {
+	seed, _ := EncodeEvent(space.Event{Values: []uint32{1, 2}})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ev, err := DecodeEvent(b)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeEvent(ev); err != nil {
+			t.Fatalf("decoded event does not re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,269 @@
+// Package workload generates the subscription and event distributions of
+// the paper's evaluation (Section 6.1): a uniform model drawing
+// subscriptions and events independently at random, and an interest
+// popularity model that places a small number of hotspot regions (seven in
+// the paper) and draws subscriptions/events around them with zipfian
+// popularity. All generators are seeded and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/space"
+)
+
+// Model selects the distribution family.
+type Model int
+
+// Distribution models of Section 6.1.
+const (
+	// Uniform draws subscriptions and events independently and uniformly.
+	Uniform Model = iota + 1
+	// Zipfian draws around hotspot regions with zipfian popularity.
+	Zipfian
+)
+
+func (m Model) String() string {
+	switch m {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipfian"
+	default:
+		return "unknown"
+	}
+}
+
+// Defaults mirroring the paper's setup.
+const (
+	// DefaultHotspots is the number of hotspot regions (the paper uses 7).
+	DefaultHotspots = 7
+	// DefaultZipfSkew is the skew parameter of the zipfian popularity.
+	DefaultZipfSkew = 1.5
+	// DefaultSpread is the hotspot spread as a fraction of the domain.
+	DefaultSpread = 0.05
+	// DefaultSubWidthMin/Max bound subscription range width as a fraction
+	// of the domain.
+	DefaultSubWidthMin = 0.02
+	DefaultSubWidthMax = 0.25
+)
+
+// Option configures a Generator.
+type Option func(*Generator)
+
+// WithHotspots sets the number of hotspot regions of the zipfian model.
+func WithHotspots(n int) Option {
+	return func(g *Generator) { g.hotspotCount = n }
+}
+
+// WithZipfSkew sets the zipfian skew (must be > 1).
+func WithZipfSkew(s float64) Option {
+	return func(g *Generator) { g.zipfSkew = s }
+}
+
+// WithSubWidth bounds subscription range width as domain fractions.
+func WithSubWidth(min, max float64) Option {
+	return func(g *Generator) { g.subWidthMin, g.subWidthMax = min, max }
+}
+
+// WithSpread sets the hotspot spread (fraction of the domain).
+func WithSpread(f float64) Option {
+	return func(g *Generator) { g.spread = f }
+}
+
+// WithRestrictedDims confines event values — and the centres of
+// subscription ranges — along the given dimensions to a band of the given
+// domain fraction around the domain centre. With both sides of the
+// workload concentrated, the restricted dimensions carry almost no
+// filtering information: the varying-selectivity setup of the paper's
+// dimension-selection experiment (Figure 7e).
+func WithRestrictedDims(bands map[int]float64) Option {
+	return func(g *Generator) {
+		g.restricted = make(map[int]float64, len(bands))
+		for d, f := range bands {
+			g.restricted[d] = f
+		}
+	}
+}
+
+// Generator produces subscriptions and events under one model.
+type Generator struct {
+	sch          *space.Schema
+	r            *rand.Rand
+	model        Model
+	hotspotCount int
+	zipfSkew     float64
+	spread       float64
+	subWidthMin  float64
+	subWidthMax  float64
+	restricted   map[int]float64
+
+	hotspots [][]uint32
+	zipf     *rand.Zipf
+}
+
+// New creates a generator for the schema under the given model and seed.
+func New(sch *space.Schema, model Model, seed int64, opts ...Option) (*Generator, error) {
+	if sch == nil {
+		return nil, fmt.Errorf("workload: nil schema")
+	}
+	if model != Uniform && model != Zipfian {
+		return nil, fmt.Errorf("workload: unknown model %d", int(model))
+	}
+	g := &Generator{
+		sch:          sch,
+		r:            rand.New(rand.NewSource(seed)),
+		model:        model,
+		hotspotCount: DefaultHotspots,
+		zipfSkew:     DefaultZipfSkew,
+		spread:       DefaultSpread,
+		subWidthMin:  DefaultSubWidthMin,
+		subWidthMax:  DefaultSubWidthMax,
+	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	if g.hotspotCount <= 0 {
+		return nil, fmt.Errorf("workload: hotspot count must be positive")
+	}
+	if g.zipfSkew <= 1 {
+		return nil, fmt.Errorf("workload: zipf skew must exceed 1, got %v", g.zipfSkew)
+	}
+	if g.subWidthMin <= 0 || g.subWidthMax < g.subWidthMin || g.subWidthMax > 1 {
+		return nil, fmt.Errorf("workload: invalid subscription width bounds [%v,%v]",
+			g.subWidthMin, g.subWidthMax)
+	}
+	if model == Zipfian {
+		g.hotspots = make([][]uint32, g.hotspotCount)
+		for i := range g.hotspots {
+			center := make([]uint32, sch.Dims())
+			for d := range center {
+				center[d] = uint32(g.r.Intn(int(sch.DomainMax()) + 1))
+			}
+			g.hotspots[i] = center
+		}
+		g.zipf = rand.NewZipf(g.r, g.zipfSkew, 1, uint64(g.hotspotCount-1))
+	}
+	return g, nil
+}
+
+// Model returns the generator's distribution model.
+func (g *Generator) Model() Model { return g.model }
+
+// Hotspot returns the centre of hotspot i (zipfian model only).
+func (g *Generator) Hotspot(i int) ([]uint32, bool) {
+	if g.model != Zipfian || i < 0 || i >= len(g.hotspots) {
+		return nil, false
+	}
+	return append([]uint32(nil), g.hotspots[i]...), true
+}
+
+// Event draws one event.
+func (g *Generator) Event() space.Event {
+	vals := make([]uint32, g.sch.Dims())
+	switch g.model {
+	case Zipfian:
+		center := g.hotspots[g.zipf.Uint64()]
+		for d := range vals {
+			vals[d] = g.gaussianAround(center[d])
+		}
+	default:
+		for d := range vals {
+			vals[d] = uint32(g.r.Intn(int(g.sch.DomainMax()) + 1))
+		}
+	}
+	for d, band := range g.restricted {
+		if d >= 0 && d < len(vals) {
+			vals[d] = g.bandValue(band)
+		}
+	}
+	return space.Event{Values: vals}
+}
+
+// Events draws n events.
+func (g *Generator) Events(n int) []space.Event {
+	out := make([]space.Event, n)
+	for i := range out {
+		out[i] = g.Event()
+	}
+	return out
+}
+
+// SubscriptionRect draws one subscription hyperrectangle.
+func (g *Generator) SubscriptionRect() dz.Rect {
+	rect := make(dz.Rect, g.sch.Dims())
+	var center []uint32
+	if g.model == Zipfian {
+		center = g.hotspots[g.zipf.Uint64()]
+	}
+	domain := float64(g.sch.DomainMax()) + 1
+	for d := range rect {
+		widthFrac := g.subWidthMin + g.r.Float64()*(g.subWidthMax-g.subWidthMin)
+		width := math.Max(1, widthFrac*domain)
+		var mid float64
+		switch {
+		case g.restricted[d] > 0:
+			mid = float64(g.bandValue(g.restricted[d]))
+			if width < g.restricted[d]*domain*2 {
+				width = g.restricted[d] * domain * 2
+			}
+		case center != nil:
+			mid = float64(g.gaussianAround(center[d]))
+		default:
+			mid = g.r.Float64() * (domain - 1)
+		}
+		lo := mid - width/2
+		hi := mid + width/2
+		rect[d] = g.clampInterval(lo, hi)
+	}
+	return rect
+}
+
+// SubscriptionRects draws n subscriptions.
+func (g *Generator) SubscriptionRects(n int) []dz.Rect {
+	out := make([]dz.Rect, n)
+	for i := range out {
+		out[i] = g.SubscriptionRect()
+	}
+	return out
+}
+
+// gaussianAround samples a domain value normally distributed around the
+// centre with the configured spread, clamped to the domain.
+func (g *Generator) gaussianAround(center uint32) uint32 {
+	domain := float64(g.sch.DomainMax()) + 1
+	v := float64(center) + g.r.NormFloat64()*g.spread*domain
+	return g.clampValue(v)
+}
+
+// bandValue samples uniformly from a band of the given domain fraction
+// centred at the domain midpoint.
+func (g *Generator) bandValue(band float64) uint32 {
+	domain := float64(g.sch.DomainMax()) + 1
+	half := math.Max(0.5, band*domain/2)
+	mid := domain / 2
+	v := mid + (g.r.Float64()*2-1)*half
+	return g.clampValue(v)
+}
+
+func (g *Generator) clampValue(v float64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if max := float64(g.sch.DomainMax()); v > max {
+		return g.sch.DomainMax()
+	}
+	return uint32(v)
+}
+
+func (g *Generator) clampInterval(lo, hi float64) dz.Interval {
+	l := g.clampValue(lo)
+	h := g.clampValue(hi)
+	if l > h {
+		l, h = h, l
+	}
+	return dz.Interval{Lo: l, Hi: h}
+}

@@ -1,0 +1,113 @@
+package pleroma
+
+import (
+	"sort"
+
+	"pleroma/internal/topo"
+)
+
+// The paper's conclusion (Section 8) names overload detection as future
+// work: "new mechanisms need to be introduced in order to detect and react
+// to overload situations in the presence of a dynamic workload". This file
+// implements the detection half as a first-class API: the System inspects
+// its emulated data plane for saturated hosts and lossy links so a
+// deployment (or an operator policy built on top) can react.
+
+// HostLoad describes one end host's ingestion behaviour.
+type HostLoad struct {
+	Host     HostID
+	Received uint64
+	Dropped  uint64
+}
+
+// DropRate returns the fraction of arriving events the host dropped.
+func (h HostLoad) DropRate() float64 {
+	total := h.Received + h.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(h.Dropped) / float64(total)
+}
+
+// LinkLoad describes one link direction's utilisation.
+type LinkLoad struct {
+	From, To topo.NodeID
+	Packets  uint64
+	Bytes    uint64
+	Dropped  uint64
+}
+
+// OverloadReport summarises data-plane pressure points.
+type OverloadReport struct {
+	// OverloadedHosts lists hosts that dropped events, worst first.
+	OverloadedHosts []HostLoad
+	// HottestLinks lists the busiest link directions, busiest first
+	// (bounded to the top ten).
+	HottestLinks []LinkLoad
+	// LossyLinks lists link directions that tail-dropped packets.
+	LossyLinks []LinkLoad
+}
+
+// Overloaded reports whether any host or link dropped traffic.
+func (r OverloadReport) Overloaded() bool {
+	return len(r.OverloadedHosts) > 0 || len(r.LossyLinks) > 0
+}
+
+// OverloadReport inspects the data plane and returns the current pressure
+// points. Counters are cumulative since system construction.
+func (s *System) OverloadReport() OverloadReport {
+	var rep OverloadReport
+	for _, h := range s.g.Hosts() {
+		dropped := s.dp.HostDropped(h)
+		if dropped == 0 {
+			continue
+		}
+		rep.OverloadedHosts = append(rep.OverloadedHosts, HostLoad{
+			Host:     h,
+			Received: s.dp.HostReceived(h),
+			Dropped:  dropped,
+		})
+	}
+	sort.Slice(rep.OverloadedHosts, func(i, j int) bool {
+		return rep.OverloadedHosts[i].Dropped > rep.OverloadedHosts[j].Dropped
+	})
+
+	var all []LinkLoad
+	for _, l := range s.g.Links() {
+		ls := s.dp.LinkStatsFor(l)
+		if ls == nil {
+			continue
+		}
+		for _, from := range []topo.NodeID{l.A, l.B} {
+			if ls.Packets[from] == 0 && ls.Dropped[from] == 0 {
+				continue
+			}
+			to, _ := l.Other(from)
+			ll := LinkLoad{
+				From:    from,
+				To:      to,
+				Packets: ls.Packets[from],
+				Bytes:   ls.Bytes[from],
+				Dropped: ls.Dropped[from],
+			}
+			all = append(all, ll)
+			if ll.Dropped > 0 {
+				rep.LossyLinks = append(rep.LossyLinks, ll)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Packets != all[j].Packets {
+			return all[i].Packets > all[j].Packets
+		}
+		return all[i].From < all[j].From
+	})
+	if len(all) > 10 {
+		all = all[:10]
+	}
+	rep.HottestLinks = all
+	sort.Slice(rep.LossyLinks, func(i, j int) bool {
+		return rep.LossyLinks[i].Dropped > rep.LossyLinks[j].Dropped
+	})
+	return rep
+}

@@ -1,0 +1,619 @@
+// Package pleroma is the public API of the PLEROMA middleware
+// reproduction: software-defined-networking-based content pub/sub in which
+// subscriptions compile into TCAM flow rules (IPv6-prefix matches over
+// dz-encoded subspaces) and a per-partition controller reconfigures the
+// network as publishers and subscribers come and go.
+//
+// A System bundles an emulated SDN deployment: a topology, its data plane,
+// and one PLEROMA controller per partition, all driven by a deterministic
+// simulated clock. Typical use:
+//
+//	sch, _ := pleroma.NewSchema(
+//	    pleroma.Attribute{Name: "price", Bits: 10},
+//	    pleroma.Attribute{Name: "volume", Bits: 10},
+//	)
+//	sys, _ := pleroma.NewSystem(sch)
+//	hosts := sys.Hosts()
+//
+//	pub, _ := sys.NewPublisher("ticker", hosts[0])
+//	_ = pub.Advertise(pleroma.NewFilter()) // whole event space
+//
+//	_, _ = sys.Subscribe("alerts", hosts[7],
+//	    pleroma.NewFilter().Range("price", 0, 99),
+//	    func(d pleroma.Delivery) { fmt.Println("got", d.Event) })
+//
+//	_ = pub.Publish(42, 1000)
+//	sys.Run() // drain the simulated network
+//
+// A System and everything attached to it runs on a single simulated clock
+// and is not safe for concurrent use; drive it from one goroutine.
+package pleroma
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pleroma/internal/dimsel"
+	"pleroma/internal/dz"
+	"pleroma/internal/interdomain"
+	"pleroma/internal/netem"
+	"pleroma/internal/sim"
+	"pleroma/internal/space"
+	"pleroma/internal/topo"
+)
+
+// Re-exported content-model types.
+type (
+	// Attribute describes one dimension of the event space.
+	Attribute = space.Attribute
+	// Filter is a conjunction of per-attribute range constraints; it is
+	// the content form of subscriptions and advertisements.
+	Filter = space.Filter
+	// Event is one published attribute-value tuple.
+	Event = space.Event
+	// Schema is the ordered attribute set of the event space.
+	Schema = space.Schema
+	// HostID identifies an end host of the deployment.
+	HostID = topo.NodeID
+)
+
+// NewSchema builds an event-space schema from attributes.
+func NewSchema(attrs ...Attribute) (*Schema, error) { return space.NewSchema(attrs...) }
+
+// NewFilter returns an empty (match-everything) filter; add constraints
+// with Filter.Range.
+func NewFilter() Filter { return space.NewFilter() }
+
+// Delivery is one event handed to a subscriber.
+type Delivery struct {
+	// SubscriptionID identifies the receiving subscription.
+	SubscriptionID string
+	// Event is the received payload.
+	Event Event
+	// At is the simulated delivery time.
+	At time.Duration
+	// Latency is the end-to-end delay since publication.
+	Latency time.Duration
+	// FalsePositive marks events delivered due to dz truncation that do
+	// not match the subscription filter exactly.
+	FalsePositive bool
+}
+
+// Topology selects the emulated network layout.
+type Topology int
+
+// Available topologies.
+const (
+	// TopologyTestbedFatTree is the paper's 10-switch/8-host testbed
+	// (Figure 6). The default.
+	TopologyTestbedFatTree Topology = iota + 1
+	// TopologyFatTree20 is the 20-switch Mininet fat-tree.
+	TopologyFatTree20
+	// TopologyRing20 is the 20-switch Mininet ring.
+	TopologyRing20
+)
+
+// Option configures a System.
+type Option func(*config)
+
+type config struct {
+	topology      Topology
+	partitions    int
+	maxDzLen      int
+	maxSubs       int
+	linkParams    topo.LinkParams
+	hostCap       int
+	inBandDelay   time.Duration
+	reindexEvery  time.Duration
+	reindexThresh float64
+}
+
+// WithTopology selects the emulated network layout.
+func WithTopology(t Topology) Option { return func(c *config) { c.topology = t } }
+
+// WithPartitions splits the network into n independently controlled
+// partitions (Section 4). Only ring and fat-tree topologies support n>1.
+func WithPartitions(n int) Option { return func(c *config) { c.partitions = n } }
+
+// WithMaxDzLen bounds the dz bits embedded in flow matches (L_dz).
+func WithMaxDzLen(n int) Option { return func(c *config) { c.maxDzLen = n } }
+
+// WithMaxSubspaces caps the DZ set size per subscription/advertisement.
+func WithMaxSubspaces(n int) Option { return func(c *config) { c.maxSubs = n } }
+
+// WithLinkParams overrides the physical link model.
+func WithLinkParams(p topo.LinkParams) Option { return func(c *config) { c.linkParams = p } }
+
+// WithHostCapacity bounds every host's event ingestion rate (events/s);
+// zero means unlimited.
+func WithHostCapacity(eventsPerSec int) Option {
+	return func(c *config) { c.hostCap = eventsPerSec }
+}
+
+// WithInBandSignalling makes control requests travel the data plane as
+// IP_vir packets punted to the controller (Section 2 of the paper),
+// taking effect only after the network path plus the given controller
+// processing delay of simulated time. Off by default: requests apply
+// synchronously, modelling an idealised out-of-band control channel.
+func WithInBandSignalling(processingDelay time.Duration) Option {
+	return func(c *config) { c.inBandDelay = processingDelay }
+}
+
+// Errors the public API can return.
+var (
+	// ErrNotAdvertised is returned when publishing without a prior
+	// advertisement (the paper requires advertisements before events).
+	ErrNotAdvertised = errors.New("pleroma: publisher has not advertised")
+	// ErrUnknownSubscription is returned for operations on missing ids.
+	ErrUnknownSubscription = errors.New("pleroma: unknown subscription")
+)
+
+// System is one emulated PLEROMA deployment.
+type System struct {
+	cfg    config
+	sch    *Schema
+	g      *topo.Graph
+	eng    *sim.Engine
+	dp     *netem.DataPlane
+	fab    *interdomain.Fabric
+	subs   map[string]*subState
+	byHost map[HostID][]*subState
+	pubs   map[string]*Publisher
+	// pubOrder/subOrder preserve registration order for re-indexing.
+	pubOrder []string
+	subOrder []string
+	// proj is the active dimension selection (nil = full space).
+	proj *projection
+
+	window []Event // recent events for dimension selection
+	// periodic re-selection state (Section 5's adaptation loop).
+	reindexArmed  bool
+	reindexSeen   int
+	reindexRounds int
+	// delivery accounting for the FPR metric of Section 6.4.
+	deliveries     uint64
+	falsePositives uint64
+}
+
+type subState struct {
+	id      string
+	host    HostID
+	rect    dz.Rect
+	set     dz.Set // truncated DZ region, cached for demultiplexing
+	handler func(Delivery)
+}
+
+// NewSystem builds a deployment over the given schema.
+func NewSystem(sch *Schema, opts ...Option) (*System, error) {
+	if sch == nil {
+		return nil, fmt.Errorf("pleroma: nil schema")
+	}
+	cfg := config{
+		topology:   TopologyTestbedFatTree,
+		partitions: 1,
+		maxDzLen:   24,
+		maxSubs:    16,
+		linkParams: topo.DefaultLinkParams,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.maxDzLen <= 0 || cfg.maxSubs <= 0 {
+		return nil, fmt.Errorf("pleroma: maxDzLen and maxSubspaces must be positive")
+	}
+
+	var (
+		g   *topo.Graph
+		err error
+	)
+	switch cfg.topology {
+	case TopologyTestbedFatTree:
+		g, err = topo.TestbedFatTree(cfg.linkParams)
+		if err == nil && cfg.partitions > 1 {
+			err = fmt.Errorf("pleroma: testbed fat-tree supports a single partition")
+		}
+	case TopologyFatTree20:
+		g, err = topo.FatTree(4, 4, 1, cfg.linkParams)
+		if err == nil && cfg.partitions > 1 {
+			err = topo.PartitionFatTree(g, cfg.partitions)
+		}
+	case TopologyRing20:
+		g, err = topo.Ring(20, cfg.linkParams)
+		if err == nil {
+			err = topo.PartitionRing(g, cfg.partitions)
+		}
+	default:
+		err = fmt.Errorf("pleroma: unknown topology %d", int(cfg.topology))
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine()
+	dp := netem.New(g, eng)
+	fab, err := interdomain.NewFabric(g, dp)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		cfg:    cfg,
+		sch:    sch,
+		g:      g,
+		eng:    eng,
+		dp:     dp,
+		fab:    fab,
+		subs:   make(map[string]*subState),
+		byHost: make(map[HostID][]*subState),
+		pubs:   make(map[string]*Publisher),
+	}
+	for _, h := range g.Hosts() {
+		h := h
+		hc := netem.HostConfig{CapacityPerSec: cfg.hostCap}
+		if err := dp.ConfigureHost(h, hc, func(d netem.Delivery) {
+			sys.dispatch(h, d)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.inBandDelay > 0 {
+		fab.EnableInBandSignalling(cfg.inBandDelay)
+	}
+	return sys, nil
+}
+
+// control routes one request either as an in-band IP_vir packet (taking
+// effect asynchronously in simulated time) or synchronously against the
+// fabric.
+func (s *System) control(req interdomain.SignalRequest) error {
+	if s.cfg.inBandDelay > 0 {
+		return s.fab.SendSignal(req)
+	}
+	switch req.Op {
+	case interdomain.OpAdvertise:
+		return s.fab.Advertise(req.ID, req.Host, req.Set)
+	case interdomain.OpSubscribe:
+		return s.fab.Subscribe(req.ID, req.Host, req.Set)
+	case interdomain.OpUnsubscribe:
+		return s.fab.Unsubscribe(req.ID)
+	case interdomain.OpUnadvertise:
+		return s.fab.Unadvertise(req.ID)
+	default:
+		return fmt.Errorf("pleroma: unknown control op %q", req.Op)
+	}
+}
+
+// Hosts returns the end hosts of the deployment.
+func (s *System) Hosts() []HostID { return s.g.Hosts() }
+
+// Schema returns the event-space schema.
+func (s *System) Schema() *Schema { return s.sch }
+
+// Now returns the current simulated time.
+func (s *System) Now() time.Duration { return s.eng.Now() }
+
+// Run drains all pending simulated work and returns the final time.
+func (s *System) Run() time.Duration { return s.eng.Run() }
+
+// RunFor advances the simulation by d.
+func (s *System) RunFor(d time.Duration) time.Duration {
+	return s.eng.RunUntil(s.eng.Now() + d)
+}
+
+// dispatch routes a data-plane delivery to the matching subscriptions on
+// the host.
+func (s *System) dispatch(host HostID, d netem.Delivery) {
+	// Control frames (LLDP probes, signalling) and malformed payloads are
+	// not events; hosts drop them silently.
+	if d.Packet.Control != nil || len(d.Packet.Event.Values) != s.sch.Dims() {
+		return
+	}
+	expr := d.Packet.Expr.Truncate(s.cfg.maxDzLen)
+	for _, st := range s.byHost[host] {
+		// The host receives one copy; hand it to every subscription whose
+		// truncated region overlaps the event's dz (kernel-level demux).
+		if !st.set.Overlaps(expr) {
+			continue
+		}
+		fp := !dz.RectContainsPoint(st.rect, d.Packet.Event.Values)
+		s.deliveries++
+		if fp {
+			s.falsePositives++
+		}
+		if st.handler == nil {
+			continue
+		}
+		st.handler(Delivery{
+			SubscriptionID: st.id,
+			Event:          d.Packet.Event,
+			At:             d.At,
+			Latency:        d.At - d.Packet.SentAt,
+			FalsePositive:  fp,
+		})
+	}
+}
+
+// Publisher produces events from one host.
+type Publisher struct {
+	sys        *System
+	id         string
+	host       HostID
+	advertised bool
+	// advRect is the advertised region in the full event space, kept for
+	// re-indexing.
+	advRect dz.Rect
+}
+
+// NewPublisher registers a publisher on a host.
+func (s *System) NewPublisher(id string, host HostID) (*Publisher, error) {
+	if _, dup := s.pubs[id]; dup {
+		return nil, fmt.Errorf("pleroma: duplicate publisher id %q", id)
+	}
+	if _, err := s.g.AttachedSwitch(host); err != nil {
+		return nil, fmt.Errorf("pleroma: publisher host: %w", err)
+	}
+	p := &Publisher{sys: s, id: id, host: host}
+	s.pubs[id] = p
+	return p, nil
+}
+
+// Advertise announces the region of the event space this publisher will
+// publish into. It must precede Publish.
+func (p *Publisher) Advertise(f Filter) error {
+	rect, err := p.sys.sch.Rect(f)
+	if err != nil {
+		return err
+	}
+	set, err := p.sys.decomposeRect(rect)
+	if err != nil {
+		return err
+	}
+	if err := p.sys.control(interdomain.SignalRequest{
+		Op: interdomain.OpAdvertise, ID: p.id, Host: p.host, Set: set,
+	}); err != nil {
+		return err
+	}
+	p.advertised = true
+	p.advRect = rect
+	p.sys.pubOrder = append(p.sys.pubOrder, p.id)
+	return nil
+}
+
+// Unadvertise withdraws the advertisement.
+func (p *Publisher) Unadvertise() error {
+	if !p.advertised {
+		return ErrNotAdvertised
+	}
+	if err := p.sys.control(interdomain.SignalRequest{
+		Op: interdomain.OpUnadvertise, ID: p.id, Host: p.host,
+	}); err != nil {
+		return err
+	}
+	p.advertised = false
+	p.sys.pubOrder = removeID(p.sys.pubOrder, p.id)
+	return nil
+}
+
+// Publish injects one event (attribute values in schema order) into the
+// network at the current simulated time.
+func (p *Publisher) Publish(values ...uint32) error {
+	if !p.advertised {
+		return ErrNotAdvertised
+	}
+	ev, err := p.sys.sch.NewEvent(values...)
+	if err != nil {
+		return err
+	}
+	idxSch := p.sys.indexSchema()
+	maxLen := idxSch.Geometry().MaxLen()
+	if p.sys.cfg.maxDzLen < maxLen {
+		maxLen = p.sys.cfg.maxDzLen
+	}
+	expr, err := idxSch.Encode(p.sys.indexEvent(ev), maxLen)
+	if err != nil {
+		return err
+	}
+	p.sys.recordEvent(ev)
+	p.sys.maybeArmReindex()
+	return p.sys.dp.Publish(p.host, expr, ev, netem.DefaultPacketSize)
+}
+
+// Subscribe registers a content subscription on a host; handler fires for
+// every delivered event (with false-positive marking).
+func (s *System) Subscribe(id string, host HostID, f Filter, handler func(Delivery)) error {
+	if _, dup := s.subs[id]; dup {
+		return fmt.Errorf("pleroma: duplicate subscription id %q", id)
+	}
+	rect, err := s.sch.Rect(f)
+	if err != nil {
+		return err
+	}
+	set, err := s.decomposeRect(rect)
+	if err != nil {
+		return err
+	}
+	if err := s.control(interdomain.SignalRequest{
+		Op: interdomain.OpSubscribe, ID: id, Host: host, Set: set,
+	}); err != nil {
+		return err
+	}
+	st := &subState{id: id, host: host, rect: rect, set: set, handler: handler}
+	s.subs[id] = st
+	s.byHost[host] = append(s.byHost[host], st)
+	s.subOrder = append(s.subOrder, id)
+	return nil
+}
+
+// Unsubscribe withdraws a subscription.
+func (s *System) Unsubscribe(id string) error {
+	st, ok := s.subs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSubscription, id)
+	}
+	if err := s.control(interdomain.SignalRequest{
+		Op: interdomain.OpUnsubscribe, ID: id, Host: st.host,
+	}); err != nil {
+		return err
+	}
+	delete(s.subs, id)
+	s.subOrder = removeID(s.subOrder, id)
+	list := s.byHost[st.host]
+	for i, cur := range list {
+		if cur == st {
+			list[i] = list[len(list)-1]
+			s.byHost[st.host] = list[:len(list)-1]
+			break
+		}
+	}
+	return nil
+}
+
+func removeID(s []string, id string) []string {
+	out := s[:0]
+	for _, x := range s {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// recordEvent keeps a bounded window of recent events for dimension
+// selection.
+const maxEventWindow = 2048
+
+func (s *System) recordEvent(ev Event) {
+	if len(s.window) >= maxEventWindow {
+		copy(s.window, s.window[1:])
+		s.window = s.window[:len(s.window)-1]
+	}
+	s.window = append(s.window, ev)
+}
+
+// DimensionSelection reports the PCA ranking of the schema attributes
+// based on the current subscriptions and the recent event window
+// (Section 5). threshold in (0,1] picks how much coefficient mass the
+// selected set must cover.
+type DimensionSelection struct {
+	// Ranking lists attribute indices, most informative first.
+	Ranking []int
+	// Selected is the chosen Ω_D (the first K of Ranking).
+	Selected []int
+	// K is the number of selected dimensions.
+	K int
+}
+
+// SelectDimensions runs the Section 5 analysis on live state.
+func (s *System) SelectDimensions(threshold float64) (DimensionSelection, error) {
+	if len(s.window) == 0 {
+		return DimensionSelection{}, fmt.Errorf("pleroma: no events recorded yet")
+	}
+	rects := make([]dz.Rect, 0, len(s.subs))
+	for _, st := range s.subs {
+		rects = append(rects, st.rect)
+	}
+	res, err := dimsel.SelectFromWorkload(rects, s.window, threshold)
+	if err != nil {
+		return DimensionSelection{}, err
+	}
+	return DimensionSelection{Ranking: res.Ranking, Selected: res.Selected, K: res.K}, nil
+}
+
+// Stats summarises the deployment's control- and data-plane activity.
+type Stats struct {
+	// Partitions is the number of controllers.
+	Partitions int
+	// ControlMessages counts inter-controller messages.
+	ControlMessages uint64
+	// FlowMods counts FlowMod operations applied to switches.
+	FlowMods uint64
+	// LinkPackets counts event transmissions over physical links.
+	LinkPackets uint64
+	// Deliveries counts events handed to subscription handlers.
+	Deliveries uint64
+	// FalsePositives counts deliveries that did not match the receiving
+	// subscription exactly (dz truncation artefacts, Section 6.4).
+	FalsePositives uint64
+}
+
+// FPRPercent returns the false positive rate as a percentage of all
+// deliveries — the paper's bandwidth-efficiency metric.
+func (st Stats) FPRPercent() float64 {
+	if st.Deliveries == 0 {
+		return 0
+	}
+	return 100 * float64(st.FalsePositives) / float64(st.Deliveries)
+}
+
+// Stats returns a snapshot of the system counters.
+func (s *System) Stats() Stats {
+	fst := s.fab.Stats()
+	return Stats{
+		Partitions:      len(s.fab.Partitions()),
+		ControlMessages: fst.MessagesSent,
+		FlowMods:        s.dp.FlowModCount(),
+		LinkPackets:     s.dp.TotalLinkPackets(),
+		Deliveries:      s.deliveries,
+		FalsePositives:  s.falsePositives,
+	}
+}
+
+// Switches returns the switch nodes of the deployment (for link-failure
+// injection and inspection).
+func (s *System) Switches() []HostID { return s.g.Switches() }
+
+// FailLink marks the link between two nodes as failed and makes every
+// controller rebuild its dissemination trees around it. Publications in
+// flight on the failed link are lost; new publications take the repaired
+// paths.
+func (s *System) FailLink(a, b HostID) error {
+	if err := s.g.SetLinkState(a, b, true); err != nil {
+		return err
+	}
+	return s.fab.HandleTopologyChange()
+}
+
+// RestoreLink brings a failed link back and re-optimises the trees.
+func (s *System) RestoreLink(a, b HostID) error {
+	if err := s.g.SetLinkState(a, b, false); err != nil {
+		return err
+	}
+	return s.fab.HandleTopologyChange()
+}
+
+// Links returns the topology's links (for inspection and failure
+// injection).
+func (s *System) Links() []*topo.Link { return s.g.Links() }
+
+// Resubscribe atomically replaces a subscription's filter, keeping its
+// identity and handler — the "parametric subscription" pattern of the
+// paper's introduction (moving range queries, sliding price thresholds),
+// where a subscription's parameters change far more often than its
+// lifetime.
+func (s *System) Resubscribe(id string, f Filter) error {
+	st, ok := s.subs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSubscription, id)
+	}
+	rect, err := s.sch.Rect(f)
+	if err != nil {
+		return err
+	}
+	set, err := s.decomposeRect(rect)
+	if err != nil {
+		return err
+	}
+	if err := s.control(interdomain.SignalRequest{
+		Op: interdomain.OpUnsubscribe, ID: id, Host: st.host,
+	}); err != nil {
+		return err
+	}
+	if err := s.control(interdomain.SignalRequest{
+		Op: interdomain.OpSubscribe, ID: id, Host: st.host, Set: set,
+	}); err != nil {
+		return err
+	}
+	st.rect = rect
+	st.set = set
+	return nil
+}

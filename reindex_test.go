@@ -1,0 +1,226 @@
+package pleroma
+
+import (
+	"testing"
+	"time"
+)
+
+// reindexFixture builds a workload where only the first attribute carries
+// information: subscriptions are selective on "hot" and unconstrained on
+// "cold"; events vary on "hot" and are constant on "cold".
+func reindexFixture(t *testing.T) (*System, *Publisher, *int) {
+	t.Helper()
+	sch, err := NewSchema(
+		Attribute{Name: "hot", Bits: 10},
+		Attribute{Name: "cold", Bits: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(sch, WithMaxDzLen(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := sys.Hosts()
+	pub, err := sys.NewPublisher("p", hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Advertise(NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	count := new(int)
+	if err := sys.Subscribe("s", hosts[7],
+		NewFilter().Range("hot", 100, 200),
+		func(d Delivery) { *count++ }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		id := "extra" + string(rune('a'+i))
+		lo := uint32(i * 150)
+		if err := sys.Subscribe(id, hosts[1+i%6],
+			NewFilter().Range("hot", lo, lo+60), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seed the event window: hot varies, cold constant.
+	for i := 0; i < 150; i++ {
+		if err := pub.Publish(uint32((i*61)%1024), 512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Run()
+	return sys, pub, count
+}
+
+func TestReindexSelectsInformativeDimension(t *testing.T) {
+	sys, _, _ := reindexFixture(t)
+	sel, err := sys.ReindexDimensions(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Selected) == 0 || sel.Selected[0] != 0 {
+		t.Fatalf("selection=%+v, want 'hot' (dim 0) first", sel)
+	}
+	if sel.K != 1 {
+		t.Errorf("K=%d, want 1 (cold is constant)", sel.K)
+	}
+}
+
+func TestReindexKeepsDeliveryCorrect(t *testing.T) {
+	sys, pub, count := reindexFixture(t)
+	if _, err := sys.ReindexDimensions(0.8); err != nil {
+		t.Fatal(err)
+	}
+	before := *count
+	// Matching event (hot ∈ [100,200]).
+	if err := pub.Publish(150, 512); err != nil {
+		t.Fatal(err)
+	}
+	// Non-matching on the selected dimension.
+	if err := pub.Publish(900, 512); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if got := *count - before; got != 1 {
+		t.Errorf("deliveries after reindex=%d, want 1", got)
+	}
+}
+
+func TestReindexImprovesGranularity(t *testing.T) {
+	// With L_dz = 8 over two dimensions, the full index spends 4 bits per
+	// dimension; after selecting the single informative dimension, all 8
+	// bits refine it. A borderline event that truncation previously let
+	// through must now be filtered in-network.
+	sys, pub, count := reindexFixture(t)
+
+	// Event just outside [100,200] on hot: at 4 hot-bits the cell size is
+	// 64, so 210 can share a cell boundary region with 200.
+	probe := func() int {
+		before := *count
+		if err := pub.Publish(205, 512); err != nil {
+			t.Fatal(err)
+		}
+		sys.Run()
+		return *count - before
+	}
+	fullSpace := probe()
+	if _, err := sys.ReindexDimensions(0.8); err != nil {
+		t.Fatal(err)
+	}
+	projected := probe()
+	if projected > fullSpace {
+		t.Errorf("reindexing must not add false positives: full=%d projected=%d",
+			fullSpace, projected)
+	}
+}
+
+func TestResetDimensions(t *testing.T) {
+	sys, pub, count := reindexFixture(t)
+	if _, err := sys.ReindexDimensions(0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ResetDimensions(); err != nil {
+		t.Fatal(err)
+	}
+	before := *count
+	if err := pub.Publish(150, 512); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if got := *count - before; got != 1 {
+		t.Errorf("delivery after reset=%d, want 1", got)
+	}
+}
+
+func TestReindexWithoutEventsFails(t *testing.T) {
+	sch, err := NewSchema(Attribute{Name: "a", Bits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ReindexDimensions(0.5); err == nil {
+		t.Error("reindex without an event window must fail")
+	}
+}
+
+func TestAutoReindex(t *testing.T) {
+	sch, err := NewSchema(
+		Attribute{Name: "hot", Bits: 10},
+		Attribute{Name: "cold", Bits: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(sch, WithMaxDzLen(8),
+		WithAutoReindex(time.Millisecond, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := sys.Hosts()
+	pub, err := sys.NewPublisher("p", hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Advertise(NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := sys.Subscribe("s", hosts[5],
+		NewFilter().Range("hot", 100, 200),
+		func(Delivery) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic varying only on "hot": the periodic loop must fire and
+	// re-index without breaking delivery.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 60; i++ {
+			if err := pub.Publish(uint32((i*61)%1024), 512); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sys.Run() // drains traffic AND the pending reindex timer
+	}
+	if sys.ReindexRounds() == 0 {
+		t.Fatal("auto reindex never ran")
+	}
+	before := count
+	if err := pub.Publish(150, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(900, 512); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if got := count - before; got != 1 {
+		t.Errorf("delivery after auto reindex: %d, want 1", got)
+	}
+}
+
+func TestAutoReindexRunTerminates(t *testing.T) {
+	// The periodic timer must not keep the simulation alive forever.
+	sch, err := NewSchema(Attribute{Name: "a", Bits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(sch, WithAutoReindex(time.Millisecond, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := sys.NewPublisher("p", sys.Hosts()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Advertise(NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := pub.Publish(uint32(i * 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Run() // must return
+}

@@ -1,0 +1,210 @@
+package pleroma
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// soakDelivery records one delivery for ground-truth comparison.
+type soakDelivery struct {
+	sub   string
+	event [2]uint32
+}
+
+// TestSoakChurnExactDelivery drives a randomized workload with full client
+// churn — advertisements and subscriptions appearing and disappearing —
+// through the public API and checks every publish round against ground
+// truth: a live subscription receives exactly the events that match its
+// filter and fall inside a live advertisement, exactly once, with no
+// false positives (decomposition runs at full precision).
+func TestSoakChurnExactDelivery(t *testing.T) {
+	topologies := []struct {
+		name string
+		opts []Option
+	}{
+		{"testbed", nil},
+		{"ring20-4part", []Option{WithTopology(TopologyRing20), WithPartitions(4)}},
+	}
+	for _, tc := range topologies {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			soakRun(t, tc.opts, 12345+int64(len(tc.name)))
+		})
+	}
+}
+
+func soakRun(t *testing.T, opts []Option, seed int64) {
+	t.Helper()
+	sch, err := NewSchema(
+		Attribute{Name: "x", Bits: 10},
+		Attribute{Name: "y", Bits: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full precision: 20-bit dz over two attributes, generous subspace
+	// budget — the decomposition is exact, so no false positives may occur.
+	opts = append([]Option{WithMaxDzLen(20), WithMaxSubspaces(4096)}, opts...)
+	sys, err := NewSystem(sch, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := sys.Hosts()
+	r := rand.New(rand.NewSource(seed))
+
+	type pubState struct {
+		pub  *Publisher
+		rect [2][2]uint32 // advertised region
+	}
+	type subRec struct {
+		filter [2][2]uint32
+		host   HostID
+	}
+	var (
+		pubs     = make(map[string]*pubState)
+		subs     = make(map[string]*subRec)
+		received []soakDelivery
+		nextID   int
+	)
+	randRange := func() [2]uint32 {
+		a := uint32(r.Intn(1024))
+		b := a + uint32(r.Intn(int(1024-a)))
+		return [2]uint32{a, b}
+	}
+	addPub := func() {
+		nextID++
+		id := fmt.Sprintf("p%d", nextID)
+		pub, err := sys.NewPublisher(id, hosts[r.Intn(len(hosts))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rect := [2][2]uint32{randRange(), randRange()}
+		if err := pub.Advertise(NewFilter().
+			Range("x", rect[0][0], rect[0][1]).
+			Range("y", rect[1][0], rect[1][1])); err != nil {
+			t.Fatal(err)
+		}
+		pubs[id] = &pubState{pub: pub, rect: rect}
+	}
+	addSub := func() {
+		nextID++
+		id := fmt.Sprintf("s%d", nextID)
+		filter := [2][2]uint32{randRange(), randRange()}
+		host := hosts[r.Intn(len(hosts))]
+		if err := sys.Subscribe(id, host,
+			NewFilter().
+				Range("x", filter[0][0], filter[0][1]).
+				Range("y", filter[1][0], filter[1][1]),
+			func(d Delivery) {
+				if d.FalsePositive {
+					t.Errorf("false positive at full precision: sub=%s event=%v",
+						d.SubscriptionID, d.Event.Values)
+				}
+				received = append(received, soakDelivery{
+					sub:   d.SubscriptionID,
+					event: [2]uint32{d.Event.Values[0], d.Event.Values[1]},
+				})
+			}); err != nil {
+			t.Fatal(err)
+		}
+		subs[id] = &subRec{filter: filter, host: host}
+	}
+	removeRandom := func(m map[string]bool) string {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		if len(keys) == 0 {
+			return ""
+		}
+		return keys[r.Intn(len(keys))]
+	}
+
+	// Seed population.
+	for i := 0; i < 2; i++ {
+		addPub()
+	}
+	for i := 0; i < 4; i++ {
+		addSub()
+	}
+
+	for round := 0; round < 12; round++ {
+		// Churn.
+		switch r.Intn(5) {
+		case 0:
+			addPub()
+		case 1:
+			addSub()
+		case 2:
+			if len(subs) > 1 {
+				set := make(map[string]bool, len(subs))
+				for k := range subs {
+					set[k] = true
+				}
+				id := removeRandom(set)
+				if err := sys.Unsubscribe(id); err != nil {
+					t.Fatal(err)
+				}
+				delete(subs, id)
+			}
+		case 3:
+			if len(pubs) > 1 {
+				set := make(map[string]bool, len(pubs))
+				for k := range pubs {
+					set[k] = true
+				}
+				id := removeRandom(set)
+				if err := pubs[id].pub.Unadvertise(); err != nil {
+					t.Fatal(err)
+				}
+				delete(pubs, id)
+			}
+		}
+
+		// Publish a batch from every live publisher, inside its region.
+		received = received[:0]
+		type sent struct {
+			event [2]uint32
+		}
+		var batch []sent
+		for _, ps := range pubs {
+			for j := 0; j < 5; j++ {
+				x := ps.rect[0][0] + uint32(r.Intn(int(ps.rect[0][1]-ps.rect[0][0]+1)))
+				y := ps.rect[1][0] + uint32(r.Intn(int(ps.rect[1][1]-ps.rect[1][0]+1)))
+				if err := ps.pub.Publish(x, y); err != nil {
+					t.Fatal(err)
+				}
+				batch = append(batch, sent{event: [2]uint32{x, y}})
+			}
+		}
+		sys.Run()
+
+		// Ground truth: count expected (sub, event) pairs.
+		expected := make(map[soakDelivery]int)
+		for _, b := range batch {
+			for id, sr := range subs {
+				if b.event[0] >= sr.filter[0][0] && b.event[0] <= sr.filter[0][1] &&
+					b.event[1] >= sr.filter[1][0] && b.event[1] <= sr.filter[1][1] {
+					expected[soakDelivery{sub: id, event: b.event}]++
+				}
+			}
+		}
+		got := make(map[soakDelivery]int)
+		for _, d := range received {
+			got[d]++
+		}
+		for k, want := range expected {
+			if got[k] != want {
+				t.Fatalf("round %d: %v delivered %d times, want %d (pubs=%d subs=%d)",
+					round, k, got[k], want, len(pubs), len(subs))
+			}
+		}
+		for k, g := range got {
+			if expected[k] != g {
+				t.Fatalf("round %d: unexpected delivery %v ×%d (expected %d)",
+					round, k, g, expected[k])
+			}
+		}
+	}
+}
