@@ -1,0 +1,24 @@
+GO ?= go
+
+# Packages with dedicated concurrency stress coverage; raced separately so
+# `make check` stays fast while still catching locking regressions.
+RACE_PKGS := ./internal/core/... ./internal/netem/... ./internal/openflow/... ./internal/workload/...
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 100x ./internal/core/... ./internal/openflow/...

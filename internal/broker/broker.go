@@ -12,6 +12,8 @@ package broker
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"pleroma/internal/dz"
@@ -81,13 +83,21 @@ type broker struct {
 }
 
 // Overlay is the broker network.
+//
+// Like core.Controller, an Overlay is safe for concurrent use — the
+// broker-vs-SDN ablation stays apples-to-apples under concurrent churn.
+// One lock guards routing tables and counters; the simulated event routing
+// acquires it per broker hop, mimicking a per-broker critical section.
 type Overlay struct {
 	g       *topo.Graph
 	eng     *sim.Engine
 	cfg     Config
 	tree    *topo.SpanningTree
-	brokers map[topo.NodeID]*broker
 	deliver DeliverFunc
+
+	// mu guards brokers, stats, and the subscription registry.
+	mu      sync.Mutex
+	brokers map[topo.NodeID]*broker
 	stats   Stats
 	subHome map[string]topo.NodeID
 	subRect map[string]dz.Rect
@@ -135,7 +145,11 @@ func New(g *topo.Graph, eng *sim.Engine, cfg Config, deliver DeliverFunc) (*Over
 }
 
 // Stats returns a copy of the counters.
-func (o *Overlay) Stats() Stats { return o.stats }
+func (o *Overlay) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
 
 // treeNeighbors returns the tree-adjacent brokers of sw.
 func (o *Overlay) treeNeighbors(sw topo.NodeID) []topo.NodeID {
@@ -154,12 +168,14 @@ func (o *Overlay) treeNeighbors(sw topo.NodeID) []topo.NodeID {
 // Subscribe registers a subscription at the broker of the host's switch
 // and floods it through the tree with covering-based suppression.
 func (o *Overlay) Subscribe(id string, host topo.NodeID, rect dz.Rect) error {
-	if _, dup := o.subHome[id]; dup {
-		return fmt.Errorf("broker: duplicate subscription id %q", id)
-	}
 	sw, err := o.g.AttachedSwitch(host)
 	if err != nil {
 		return fmt.Errorf("broker: subscribe: %w", err)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.subHome[id]; dup {
+		return fmt.Errorf("broker: duplicate subscription id %q", id)
 	}
 	b := o.brokers[sw]
 	b.local = append(b.local, subEntry{id: id, rect: rect})
@@ -176,6 +192,8 @@ func (o *Overlay) Subscribe(id string, host topo.NodeID, rect dz.Rect) error {
 // "expensive maintenance of subscription summaries" the paper's related
 // work discusses; the control messages are counted accordingly.
 func (o *Overlay) Unsubscribe(id string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	host, ok := o.subHome[id]
 	if !ok {
 		return fmt.Errorf("broker: unknown subscription id %q", id)
@@ -257,7 +275,9 @@ func (o *Overlay) Publish(host topo.NodeID, ev space.Event) error {
 	if !ok {
 		return fmt.Errorf("broker: host %d has no access link", host)
 	}
+	o.mu.Lock()
 	o.stats.EventMessages++
+	o.mu.Unlock()
 	o.eng.Schedule(access.Params.Latency, func() {
 		o.route(sw, 0, ev)
 	})
@@ -268,6 +288,7 @@ func (o *Overlay) Publish(host topo.NodeID, ev space.Event) error {
 // subscription tables, deliver locally, and forward towards interested
 // neighbours.
 func (o *Overlay) route(sw, from topo.NodeID, ev space.Event) {
+	o.mu.Lock()
 	b := o.brokers[sw]
 	evaluated := 0
 
@@ -303,6 +324,7 @@ func (o *Overlay) route(sw, from topo.NodeID, ev space.Event) {
 	}
 	sortNodeIDs(forwards)
 	o.stats.FilterEvaluations += uint64(evaluated)
+	o.mu.Unlock()
 
 	procDelay := o.cfg.BaseHopDelay + time.Duration(evaluated)*o.cfg.PerFilterCost
 	o.eng.Schedule(procDelay, func() {
@@ -312,11 +334,16 @@ func (o *Overlay) route(sw, from topo.NodeID, ev space.Event) {
 			if !ok {
 				continue
 			}
+			o.mu.Lock()
 			o.stats.EventMessages++
+			o.mu.Unlock()
 			o.eng.Schedule(hostLink.Params.Latency, func() {
+				o.mu.Lock()
 				o.stats.Deliveries++
-				if o.deliver != nil {
-					o.deliver(Delivery{SubID: h.id, Host: h.host, Event: ev, At: o.eng.Now()})
+				deliver := o.deliver
+				o.mu.Unlock()
+				if deliver != nil {
+					deliver(Delivery{SubID: h.id, Host: h.host, Event: ev, At: o.eng.Now()})
 				}
 			})
 		}
@@ -326,12 +353,18 @@ func (o *Overlay) route(sw, from topo.NodeID, ev space.Event) {
 			if !ok {
 				continue
 			}
+			o.mu.Lock()
 			o.stats.EventMessages++
+			o.mu.Unlock()
 			o.eng.Schedule(link.Params.Latency, func() {
 				o.route(nb, sw, ev)
 			})
 		}
 	})
+}
+
+func sortNodeIDs(ids []topo.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }
 
 // rectCovers reports whether a contains b in every dimension.
@@ -345,12 +378,4 @@ func rectCovers(a, b dz.Rect) bool {
 		}
 	}
 	return true
-}
-
-func sortNodeIDs(ids []topo.NodeID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
 }

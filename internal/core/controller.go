@@ -12,12 +12,15 @@ import (
 // Advertise processes an advertisement from a publisher host (Algorithm 1,
 // lines 1–15): the publisher joins every tree whose DZ overlaps the
 // advertisement, a new tree is created for uncovered subspaces, and routes
-// to all matching subscribers are installed.
+// to all matching subscribers are installed. The controller takes
+// ownership of set; the caller must not modify it afterwards.
 func (c *Controller) Advertise(id string, host topo.NodeID, set dz.Set) (ReconfigReport, error) {
 	ep, err := c.hostEndpoint(host)
 	if err != nil {
 		return ReconfigReport{}, err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.advertise(id, ep, set)
 }
 
@@ -29,6 +32,8 @@ func (c *Controller) AdvertiseVirtual(id string, borderSwitch topo.NodeID, viaPo
 	if err != nil {
 		return ReconfigReport{}, err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.advertise(id, ep, set)
 }
 
@@ -84,12 +89,15 @@ func (c *Controller) advertise(id string, ep endpoint, set dz.Set) (ReconfigRepo
 // 16–25): the subscriber joins every overlapping tree and paths from all
 // publishers with overlapping advertisements are installed. A subscription
 // that overlaps no tree is stored at the controller and revisited when
-// trees change.
+// trees change. The controller takes ownership of set; the caller must not
+// modify it afterwards.
 func (c *Controller) Subscribe(id string, host topo.NodeID, set dz.Set) (ReconfigReport, error) {
 	ep, err := c.hostEndpoint(host)
 	if err != nil {
 		return ReconfigReport{}, err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.subscribe(id, ep, set)
 }
 
@@ -100,6 +108,8 @@ func (c *Controller) SubscribeVirtual(id string, borderSwitch topo.NodeID, viaPo
 	if err != nil {
 		return ReconfigReport{}, err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.subscribe(id, ep, set)
 }
 
@@ -151,6 +161,8 @@ func (c *Controller) subscribe(id string, ep endpoint, set dz.Set) (ReconfigRepo
 // torn down, deleting flows no other path needs and downgrading shared
 // ones (Section 3.3.3).
 func (c *Controller) Unsubscribe(id string) (ReconfigReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var rep ReconfigReport
 	sub, ok := c.subs[id]
 	if !ok {
@@ -176,6 +188,8 @@ func (c *Controller) Unsubscribe(id string) (ReconfigReport, error) {
 // are dismantled; their subscribers fall back to stored state for the
 // affected subspaces.
 func (c *Controller) Unadvertise(id string) (ReconfigReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var rep ReconfigReport
 	pub, ok := c.pubs[id]
 	if !ok {
@@ -216,6 +230,7 @@ func (c *Controller) logOp(op, id string, rep ReconfigReport) {
 		"treesCreated", rep.TreesCreated,
 		"treesMerged", rep.TreesMerged,
 		"routes", rep.RoutesComputed,
+		"southbound", rep.SouthboundCalls,
 		"stored", rep.Stored,
 	)
 }
@@ -299,12 +314,15 @@ func (c *Controller) createTree(pub *publisher, set dz.Set, rep *ReconfigReport)
 		return nil, fmt.Errorf("core: create tree: %w", err)
 	}
 	c.nextTree++
+	// set is always a freshly computed uncovered remainder that no caller
+	// retains, and dz.Set operations never mutate in place — aliasing it
+	// into the tree is safe and saves two clones per tree creation.
 	t := &tree{
 		id:   c.nextTree,
-		set:  set.Clone(),
+		set:  set,
 		span: span,
 		root: pub.ep.node,
-		pubs: map[string]dz.Set{pub.id: set.Clone()},
+		pubs: map[string]dz.Set{pub.id: set},
 		subs: make(map[string]dz.Set),
 	}
 	pub.trees[t.id] = true
@@ -484,6 +502,8 @@ func sortedKeys[V any](m map[string]V) []string {
 // affected paths — the controller-side reaction to network dynamics the
 // paper's conclusion names as follow-up work.
 func (c *Controller) RebuildTrees() (ReconfigReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var rep ReconfigReport
 	touched := make(touchedSet)
 	for _, t := range c.sortedTrees() {

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net/netip"
+	"sort"
+	"sync"
 
 	"pleroma/internal/dz"
 	"pleroma/internal/openflow"
@@ -35,6 +37,21 @@ type FlowProgrammer interface {
 	AddFlow(sw topo.NodeID, f openflow.Flow) (openflow.FlowID, error)
 	DeleteFlow(sw topo.NodeID, id openflow.FlowID) error
 	ModifyFlow(sw topo.NodeID, id openflow.FlowID, priority int, actions []openflow.Action) error
+}
+
+// BatchFlowProgrammer is optionally implemented by FlowProgrammers that
+// can apply a whole batch of FlowMods to one switch in a single southbound
+// call (modelling OpenFlow bundles). When the controller's programmer
+// implements it, every control operation flushes one batch per touched
+// switch instead of one call per FlowMod, cutting southbound round-trips
+// from O(flow ops) to O(touched switches).
+//
+// ApplyBatch must apply the operations in order and return one FlowID per
+// applied operation (the assigned ID for adds, zero otherwise); on error
+// the returned slice identifies the prefix that took effect.
+type BatchFlowProgrammer interface {
+	FlowProgrammer
+	ApplyBatch(sw topo.NodeID, ops []openflow.FlowOp) ([]openflow.FlowID, error)
 }
 
 // HostAddrFunc resolves the unicast address of a host node for the
@@ -119,6 +136,10 @@ type ReconfigReport struct {
 	TreesJoined    int
 	TreesMerged    int
 	RoutesComputed int
+	// SouthboundCalls counts programmer invocations of the operation: with
+	// a BatchFlowProgrammer this is at most the number of touched switches,
+	// without one it equals FlowOps().
+	SouthboundCalls int
 	// Stored is true when a subscription matched no tree and was only
 	// recorded at the controller.
 	Stored bool
@@ -141,6 +162,8 @@ type Stats struct {
 	TreesCreated    uint64
 	TreesMerged     uint64
 	StoredSubs      uint64
+	// SouthboundCalls counts programmer invocations (batches count once).
+	SouthboundCalls uint64
 }
 
 // Requests returns the total number of processed control requests.
@@ -163,15 +186,35 @@ type contribKey struct {
 }
 
 // Controller is the PLEROMA middleware instance of one partition.
+//
+// A Controller is safe for concurrent use: control operations (Advertise,
+// Subscribe, Unsubscribe, Unadvertise, RebuildTrees) serialise behind a
+// write lock while read-only queries (Trees, Stats, SubscriptionSet,
+// AdvertisementSet, StoredSubscriptions, InstalledFlowCount, VerifyTables)
+// share a read lock and proceed in parallel. Within one control operation
+// the per-switch flow reconciliation fans out across touched switches via
+// a bounded worker pool — switch states are disjoint, so the fan-out is
+// safe as long as the FlowProgrammer tolerates concurrent calls on
+// distinct switches (*netem.DataPlane does: each table has its own lock).
 type Controller struct {
 	g         *topo.Graph
 	prog      FlowProgrammer
+	batch     BatchFlowProgrammer // non-nil when prog supports batching
 	hostAddr  HostAddrFunc
 	partition int
 	maxTrees  int
 	maxDzLen  int
+	// refreshWorkers bounds the per-switch refresh fan-out; 0 means
+	// GOMAXPROCS, 1 serialises.
+	refreshWorkers int
 
 	log *slog.Logger
+
+	// mu serialises mutations of all state below; read-only queries take
+	// it shared. It is the top of the lock hierarchy: flow-table and
+	// data-plane locks are only ever acquired while holding it (through
+	// programmer calls) and never the other way around.
+	mu sync.RWMutex
 
 	nextTree TreeID
 	trees    map[TreeID]*tree
@@ -225,6 +268,14 @@ func WithLogger(l *slog.Logger) Option {
 	return func(c *Controller) { c.log = l }
 }
 
+// WithRefreshWorkers bounds the per-switch refresh fan-out of one control
+// operation: n switches reconcile concurrently. 1 serialises the refresh
+// (useful for programmers that are not safe for concurrent per-switch
+// calls); 0, the default, uses GOMAXPROCS.
+func WithRefreshWorkers(n int) Option {
+	return func(c *Controller) { c.refreshWorkers = n }
+}
+
 // NewController creates a controller for (one partition of) the topology.
 func NewController(g *topo.Graph, prog FlowProgrammer, opts ...Option) (*Controller, error) {
 	if g == nil {
@@ -250,6 +301,7 @@ func NewController(g *topo.Graph, prog FlowProgrammer, opts ...Option) (*Control
 	if c.hostAddr == nil {
 		return nil, fmt.Errorf("core: host address function required (use WithHostAddr)")
 	}
+	c.batch, _ = prog.(BatchFlowProgrammer)
 	return c, nil
 }
 
@@ -258,10 +310,16 @@ func NewController(g *topo.Graph, prog FlowProgrammer, opts ...Option) (*Control
 func (c *Controller) Partition() int { return c.partition }
 
 // Stats returns a copy of the lifetime counters.
-func (c *Controller) Stats() Stats { return c.stats }
+func (c *Controller) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats
+}
 
 // Trees returns snapshots of all dissemination trees, ordered by ID.
 func (c *Controller) Trees() []TreeInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]TreeInfo, 0, len(c.trees))
 	for id := TreeID(1); id <= c.nextTree; id++ {
 		t, ok := c.trees[id]
@@ -275,8 +333,8 @@ func (c *Controller) Trees() []TreeInfo {
 		for s := range t.subs {
 			info.Subscribers = append(info.Subscribers, s)
 		}
-		sortStrings(info.Publishers)
-		sortStrings(info.Subscribers)
+		sort.Strings(info.Publishers)
+		sort.Strings(info.Subscribers)
 		out = append(out, info)
 	}
 	return out
@@ -285,18 +343,22 @@ func (c *Controller) Trees() []TreeInfo {
 // StoredSubscriptions returns the ids of subscriptions that currently
 // match no tree.
 func (c *Controller) StoredSubscriptions() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []string
 	for id, s := range c.subs {
 		if len(s.trees) == 0 {
 			out = append(out, id)
 		}
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
 }
 
 // SubscriptionSet returns the registered DZ set of a subscription.
 func (c *Controller) SubscriptionSet(id string) (dz.Set, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	s, ok := c.subs[id]
 	if !ok {
 		return nil, false
@@ -306,6 +368,8 @@ func (c *Controller) SubscriptionSet(id string) (dz.Set, bool) {
 
 // AdvertisementSet returns the registered DZ set of an advertisement.
 func (c *Controller) AdvertisementSet(id string) (dz.Set, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	p, ok := c.pubs[id]
 	if !ok {
 		return nil, false
@@ -321,17 +385,14 @@ func (c *Controller) inPartition(n topo.NodeID) bool {
 	return c.g.Partition(n) == c.partition
 }
 
+// truncate applies the L_dz constraint. Without one the set is used as-is:
+// the controller only ever reads registered DZ sets (the dz.Set operations
+// are all copy-on-write), so the defensive clone this used to make was a
+// per-request allocation with no observable effect. Callers hand ownership
+// of the set to the controller on Advertise/Subscribe.
 func (c *Controller) truncate(s dz.Set) dz.Set {
 	if c.maxDzLen <= 0 {
-		return s.Clone()
+		return s
 	}
 	return s.Truncate(c.maxDzLen)
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

@@ -3,6 +3,7 @@ package core_test
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"pleroma/internal/core"
@@ -14,9 +15,11 @@ import (
 )
 
 // flakyProgrammer injects failures into the southbound interface after a
-// configurable number of successful operations.
+// configurable number of successful operations. It must be safe for
+// concurrent use: the controller refreshes touched switches in parallel.
 type flakyProgrammer struct {
 	inner     core.FlowProgrammer
+	mu        sync.Mutex
 	failAfter int
 	ops       int
 	failKind  string // "add", "delete", "modify" or "" for all
@@ -25,6 +28,8 @@ type flakyProgrammer struct {
 var errSwitchGone = errors.New("switch unreachable")
 
 func (f *flakyProgrammer) shouldFail(kind string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.ops++
 	if f.ops <= f.failAfter {
 		return false

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"pleroma/internal/core"
@@ -279,11 +280,7 @@ func TestFigure4EndToEnd(t *testing.T) {
 }
 
 func sortPorts(p []openflow.PortID) {
-	for i := 1; i < len(p); i++ {
-		for j := i; j > 0 && p[j] < p[j-1]; j-- {
-			p[j], p[j-1] = p[j-1], p[j]
-		}
-	}
+	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
 }
 
 func TestFigure4FlowModAccounting(t *testing.T) {

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"pleroma/internal/dz"
 	"pleroma/internal/openflow"
@@ -323,17 +325,19 @@ func actionsEqual(a, b []openflow.Action) bool {
 // expressions and their direct descendants: an entry's port union depends
 // only on its prefixes, and its pruning decision on its nearest coarser
 // entry, so changes never propagate outside the prefix family.
-func (c *Controller) refreshSwitch(sw topo.NodeID, changed map[dz.Expr]bool, rep *ReconfigReport) error {
+//
+// All FlowMods the switch owes are collected into one batch and flushed in
+// a single southbound call when the programmer supports batching. It only
+// reads shared controller state (contribs, graph) and writes the
+// per-switch inst map and the caller's report, so refresh may run it
+// concurrently for distinct switches.
+func (c *Controller) refreshSwitch(sw topo.NodeID, changed map[dz.Expr]bool,
+	inst map[dz.Expr]installedFlow, rep *ReconfigReport) error {
 	direct := c.contribs.refs[sw]
 	affected := make(map[dz.Expr]bool, len(changed)*2)
 	for e := range changed {
 		affected[e] = true
 		c.contribs.descendants(sw, e, affected)
-	}
-	inst := c.installed[sw]
-	if inst == nil {
-		inst = make(map[dz.Expr]installedFlow)
-		c.installed[sw] = inst
 	}
 	memo := make(map[dz.Expr]portSet, len(affected))
 	exprs := make([]dz.Expr, 0, len(affected))
@@ -341,17 +345,16 @@ func (c *Controller) refreshSwitch(sw topo.NodeID, changed map[dz.Expr]bool, rep
 		exprs = append(exprs, e)
 	}
 	sort.Slice(exprs, func(i, j int) bool { return exprs[i] < exprs[j] })
+
+	ops := make([]openflow.FlowOp, 0, len(exprs))
+	metas := make([]opMeta, 0, len(exprs))
 	for _, e := range exprs {
 		want := desiredEntry(direct, e, memo)
 		fl, installed := inst[e]
 		switch {
 		case want == nil && installed:
-			if err := c.prog.DeleteFlow(sw, fl.id); err != nil {
-				return fmt.Errorf("core: delete flow on %d: %w", sw, err)
-			}
-			delete(inst, e)
-			rep.FlowDeletes++
-			c.stats.FlowDeletes++
+			ops = append(ops, openflow.DeleteOp(fl.id))
+			metas = append(metas, opMeta{expr: e})
 		case want != nil && !installed:
 			actions := c.actionsFor(sw, want)
 			prio := e.Len()
@@ -359,51 +362,188 @@ func (c *Controller) refreshSwitch(sw topo.NodeID, changed map[dz.Expr]bool, rep
 			if err != nil {
 				return fmt.Errorf("core: build flow: %w", err)
 			}
-			id, err := c.prog.AddFlow(sw, f)
-			if err != nil {
-				return fmt.Errorf("core: add flow on %d: %w", sw, err)
-			}
-			inst[e] = installedFlow{id: id, priority: prio, actions: actions}
-			rep.FlowAdds++
-			c.stats.FlowAdds++
+			ops = append(ops, openflow.AddOp(f))
+			metas = append(metas, opMeta{expr: e, inst: installedFlow{priority: prio, actions: actions}})
 		case want != nil && installed:
 			actions := c.actionsFor(sw, want)
 			prio := e.Len()
 			if fl.priority != prio || !actionsEqual(fl.actions, actions) {
-				if err := c.prog.ModifyFlow(sw, fl.id, prio, actions); err != nil {
-					return fmt.Errorf("core: modify flow on %d: %w", sw, err)
-				}
-				inst[e] = installedFlow{id: fl.id, priority: prio, actions: actions}
-				rep.FlowModifies++
-				c.stats.FlowModifies++
+				ops = append(ops, openflow.ModifyOp(fl.id, prio, actions))
+				metas = append(metas, opMeta{expr: e, inst: installedFlow{id: fl.id, priority: prio, actions: actions}})
 			}
 		}
 	}
-	if len(inst) == 0 {
-		delete(c.installed, sw)
+	return c.flushOps(sw, ops, metas, inst, rep)
+}
+
+// opMeta pairs one batch op with the installed-state update to apply once
+// the op is known to have taken effect on the switch.
+type opMeta struct {
+	expr dz.Expr
+	// inst is the entry to store for adds/modifies (the add's flow ID is
+	// filled in from the programmer's result); unused for deletes.
+	inst installedFlow
+}
+
+// flushOps ships the FlowMods of one switch southbound — as a single batch
+// when the programmer supports it, one call per op otherwise — and applies
+// the corresponding installed-state updates for every op that took effect.
+func (c *Controller) flushOps(sw topo.NodeID, ops []openflow.FlowOp, metas []opMeta,
+	inst map[dz.Expr]installedFlow, rep *ReconfigReport) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	var applied []openflow.FlowID
+	var progErr error
+	if c.batch != nil {
+		rep.SouthboundCalls++
+		applied, progErr = c.batch.ApplyBatch(sw, ops)
+	} else {
+		applied = make([]openflow.FlowID, 0, len(ops))
+		for _, op := range ops {
+			rep.SouthboundCalls++
+			switch op.Kind {
+			case openflow.OpAdd:
+				id, err := c.prog.AddFlow(sw, op.Flow)
+				if err != nil {
+					progErr = err
+				} else {
+					applied = append(applied, id)
+				}
+			case openflow.OpDelete:
+				progErr = c.prog.DeleteFlow(sw, op.ID)
+				if progErr == nil {
+					applied = append(applied, 0)
+				}
+			case openflow.OpModify:
+				progErr = c.prog.ModifyFlow(sw, op.ID, op.Priority, op.Actions)
+				if progErr == nil {
+					applied = append(applied, 0)
+				}
+			}
+			if progErr != nil {
+				break
+			}
+		}
+	}
+	// Record exactly the prefix of ops the switch acknowledged.
+	for i := range applied {
+		switch ops[i].Kind {
+		case openflow.OpAdd:
+			m := metas[i].inst
+			m.id = applied[i]
+			inst[metas[i].expr] = m
+			rep.FlowAdds++
+		case openflow.OpDelete:
+			delete(inst, metas[i].expr)
+			rep.FlowDeletes++
+		case openflow.OpModify:
+			inst[metas[i].expr] = metas[i].inst
+			rep.FlowModifies++
+		}
+	}
+	if progErr != nil {
+		kind := ops[len(applied)].Kind
+		return fmt.Errorf("core: %s flow on %d: %w", kind, sw, progErr)
 	}
 	return nil
 }
 
-// refresh reconciles every touched switch.
+// refresh reconciles every touched switch. The per-switch work is disjoint
+// — refreshSwitch only reads shared state and owns its switch's installed
+// map — so it fans out across a bounded worker pool; per-worker reports
+// merge into rep (and the lifetime stats) afterwards, keeping counters
+// deterministic regardless of interleaving. On failure the error of the
+// lowest-numbered switch is returned, matching the serial order.
 func (c *Controller) refresh(touched touchedSet, rep *ReconfigReport) error {
+	if len(touched) == 0 {
+		return nil
+	}
 	sws := make([]topo.NodeID, 0, len(touched))
 	for sw := range touched {
 		sws = append(sws, sw)
 	}
 	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
-	for _, sw := range sws {
-		if err := c.refreshSwitch(sw, touched[sw], rep); err != nil {
-			return err
+
+	// Pre-create the per-switch installed maps serially: map writes on
+	// c.installed must not race with the fan-out below.
+	insts := make([]map[dz.Expr]installedFlow, len(sws))
+	for i, sw := range sws {
+		inst := c.installed[sw]
+		if inst == nil {
+			inst = make(map[dz.Expr]installedFlow)
+			c.installed[sw] = inst
+		}
+		insts[i] = inst
+	}
+
+	workers := c.refreshWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sws) {
+		workers = len(sws)
+	}
+
+	var err error
+	var agg ReconfigReport
+	if workers <= 1 {
+		for i, sw := range sws {
+			if err = c.refreshSwitch(sw, touched[sw], insts[i], &agg); err != nil {
+				break
+			}
+		}
+	} else {
+		reps := make([]ReconfigReport, len(sws))
+		errs := make([]error, len(sws))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := range sws {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				errs[i] = c.refreshSwitch(sws[i], touched[sws[i]], insts[i], &reps[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := range sws {
+			agg.FlowAdds += reps[i].FlowAdds
+			agg.FlowDeletes += reps[i].FlowDeletes
+			agg.FlowModifies += reps[i].FlowModifies
+			agg.SouthboundCalls += reps[i].SouthboundCalls
+			if err == nil && errs[i] != nil {
+				err = errs[i]
+			}
 		}
 	}
-	return nil
+
+	// Merge the (possibly partial) refresh outcome into the operation
+	// report and the lifetime counters, then drop empty table entries.
+	rep.FlowAdds += agg.FlowAdds
+	rep.FlowDeletes += agg.FlowDeletes
+	rep.FlowModifies += agg.FlowModifies
+	rep.SouthboundCalls += agg.SouthboundCalls
+	c.stats.FlowAdds += uint64(agg.FlowAdds)
+	c.stats.FlowDeletes += uint64(agg.FlowDeletes)
+	c.stats.FlowModifies += uint64(agg.FlowModifies)
+	c.stats.SouthboundCalls += uint64(agg.SouthboundCalls)
+	for _, sw := range sws {
+		if len(c.installed[sw]) == 0 {
+			delete(c.installed, sw)
+		}
+	}
+	return err
 }
 
 // VerifyTables cross-checks the incrementally maintained flow state
 // against the full canonical derivation; it is used by tests and returns
-// the first inconsistency found.
+// the first inconsistency found. It takes the read lock, so it sees a
+// consistent snapshot even while control operations churn concurrently.
 func (c *Controller) VerifyTables() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	// Every switch with installed flows or contributions must agree.
 	seen := make(map[topo.NodeID]bool)
 	for sw := range c.installed {
@@ -435,6 +575,8 @@ func (c *Controller) VerifyTables() error {
 // InstalledFlowCount returns the number of flows the controller currently
 // has programmed across all switches (the TCAM budget of requirement 3).
 func (c *Controller) InstalledFlowCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	total := 0
 	for _, m := range c.installed {
 		total += len(m)
@@ -445,6 +587,8 @@ func (c *Controller) InstalledFlowCount() int {
 // InstalledFlowsOn returns the match expressions programmed on one switch,
 // sorted — used by tests and the dzcalc tool.
 func (c *Controller) InstalledFlowsOn(sw topo.NodeID) []dz.Expr {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	m := c.installed[sw]
 	out := make([]dz.Expr, 0, len(m))
 	for e := range m {

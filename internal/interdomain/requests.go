@@ -2,6 +2,7 @@ package interdomain
 
 import (
 	"fmt"
+	"sort"
 
 	"pleroma/internal/dz"
 	"pleroma/internal/topo"
@@ -355,18 +356,10 @@ func sortedStringKeys[V any](m map[string]V) []string {
 	for k := range m {
 		out = append(out, k)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 
 func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	sort.Ints(s)
 }

@@ -25,6 +25,7 @@ func (dp *DataPlane) AddFlow(sw topo.NodeID, f openflow.Flow) (openflow.FlowID, 
 	if err != nil {
 		return 0, err
 	}
+	dp.southbound.Add(1)
 	return t.TryAdd(f)
 }
 
@@ -34,6 +35,7 @@ func (dp *DataPlane) DeleteFlow(sw topo.NodeID, id openflow.FlowID) error {
 	if err != nil {
 		return err
 	}
+	dp.southbound.Add(1)
 	if !t.Delete(id) {
 		return fmt.Errorf("netem: switch %d has no flow %d", sw, id)
 	}
@@ -46,11 +48,29 @@ func (dp *DataPlane) ModifyFlow(sw topo.NodeID, id openflow.FlowID, priority int
 	if err != nil {
 		return err
 	}
+	dp.southbound.Add(1)
 	if !t.Modify(id, priority, actions) {
 		return fmt.Errorf("netem: switch %d has no flow %d", sw, id)
 	}
 	return nil
 }
+
+// ApplyBatch applies a whole batch of FlowMods to one switch in a single
+// southbound call, modelling an OpenFlow bundle (core.BatchFlowProgrammer
+// surface). Operations apply in order; on failure the returned slice tells
+// the caller which prefix took effect.
+func (dp *DataPlane) ApplyBatch(sw topo.NodeID, ops []openflow.FlowOp) ([]openflow.FlowID, error) {
+	t, err := dp.Table(sw)
+	if err != nil {
+		return nil, err
+	}
+	dp.southbound.Add(1)
+	return t.ApplyBatch(ops)
+}
+
+// SouthboundCalls returns the number of controller→switch programming
+// calls made so far; a batch counts once however many FlowMods it carries.
+func (dp *DataPlane) SouthboundCalls() uint64 { return dp.southbound.Load() }
 
 // Flows lists the flows installed on a switch.
 func (dp *DataPlane) Flows(sw topo.NodeID) ([]openflow.Flow, error) {

@@ -13,6 +13,8 @@ package netem
 import (
 	"fmt"
 	"net/netip"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pleroma/internal/dz"
@@ -131,12 +133,23 @@ type hostState struct {
 
 // DataPlane wires a topology, per-switch flow tables, and host models onto
 // a simulation engine.
+//
+// Concurrency: each switch's flow table carries its own lock, so
+// control-plane reconfiguration (AddFlow/DeleteFlow/ModifyFlow/ApplyBatch,
+// possibly from many controller goroutines touching disjoint switches) and
+// data-plane forwarding interleave safely. Per-switch counters use atomics
+// and the remaining shared state (link, host, and sequence counters) sits
+// behind mu. The simulation engine itself stays single-threaded: packets
+// are forwarded on the goroutine driving Engine.Run.
 type DataPlane struct {
 	g      *topo.Graph
 	eng    *sim.Engine
 	tables map[topo.NodeID]*openflow.Table
-	swCfg  map[topo.NodeID]SwitchConfig
-	hosts  map[topo.NodeID]*hostState
+
+	// mu guards swCfg, hosts, busyUntil, queued, linkStats, and seq.
+	mu    sync.Mutex
+	swCfg map[topo.NodeID]SwitchConfig
+	hosts map[topo.NodeID]*hostState
 	// busyUntil tracks per-direction link availability for serialization;
 	// queued tracks the per-direction transmit backlog for tail-drops.
 	busyUntil map[linkDir]time.Duration
@@ -145,6 +158,9 @@ type DataPlane struct {
 	linkStats map[*topo.Link]*LinkStats
 	punt      PuntFunc
 	seq       map[topo.NodeID]uint64
+	// southbound counts controller→switch programming calls; a batch is
+	// one call regardless of how many FlowMods it carries.
+	southbound atomic.Uint64
 	// recordPaths makes every packet accumulate the switches it visits.
 	recordPaths bool
 }
@@ -201,19 +217,25 @@ func (dp *DataPlane) SetSwitchConfig(sw topo.NodeID, cfg SwitchConfig) error {
 	if _, ok := dp.tables[sw]; !ok {
 		return fmt.Errorf("netem: node %d is not a switch", sw)
 	}
+	dp.mu.Lock()
 	dp.swCfg[sw] = cfg
+	dp.mu.Unlock()
 	return nil
 }
 
 // SetAllSwitchConfigs overrides the forwarding model of every switch.
 func (dp *DataPlane) SetAllSwitchConfigs(cfg SwitchConfig) {
+	dp.mu.Lock()
 	for sw := range dp.swCfg {
 		dp.swCfg[sw] = cfg
 	}
+	dp.mu.Unlock()
 }
 
 // ConfigureHost sets the processing model and delivery callback of a host.
 func (dp *DataPlane) ConfigureHost(h topo.NodeID, cfg HostConfig, deliver DeliverFunc) error {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
 	hs, ok := dp.hosts[h]
 	if !ok {
 		return fmt.Errorf("netem: node %d is not a host", h)
@@ -234,7 +256,12 @@ func (dp *DataPlane) RecordPaths(on bool) { dp.recordPaths = on }
 // SwitchStatsFor returns a copy of the counters of one switch.
 func (dp *DataPlane) SwitchStatsFor(sw topo.NodeID) SwitchStats {
 	if s, ok := dp.swStats[sw]; ok {
-		return *s
+		return SwitchStats{
+			Forwarded:   atomic.LoadUint64(&s.Forwarded),
+			TableMisses: atomic.LoadUint64(&s.TableMisses),
+			HopExceeded: atomic.LoadUint64(&s.HopExceeded),
+			Punted:      atomic.LoadUint64(&s.Punted),
+		}
 	}
 	return SwitchStats{}
 }
@@ -242,6 +269,8 @@ func (dp *DataPlane) SwitchStatsFor(sw topo.NodeID) SwitchStats {
 // HostReceived returns the number of packets delivered to the host
 // application.
 func (dp *DataPlane) HostReceived(h topo.NodeID) uint64 {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
 	if hs, ok := dp.hosts[h]; ok {
 		return hs.received
 	}
@@ -250,6 +279,8 @@ func (dp *DataPlane) HostReceived(h topo.NodeID) uint64 {
 
 // HostDropped returns the number of packets dropped at host ingress.
 func (dp *DataPlane) HostDropped(h topo.NodeID) uint64 {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
 	if hs, ok := dp.hosts[h]; ok {
 		return hs.dropped
 	}
@@ -257,13 +288,19 @@ func (dp *DataPlane) HostDropped(h topo.NodeID) uint64 {
 }
 
 // LinkStatsFor returns the counters of one link (may be nil if unused).
+// The returned struct is shared with the data plane; read it only once the
+// simulation has settled.
 func (dp *DataPlane) LinkStatsFor(l *topo.Link) *LinkStats {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
 	return dp.linkStats[l]
 }
 
 // TotalLinkPackets sums packet transmissions over all links — the
 // bandwidth-usage measure used by the tree-strategy ablation.
 func (dp *DataPlane) TotalLinkPackets() uint64 {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
 	var total uint64
 	for _, ls := range dp.linkStats {
 		for _, c := range ls.Packets {
@@ -284,13 +321,16 @@ func (dp *DataPlane) Publish(host topo.NodeID, expr dz.Expr, ev space.Event, siz
 	if size <= 0 {
 		size = DefaultPacketSize
 	}
+	dp.mu.Lock()
 	dp.seq[host]++
+	seq := dp.seq[host]
+	dp.mu.Unlock()
 	pkt := Packet{
 		Dst:       addr,
 		Expr:      expr,
 		Event:     ev,
 		Publisher: host,
-		Seq:       dp.seq[host],
+		Seq:       seq,
 		SizeBytes: size,
 		SentAt:    dp.eng.Now(),
 		HopLimit:  DefaultHopLimit,
@@ -361,6 +401,7 @@ func (dp *DataPlane) SendFromSwitchPort(sw topo.NodeID, port openflow.PortID, pk
 func (dp *DataPlane) transmit(link *topo.Link, from topo.NodeID, pkt Packet, arrive func(Packet)) {
 	now := dp.eng.Now()
 	dir := linkDir{link: link, from: from}
+	dp.mu.Lock()
 	ls := dp.linkStats[link]
 	if ls == nil {
 		ls = &LinkStats{
@@ -372,10 +413,12 @@ func (dp *DataPlane) transmit(link *topo.Link, from topo.NodeID, pkt Packet, arr
 	}
 	if link.Down {
 		ls.Dropped[from]++
+		dp.mu.Unlock()
 		return
 	}
 	if q := link.Params.QueuePackets; q > 0 && dp.queued[dir] >= q {
 		ls.Dropped[from]++
+		dp.mu.Unlock()
 		return
 	}
 	var ser time.Duration
@@ -391,11 +434,15 @@ func (dp *DataPlane) transmit(link *topo.Link, from topo.NodeID, pkt Packet, arr
 	arriveAt := depart + link.Params.Latency
 
 	dp.queued[dir]++
-	dp.eng.At(depart, func() { dp.queued[dir]-- })
-
 	ls.Packets[from]++
 	ls.Bytes[from] += uint64(pkt.SizeBytes)
+	dp.mu.Unlock()
 
+	dp.eng.At(depart, func() {
+		dp.mu.Lock()
+		dp.queued[dir]--
+		dp.mu.Unlock()
+	})
 	dp.eng.At(arriveAt, func() { arrive(pkt) })
 }
 
@@ -403,7 +450,7 @@ func (dp *DataPlane) transmit(link *topo.Link, from topo.NodeID, pkt Packet, arr
 func (dp *DataPlane) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, pkt Packet) {
 	stats := dp.swStats[sw]
 	if pkt.HopLimit <= 0 {
-		stats.HopExceeded++
+		atomic.AddUint64(&stats.HopExceeded, 1)
 		return
 	}
 	pkt.HopLimit--
@@ -412,14 +459,16 @@ func (dp *DataPlane) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, pkt 
 	}
 
 	if ipmc.IsSignal(pkt.Dst) {
-		stats.Punted++
+		atomic.AddUint64(&stats.Punted, 1)
 		if dp.punt != nil {
 			dp.punt(sw, inPort, pkt)
 		}
 		return
 	}
 
+	dp.mu.Lock()
 	cfg := dp.swCfg[sw]
+	dp.mu.Unlock()
 	table := dp.tables[sw]
 	delay := cfg.LookupDelay
 	if cfg.PerFlowPenalty > 0 {
@@ -428,9 +477,9 @@ func (dp *DataPlane) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, pkt 
 	dp.eng.Schedule(delay, func() {
 		flow, ok := table.Lookup(pkt.Dst)
 		if !ok {
-			stats.TableMisses++
+			atomic.AddUint64(&stats.TableMisses, 1)
 			if dp.punt != nil {
-				stats.Punted++
+				atomic.AddUint64(&stats.Punted, 1)
 				dp.punt(sw, inPort, pkt)
 			}
 			return
@@ -451,7 +500,7 @@ func (dp *DataPlane) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, pkt 
 			if action.SetDest.IsValid() {
 				out.Dst = action.SetDest
 			}
-			stats.Forwarded++
+			atomic.AddUint64(&stats.Forwarded, 1)
 			peerNode, err := dp.g.Node(peer)
 			if err != nil {
 				continue
@@ -474,12 +523,15 @@ func (dp *DataPlane) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, pkt 
 // arriveAtHost applies the host processing model and hands the packet to
 // the application.
 func (dp *DataPlane) arriveAtHost(h topo.NodeID, pkt Packet) {
-	hs := dp.hosts[h]
 	now := dp.eng.Now()
+	dp.mu.Lock()
+	hs := dp.hosts[h]
 	if hs.cfg.CapacityPerSec <= 0 {
 		hs.received++
-		if hs.deliver != nil {
-			hs.deliver(Delivery{Host: h, Packet: pkt, At: now})
+		deliver := hs.deliver
+		dp.mu.Unlock()
+		if deliver != nil {
+			deliver(Delivery{Host: h, Packet: pkt, At: now})
 		}
 		return
 	}
@@ -489,6 +541,7 @@ func (dp *DataPlane) arriveAtHost(h topo.NodeID, pkt Packet) {
 	}
 	if hs.queued >= maxQueue {
 		hs.dropped++
+		dp.mu.Unlock()
 		return
 	}
 	service := time.Duration(int64(time.Second) / int64(hs.cfg.CapacityPerSec))
@@ -499,11 +552,15 @@ func (dp *DataPlane) arriveAtHost(h topo.NodeID, pkt Packet) {
 	done := start + service
 	hs.busyUntil = done
 	hs.queued++
+	dp.mu.Unlock()
 	dp.eng.At(done, func() {
+		dp.mu.Lock()
 		hs.queued--
 		hs.received++
-		if hs.deliver != nil {
-			hs.deliver(Delivery{Host: h, Packet: pkt, At: dp.eng.Now()})
+		deliver := hs.deliver
+		dp.mu.Unlock()
+		if deliver != nil {
+			deliver(Delivery{Host: h, Packet: pkt, At: dp.eng.Now()})
 		}
 	})
 }

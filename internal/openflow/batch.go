@@ -1,0 +1,88 @@
+package openflow
+
+import "fmt"
+
+// OpKind discriminates the FlowMod variants of a batch operation.
+type OpKind uint8
+
+// Batch operation kinds.
+const (
+	// OpAdd installs Flow.
+	OpAdd OpKind = iota + 1
+	// OpDelete removes the flow with ID.
+	OpDelete
+	// OpModify replaces priority and actions of the flow with ID.
+	OpModify
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "add"
+	case OpDelete:
+		return "delete"
+	case OpModify:
+		return "modify"
+	default:
+		return "unknown"
+	}
+}
+
+// FlowOp is one FlowMod of a batch: an add carries the flow to install,
+// a delete the target ID, a modify the target ID plus the new priority and
+// instruction set. Batches model OpenFlow bundles: the controller collects
+// every FlowMod one control operation owes a switch and ships them in a
+// single southbound call instead of one round-trip per flow.
+type FlowOp struct {
+	Kind     OpKind
+	Flow     Flow    // OpAdd
+	ID       FlowID  // OpDelete, OpModify
+	Priority int     // OpModify
+	Actions  []Action // OpModify
+}
+
+// AddOp builds an add operation.
+func AddOp(f Flow) FlowOp { return FlowOp{Kind: OpAdd, Flow: f} }
+
+// DeleteOp builds a delete operation.
+func DeleteOp(id FlowID) FlowOp { return FlowOp{Kind: OpDelete, ID: id} }
+
+// ModifyOp builds a modify operation.
+func ModifyOp(id FlowID, priority int, actions []Action) FlowOp {
+	return FlowOp{Kind: OpModify, ID: id, Priority: priority, Actions: actions}
+}
+
+// ApplyBatch applies the operations in order under a single lock
+// acquisition, stopping at the first failure. It returns one FlowID per
+// successfully applied operation — the assigned ID for adds, zero for
+// deletes and modifies — so a caller can tell exactly which prefix of the
+// batch took effect when an error is returned.
+func (t *Table) ApplyBatch(ops []FlowOp) ([]FlowID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Batches++
+	applied := make([]FlowID, 0, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case OpAdd:
+			id, err := t.tryAddLocked(op.Flow)
+			if err != nil {
+				return applied, fmt.Errorf("openflow: batch op %d: %w", i, err)
+			}
+			applied = append(applied, id)
+		case OpDelete:
+			if !t.deleteLocked(op.ID) {
+				return applied, fmt.Errorf("openflow: batch op %d: no flow %d", i, op.ID)
+			}
+			applied = append(applied, 0)
+		case OpModify:
+			if !t.modifyLocked(op.ID, op.Priority, op.Actions) {
+				return applied, fmt.Errorf("openflow: batch op %d: no flow %d", i, op.ID)
+			}
+			applied = append(applied, 0)
+		default:
+			return applied, fmt.Errorf("openflow: batch op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return applied, nil
+}

@@ -16,6 +16,7 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"sync"
 
 	"pleroma/internal/dz"
 	"pleroma/internal/ipmc"
@@ -136,6 +137,9 @@ type ModStats struct {
 	Adds    uint64
 	Deletes uint64
 	Mods    uint64
+	// Batches counts ApplyBatch invocations (each models one OpenFlow
+	// bundle, i.e. one southbound round-trip regardless of op count).
+	Batches uint64
 }
 
 // Total returns the total number of FlowMod messages.
@@ -149,7 +153,12 @@ func (s ModStats) Total() uint64 { return s.Adds + s.Deletes + s.Mods }
 // O(distinct lengths) instead of scanning, mirroring the constant-time
 // behaviour of hardware TCAMs that Figure 7(a) demonstrates. Any flow
 // violating the invariant drops the table back to a full scan.
+//
+// A Table is safe for concurrent use: every table carries its own lock, so
+// control-plane reconfiguration (FlowMods, batches) and data-plane lookups
+// interleave per switch without a global serialization point.
 type Table struct {
+	mu     sync.RWMutex
 	flows  map[FlowID]*Flow
 	nextID FlowID
 	stats  ModStats
@@ -183,24 +192,48 @@ func NewTable() *Table {
 }
 
 // Len returns the number of installed flows.
-func (t *Table) Len() int { return len(t.flows) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.flows)
+}
 
 // Stats returns the FlowMod counters.
-func (t *Table) Stats() ModStats { return t.stats }
+func (t *Table) Stats() ModStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.stats
+}
 
 // ResetStats zeroes the FlowMod counters.
-func (t *Table) ResetStats() { t.stats = ModStats{} }
+func (t *Table) ResetStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats = ModStats{}
+}
 
 // SetCapacity bounds the table to n entries (0 = unbounded). Existing
 // entries above the new capacity stay installed; only future Adds are
 // refused.
-func (t *Table) SetCapacity(n int) { t.capacity = n }
+func (t *Table) SetCapacity(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.capacity = n
+}
 
 // Capacity returns the configured TCAM budget (0 = unbounded).
-func (t *Table) Capacity() int { return t.capacity }
+func (t *Table) Capacity() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.capacity
+}
 
 // Rejected returns the number of Adds refused due to a full table.
-func (t *Table) Rejected() uint64 { return t.rejected }
+func (t *Table) Rejected() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rejected
+}
 
 // Add installs a flow and returns its assigned ID.
 func (t *Table) Add(f Flow) FlowID {
@@ -211,6 +244,12 @@ func (t *Table) Add(f Flow) FlowID {
 // TryAdd installs a flow, enforcing the TCAM capacity. On a full table it
 // returns ErrTableFull and installs nothing.
 func (t *Table) TryAdd(f Flow) (FlowID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tryAddLocked(f)
+}
+
+func (t *Table) tryAddLocked(f Flow) (FlowID, error) {
 	if t.capacity > 0 && len(t.flows) >= t.capacity {
 		t.rejected++
 		return 0, fmt.Errorf("%w: %d entries installed", ErrTableFull, len(t.flows))
@@ -226,6 +265,12 @@ func (t *Table) TryAdd(f Flow) (FlowID, error) {
 // Delete removes the flow with the given ID. It reports whether a flow was
 // removed.
 func (t *Table) Delete(id FlowID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deleteLocked(id)
+}
+
+func (t *Table) deleteLocked(id FlowID) bool {
 	f, ok := t.flows[id]
 	if !ok {
 		return false
@@ -238,6 +283,12 @@ func (t *Table) Delete(id FlowID) bool {
 
 // Modify replaces the actions and priority of an installed flow.
 func (t *Table) Modify(id FlowID, priority int, actions []Action) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.modifyLocked(id, priority, actions)
+}
+
+func (t *Table) modifyLocked(id FlowID, priority int, actions []Action) bool {
 	f, ok := t.flows[id]
 	if !ok {
 		return false
@@ -282,6 +333,8 @@ func (t *Table) unindex(f *Flow) {
 
 // Get returns a copy of the flow with the given ID.
 func (t *Table) Get(id FlowID) (Flow, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	f, ok := t.flows[id]
 	if !ok {
 		return Flow{}, false
@@ -291,6 +344,8 @@ func (t *Table) Get(id FlowID) (Flow, bool) {
 
 // Flows returns copies of all installed flows, ordered by ID.
 func (t *Table) Flows() []Flow {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]Flow, 0, len(t.flows))
 	for _, f := range t.flows {
 		out = append(out, *f)
@@ -304,6 +359,8 @@ func (t *Table) Flows() []Flow {
 // prefix and then earlier installation. ok is false if nothing matches
 // (the packet would be dropped or punted to the controller).
 func (t *Table) Lookup(dst netip.Addr) (Flow, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.slowFlows == 0 {
 		return t.fastLookup(dst)
 	}

@@ -215,6 +215,7 @@ func BenchmarkLookup1000Flows(b *testing.B) {
 		tab.Add(f)
 	}
 	ev, _ := ipmc.EventAddr("10101010101010101010")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tab.Lookup(ev)

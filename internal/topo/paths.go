@@ -3,6 +3,7 @@ package topo
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 
 	"pleroma/internal/openflow"
@@ -268,9 +269,5 @@ func (g *Graph) RouteHops(path []NodeID) ([]Hop, error) {
 }
 
 func sortNodeIDs(ids []NodeID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"pleroma/internal/dz"
+)
+
+// registry is a minimal thread-safe control plane for exercising the
+// churn driver in isolation.
+type registry struct {
+	mu   sync.Mutex
+	subs map[string]dz.Rect
+	advs map[string]dz.Rect
+}
+
+func newRegistry() *registry {
+	return &registry{subs: make(map[string]dz.Rect), advs: make(map[string]dz.Rect)}
+}
+
+func (r *registry) ops() ChurnOps {
+	return ChurnOps{
+		Subscribe: func(id string, rect dz.Rect) error {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if _, dup := r.subs[id]; dup {
+				return errors.New("duplicate subscription " + id)
+			}
+			r.subs[id] = rect
+			return nil
+		},
+		Unsubscribe: func(id string) error {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if _, ok := r.subs[id]; !ok {
+				return errors.New("unknown subscription " + id)
+			}
+			delete(r.subs, id)
+			return nil
+		},
+		Advertise: func(id string, rect dz.Rect) error {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if _, dup := r.advs[id]; dup {
+				return errors.New("duplicate advertisement " + id)
+			}
+			r.advs[id] = rect
+			return nil
+		},
+		Unadvertise: func(id string) error {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if _, ok := r.advs[id]; !ok {
+				return errors.New("unknown advertisement " + id)
+			}
+			delete(r.advs, id)
+			return nil
+		},
+		Query: func() error {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return nil
+		},
+	}
+}
+
+func TestRunChurnValidation(t *testing.T) {
+	sch := schema(t, 2)
+	if _, err := RunChurn(nil, ChurnConfig{}, newRegistry().ops()); err == nil {
+		t.Error("nil schema must fail")
+	}
+	if _, err := RunChurn(sch, ChurnConfig{}, ChurnOps{}); err == nil {
+		t.Error("missing Subscribe/Unsubscribe must fail")
+	}
+}
+
+func TestRunChurnConsistent(t *testing.T) {
+	sch := schema(t, 3)
+	reg := newRegistry()
+	st, err := RunChurn(sch, ChurnConfig{
+		Workers:      8,
+		OpsPerWorker: 100,
+		Seed:         7,
+		QueryEvery:   10,
+	}, reg.ops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mutations() != 8*100 {
+		t.Errorf("mutations=%d, want %d", st.Mutations(), 8*100)
+	}
+	if st.Queries == 0 {
+		t.Error("expected some queries")
+	}
+	// Every unsubscribe retired a prior subscribe, so the registry must
+	// hold exactly the difference.
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if got, want := uint64(len(reg.subs)), st.Subscribes-st.Unsubscribes; got != want {
+		t.Errorf("live subscriptions=%d, want %d", got, want)
+	}
+	if got, want := uint64(len(reg.advs)), st.Advertises-st.Unadvertises; got != want {
+		t.Errorf("live advertisements=%d, want %d", got, want)
+	}
+	if st.Subscribes == 0 || st.Unsubscribes == 0 {
+		t.Errorf("degenerate mix: %+v", st)
+	}
+}
+
+func TestRunChurnStopsOnError(t *testing.T) {
+	sch := schema(t, 2)
+	ops := newRegistry().ops()
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	calls := 0
+	ops.Subscribe = func(id string, rect dz.Rect) error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if calls > 5 {
+			return boom
+		}
+		return nil
+	}
+	ops.Unsubscribe = func(id string) error { return nil }
+	st, err := RunChurn(sch, ChurnConfig{Workers: 4, OpsPerWorker: 1000, Seed: 1}, ops)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "subscribe") {
+		t.Errorf("error lacks context: %v", err)
+	}
+	if st.Mutations() >= 4*1000 {
+		t.Errorf("run did not abort early: %+v", st)
+	}
+}
