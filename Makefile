@@ -4,7 +4,7 @@ GO ?= go
 # `make check` stays fast while still catching locking regressions.
 RACE_PKGS := ./internal/core/... ./internal/netem/... ./internal/openflow/... ./internal/workload/...
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race soak bench
 
 check: vet build test race
 
@@ -19,6 +19,12 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -run 'Fault|Resync' -count=1 .
+
+# Long-running churn soaks against the public API, raced: exact-delivery
+# ground truth plus fault-injection convergence (resync heals every round).
+soak:
+	$(GO) test -race -run Soak -count=1 -v .
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 100x ./internal/core/... ./internal/openflow/...

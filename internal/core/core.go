@@ -39,6 +39,16 @@ type FlowProgrammer interface {
 	ModifyFlow(sw topo.NodeID, id openflow.FlowID, priority int, actions []openflow.Action) error
 }
 
+// FlowReader is optionally implemented by FlowProgrammers that can report
+// the flows actually installed on a switch (*netem.DataPlane and
+// *netem.FaultyProgrammer do). When available, the anti-entropy pass
+// (Resync) diffs the canonical state against this ground truth instead of
+// trusting the controller's own installed map, and VerifyTables extends
+// its incremental ≡ canonical check down to the emulated hardware.
+type FlowReader interface {
+	Flows(sw topo.NodeID) ([]openflow.Flow, error)
+}
+
 // BatchFlowProgrammer is optionally implemented by FlowProgrammers that
 // can apply a whole batch of FlowMods to one switch in a single southbound
 // call (modelling OpenFlow bundles). When the controller's programmer
@@ -138,8 +148,14 @@ type ReconfigReport struct {
 	RoutesComputed int
 	// SouthboundCalls counts programmer invocations of the operation: with
 	// a BatchFlowProgrammer this is at most the number of touched switches,
-	// without one it equals FlowOps().
+	// without one it equals FlowOps(). Retried flushes count every attempt.
 	SouthboundCalls int
+	// Retries counts southbound attempts repeated after a transient
+	// programmer error (see RetryPolicy).
+	Retries int
+	// Quarantined counts switches that entered the degraded set during the
+	// operation because their retries exhausted.
+	Quarantined int
 	// Stored is true when a subscription matched no tree and was only
 	// recorded at the controller.
 	Stored bool
@@ -164,6 +180,15 @@ type Stats struct {
 	StoredSubs      uint64
 	// SouthboundCalls counts programmer invocations (batches count once).
 	SouthboundCalls uint64
+	// Retries counts southbound attempts repeated after transient errors.
+	Retries uint64
+	// Quarantines counts switches that entered the degraded set.
+	Quarantines uint64
+	// Resyncs counts anti-entropy passes over single switches.
+	Resyncs uint64
+	// RepairedFlows counts FlowMods issued by resync passes to heal
+	// divergence between canonical and installed state.
+	RepairedFlows uint64
 }
 
 // Requests returns the total number of processed control requests.
@@ -200,6 +225,7 @@ type Controller struct {
 	g         *topo.Graph
 	prog      FlowProgrammer
 	batch     BatchFlowProgrammer // non-nil when prog supports batching
+	reader    FlowReader          // non-nil when prog can report switch state
 	hostAddr  HostAddrFunc
 	partition int
 	maxTrees  int
@@ -207,6 +233,9 @@ type Controller struct {
 	// refreshWorkers bounds the per-switch refresh fan-out; 0 means
 	// GOMAXPROCS, 1 serialises.
 	refreshWorkers int
+	// retry shapes southbound retries on transient errors; the zero value
+	// means a single attempt (no retries).
+	retry RetryPolicy
 
 	log *slog.Logger
 
@@ -226,6 +255,14 @@ type Controller struct {
 	// expression.
 	contribs  *contribState
 	installed map[topo.NodeID]map[dz.Expr]installedFlow
+
+	// degraded holds quarantined switches: their retries exhausted on a
+	// transient error, their table lags the canonical state, and the next
+	// resync pass heals them. It has its own mutex because refresh workers
+	// quarantine concurrently for distinct switches while holding only
+	// c.mu's write side on the coordinating goroutine.
+	degradedMu sync.Mutex
+	degraded   map[topo.NodeID]error
 
 	stats Stats
 }
@@ -276,6 +313,14 @@ func WithRefreshWorkers(n int) Option {
 	return func(c *Controller) { c.refreshWorkers = n }
 }
 
+// WithRetryPolicy makes southbound flushes retry transient programmer
+// errors with capped exponential backoff (see RetryPolicy). The default
+// (zero) policy performs a single attempt, so a transient failure
+// immediately quarantines the switch for the next resync pass.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Controller) { c.retry = p }
+}
+
 // NewController creates a controller for (one partition of) the topology.
 func NewController(g *topo.Graph, prog FlowProgrammer, opts ...Option) (*Controller, error) {
 	if g == nil {
@@ -294,6 +339,7 @@ func NewController(g *topo.Graph, prog FlowProgrammer, opts ...Option) (*Control
 		subs:      make(map[string]*subscriber),
 		contribs:  newContribState(),
 		installed: make(map[topo.NodeID]map[dz.Expr]installedFlow),
+		degraded:  make(map[topo.NodeID]error),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -302,6 +348,7 @@ func NewController(g *topo.Graph, prog FlowProgrammer, opts ...Option) (*Control
 		return nil, fmt.Errorf("core: host address function required (use WithHostAddr)")
 	}
 	c.batch, _ = prog.(BatchFlowProgrammer)
+	c.reader, _ = prog.(FlowReader)
 	return c, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"pleroma/internal/dz"
 	"pleroma/internal/openflow"
@@ -385,68 +386,153 @@ type opMeta struct {
 	inst installedFlow
 }
 
+// ackedOp is one southbound operation the switch acknowledged: its kind,
+// the installed-state update it implies, and — for adds only — the
+// switch-assigned flow ID. Carrying the outcome in a typed record (instead
+// of a parallel []FlowID with placeholder zeros for deletes/modifies)
+// makes the acknowledged prefix unambiguous: an add of real FlowID 0 can
+// never be confused with a delete's placeholder.
+type ackedOp struct {
+	kind openflow.OpKind
+	meta opMeta
+	id   openflow.FlowID // valid only for adds
+}
+
 // flushOps ships the FlowMods of one switch southbound — as a single batch
-// when the programmer supports it, one call per op otherwise — and applies
-// the corresponding installed-state updates for every op that took effect.
+// when the programmer supports it, one call per op otherwise — retrying
+// transient failures per the controller's RetryPolicy, and applies the
+// corresponding installed-state updates for every op that took effect.
+//
+// Error semantics: permanent programmer errors surface as a
+// *SouthboundError (the acknowledged prefix is still recorded). Transient
+// errors that survive every retry do NOT fail the control operation;
+// instead the switch is quarantined in the degraded set — its table now
+// lags the canonical state — and the next resync pass heals it.
 func (c *Controller) flushOps(sw topo.NodeID, ops []openflow.FlowOp, metas []opMeta,
 	inst map[dz.Expr]installedFlow, rep *ReconfigReport) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	var applied []openflow.FlowID
-	var progErr error
-	if c.batch != nil {
-		rep.SouthboundCalls++
-		applied, progErr = c.batch.ApplyBatch(sw, ops)
-	} else {
-		applied = make([]openflow.FlowID, 0, len(ops))
-		for _, op := range ops {
-			rep.SouthboundCalls++
-			switch op.Kind {
-			case openflow.OpAdd:
-				id, err := c.prog.AddFlow(sw, op.Flow)
-				if err != nil {
-					progErr = err
-				} else {
-					applied = append(applied, id)
-				}
-			case openflow.OpDelete:
-				progErr = c.prog.DeleteFlow(sw, op.ID)
-				if progErr == nil {
-					applied = append(applied, 0)
-				}
-			case openflow.OpModify:
-				progErr = c.prog.ModifyFlow(sw, op.ID, op.Priority, op.Actions)
-				if progErr == nil {
-					applied = append(applied, 0)
-				}
-			}
-			if progErr != nil {
-				break
-			}
-		}
-	}
-	// Record exactly the prefix of ops the switch acknowledged.
-	for i := range applied {
-		switch ops[i].Kind {
+	acked := make([]ackedOp, 0, len(ops))
+	err := c.programWithRetry(sw, ops, metas, &acked, rep)
+	// Record exactly the ops the switch acknowledged.
+	for _, a := range acked {
+		switch a.kind {
 		case openflow.OpAdd:
-			m := metas[i].inst
-			m.id = applied[i]
-			inst[metas[i].expr] = m
+			m := a.meta.inst
+			m.id = a.id
+			inst[a.meta.expr] = m
 			rep.FlowAdds++
 		case openflow.OpDelete:
-			delete(inst, metas[i].expr)
+			delete(inst, a.meta.expr)
 			rep.FlowDeletes++
 		case openflow.OpModify:
-			inst[metas[i].expr] = metas[i].inst
+			inst[a.meta.expr] = a.meta.inst
 			rep.FlowModifies++
 		}
 	}
-	if progErr != nil {
-		kind := ops[len(applied)].Kind
-		return fmt.Errorf("core: %s flow on %d: %w", kind, sw, progErr)
+	return err
+}
+
+// programWithRetry drives the southbound attempts of one flush: each
+// attempt ships the still-pending suffix, acknowledged ops accumulate in
+// acked, and transient failures back off exponentially (capped, within
+// the per-operation deadline) before retrying. On exhaustion the switch
+// is quarantined and nil is returned; permanent errors return immediately
+// as a *SouthboundError.
+func (c *Controller) programWithRetry(sw topo.NodeID, ops []openflow.FlowOp, metas []opMeta,
+	acked *[]ackedOp, rep *ReconfigReport) error {
+	pol := c.retry.normalized()
+	attempts := 0
+	var waited time.Duration
+	for {
+		n, err := c.programOnce(sw, ops, metas, acked, rep)
+		attempts++
+		ops, metas = ops[n:], metas[n:]
+		if err == nil || len(ops) == 0 {
+			// A programmer that errors after acknowledging every op has
+			// still applied the whole flush; treat it as success.
+			return nil
+		}
+		serr := &SouthboundError{
+			Sw:        sw,
+			Op:        ops[0].Kind,
+			Attempts:  attempts,
+			Transient: isTransient(err),
+			Err:       err,
+		}
+		if !serr.Transient {
+			return serr
+		}
+		if attempts < pol.MaxAttempts {
+			d := pol.backoff(attempts - 1)
+			if pol.OpDeadline <= 0 || waited+d <= pol.OpDeadline {
+				waited += d
+				if d > 0 {
+					pol.sleep(d)
+				}
+				rep.Retries++
+				continue
+			}
+		}
+		// Retries exhausted (attempt budget or deadline): quarantine the
+		// switch instead of failing the whole control operation.
+		c.quarantine(sw, serr, rep)
+		return nil
 	}
-	return nil
+}
+
+// programOnce ships the pending ops once — one batch call or a sequence of
+// per-op calls — and appends one typed ackedOp per acknowledged operation.
+// It returns how many ops the switch acknowledged in this attempt.
+func (c *Controller) programOnce(sw topo.NodeID, ops []openflow.FlowOp, metas []opMeta,
+	acked *[]ackedOp, rep *ReconfigReport) (int, error) {
+	if c.batch != nil {
+		rep.SouthboundCalls++
+		ids, err := c.batch.ApplyBatch(sw, ops)
+		for i := range ids {
+			a := ackedOp{kind: ops[i].Kind, meta: metas[i]}
+			if ops[i].Kind == openflow.OpAdd {
+				a.id = ids[i]
+			}
+			*acked = append(*acked, a)
+		}
+		return len(ids), err
+	}
+	for i, op := range ops {
+		rep.SouthboundCalls++
+		var (
+			id  openflow.FlowID
+			err error
+		)
+		switch op.Kind {
+		case openflow.OpAdd:
+			id, err = c.prog.AddFlow(sw, op.Flow)
+		case openflow.OpDelete:
+			err = c.prog.DeleteFlow(sw, op.ID)
+		case openflow.OpModify:
+			err = c.prog.ModifyFlow(sw, op.ID, op.Priority, op.Actions)
+		}
+		if err != nil {
+			return i, err
+		}
+		*acked = append(*acked, ackedOp{kind: op.Kind, meta: metas[i], id: id})
+	}
+	return len(ops), nil
+}
+
+// quarantine moves a switch into the degraded set. Safe to call from
+// concurrent refresh workers (distinct switches).
+func (c *Controller) quarantine(sw topo.NodeID, err error, rep *ReconfigReport) {
+	c.degradedMu.Lock()
+	if _, already := c.degraded[sw]; !already {
+		rep.Quarantined++
+	}
+	c.degraded[sw] = err
+	c.degradedMu.Unlock()
+	if c.log != nil {
+		c.log.Warn("switch quarantined", "switch", int(sw), "err", err)
+	}
 }
 
 // refresh reconciles every touched switch. The per-switch work is disjoint
@@ -513,6 +599,8 @@ func (c *Controller) refresh(touched touchedSet, rep *ReconfigReport) error {
 			agg.FlowDeletes += reps[i].FlowDeletes
 			agg.FlowModifies += reps[i].FlowModifies
 			agg.SouthboundCalls += reps[i].SouthboundCalls
+			agg.Retries += reps[i].Retries
+			agg.Quarantined += reps[i].Quarantined
 			if err == nil && errs[i] != nil {
 				err = errs[i]
 			}
@@ -525,10 +613,14 @@ func (c *Controller) refresh(touched touchedSet, rep *ReconfigReport) error {
 	rep.FlowDeletes += agg.FlowDeletes
 	rep.FlowModifies += agg.FlowModifies
 	rep.SouthboundCalls += agg.SouthboundCalls
+	rep.Retries += agg.Retries
+	rep.Quarantined += agg.Quarantined
 	c.stats.FlowAdds += uint64(agg.FlowAdds)
 	c.stats.FlowDeletes += uint64(agg.FlowDeletes)
 	c.stats.FlowModifies += uint64(agg.FlowModifies)
 	c.stats.SouthboundCalls += uint64(agg.SouthboundCalls)
+	c.stats.Retries += uint64(agg.Retries)
+	c.stats.Quarantines += uint64(agg.Quarantined)
 	for _, sw := range sws {
 		if len(c.installed[sw]) == 0 {
 			delete(c.installed, sw)
@@ -566,6 +658,28 @@ func (c *Controller) VerifyTables() error {
 			actions := c.actionsFor(sw, ports)
 			if fl.priority != e.Len() || !actionsEqual(fl.actions, actions) {
 				return fmt.Errorf("core: switch %d flow %s diverges from canonical", sw, e)
+			}
+		}
+		// When the programmer can report ground truth, extend the check
+		// down to the switch's actual table: every installed entry must be
+		// present there unchanged, with no stray extras.
+		if c.reader == nil {
+			continue
+		}
+		flows, err := c.reader.Flows(sw)
+		if err != nil {
+			return fmt.Errorf("core: switch %d: read flows: %w", sw, err)
+		}
+		if len(flows) != len(have) {
+			return fmt.Errorf("core: switch %d table has %d flows, controller installed %d", sw, len(flows), len(have))
+		}
+		for _, f := range flows {
+			fl, ok := have[f.Expr]
+			if !ok {
+				return fmt.Errorf("core: switch %d has stray flow %s", sw, f.Expr)
+			}
+			if fl.id != f.ID || fl.priority != f.Priority || !actionsEqual(fl.actions, f.Actions) {
+				return fmt.Errorf("core: switch %d flow %s diverges from installed state", sw, f.Expr)
 			}
 		}
 	}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/openflow"
+	"pleroma/internal/topo"
+)
+
+// This file implements the controller's southbound fault-tolerance layer:
+// the typed error taxonomy (SouthboundError, TransientError), the retry
+// policy applied by flushOps, the degraded-switch quarantine, and the
+// anti-entropy pass (Resync/ResyncAll) that recomputes each switch's
+// desired table from the canonical contribution state, diffs it against
+// both the controller's installed map and the switch's actual flows, and
+// ships the minimal repair batch. Together they close the gap the paper's
+// conclusion names as open: reacting to failures instead of assuming an
+// always-healthy southbound channel.
+
+// TransientError is implemented by programmer errors that a retry may
+// resolve — an unreachable switch that restarts, a timed-out bundle, a
+// short TCAM-pressure burst. Errors without this marker (or returning
+// false) are permanent: retrying cannot help, so the control operation
+// fails immediately.
+type TransientError interface {
+	error
+	Transient() bool
+}
+
+// isTransient classifies a programmer error against the taxonomy.
+func isTransient(err error) bool {
+	var te TransientError
+	return errors.As(err, &te) && te.Transient()
+}
+
+// SouthboundError wraps a programmer failure with the switch, the failing
+// operation kind, the attempt count, and the transience classification.
+// Control operations return it (wrapped) for permanent failures; transient
+// failures that exhaust their retries are recorded in the degraded set
+// instead and surface through DegradedSwitches.
+type SouthboundError struct {
+	// Sw is the switch the failing operation addressed.
+	Sw topo.NodeID
+	// Op is the kind of the first unacknowledged FlowMod.
+	Op openflow.OpKind
+	// Attempts counts southbound attempts made before giving up.
+	Attempts int
+	// Transient reports the taxonomy classification of Err.
+	Transient bool
+	// Err is the programmer's error.
+	Err error
+}
+
+func (e *SouthboundError) Error() string {
+	return fmt.Sprintf("core: %s flow on %d (attempt %d): %v", e.Op, e.Sw, e.Attempts, e.Err)
+}
+
+func (e *SouthboundError) Unwrap() error { return e.Err }
+
+// RetryPolicy shapes how flushOps reacts to transient southbound errors:
+// up to MaxAttempts total attempts, separated by capped exponential
+// backoff (BaseBackoff doubling up to MaxBackoff), with the cumulative
+// backoff of one flush bounded by OpDeadline. The zero value performs a
+// single attempt.
+type RetryPolicy struct {
+	// MaxAttempts bounds total southbound attempts per flush (min 1).
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; attempt n waits
+	// BaseBackoff·2ⁿ, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = uncapped).
+	MaxBackoff time.Duration
+	// OpDeadline bounds the cumulative backoff of one flush; once a
+	// further wait would exceed it the flush stops retrying (0 = no
+	// deadline).
+	OpDeadline time.Duration
+	// Sleep waits between attempts; nil uses time.Sleep. Tests inject a
+	// recorder, and simulation harnesses can advance virtual time instead
+	// of blocking the process.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is a sensible production-shaped policy: four
+// attempts, 2 ms → 100 ms capped backoff, half a second per operation.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 4,
+	BaseBackoff: 2 * time.Millisecond,
+	MaxBackoff:  100 * time.Millisecond,
+	OpDeadline:  500 * time.Millisecond,
+}
+
+// normalized returns the policy with usable defaults filled in.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// backoff returns the wait before retry n (0-based), growing
+// exponentially from BaseBackoff and capped at MaxBackoff.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseBackoff
+	for i := 0; i < n && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+func (p RetryPolicy) sleep(d time.Duration) { p.Sleep(d) }
+
+// DegradedSwitch describes one quarantined switch: its retries exhausted
+// on a transient southbound error, its flow table lags the canonical
+// state, and the next resync pass will heal it.
+type DegradedSwitch struct {
+	Sw topo.NodeID
+	// Err is the southbound error that exhausted the retries.
+	Err error
+}
+
+// DegradedSwitches returns the quarantined switches, ordered by ID.
+func (c *Controller) DegradedSwitches() []DegradedSwitch {
+	c.degradedMu.Lock()
+	defer c.degradedMu.Unlock()
+	out := make([]DegradedSwitch, 0, len(c.degraded))
+	for sw, err := range c.degraded {
+		out = append(out, DegradedSwitch{Sw: sw, Err: err})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sw < out[j].Sw })
+	return out
+}
+
+// clearDegraded removes a switch from the quarantine; it reports whether
+// the switch was quarantined.
+func (c *Controller) clearDegraded(sw topo.NodeID) bool {
+	c.degradedMu.Lock()
+	defer c.degradedMu.Unlock()
+	if _, ok := c.degraded[sw]; !ok {
+		return false
+	}
+	delete(c.degraded, sw)
+	return true
+}
+
+// isDegraded reports whether a switch is currently quarantined.
+func (c *Controller) isDegraded(sw topo.NodeID) bool {
+	c.degradedMu.Lock()
+	defer c.degradedMu.Unlock()
+	_, ok := c.degraded[sw]
+	return ok
+}
+
+// ResyncReport summarises one anti-entropy pass.
+type ResyncReport struct {
+	// Switches counts the switches examined.
+	Switches int
+	// FlowAdds/FlowDeletes/FlowModifies count acknowledged repair ops.
+	FlowAdds     int
+	FlowDeletes  int
+	FlowModifies int
+	// Retries counts southbound retries during the repair flushes.
+	Retries int
+	// Healed counts switches that left the degraded set.
+	Healed int
+	// SouthboundCalls counts programmer invocations of the pass.
+	SouthboundCalls int
+	// StillDegraded lists switches that remain quarantined after the
+	// pass (their repair flush failed transiently again), ordered by ID.
+	StillDegraded []topo.NodeID
+}
+
+// Repaired returns the number of repair FlowMods the pass shipped.
+func (r ResyncReport) Repaired() int {
+	return r.FlowAdds + r.FlowDeletes + r.FlowModifies
+}
+
+// merge folds another report into r.
+func (r *ResyncReport) merge(o ResyncReport) {
+	r.Switches += o.Switches
+	r.FlowAdds += o.FlowAdds
+	r.FlowDeletes += o.FlowDeletes
+	r.FlowModifies += o.FlowModifies
+	r.Retries += o.Retries
+	r.Healed += o.Healed
+	r.SouthboundCalls += o.SouthboundCalls
+	r.StillDegraded = append(r.StillDegraded, o.StillDegraded...)
+}
+
+// Resync runs the anti-entropy pass over one switch: the desired table is
+// recomputed from the canonical contribution state, diffed against both
+// the controller's installed map and the switch's actual flows (when the
+// programmer implements FlowReader), and the minimal repair batch is
+// shipped with the usual retry policy. On success the switch leaves the
+// degraded set.
+func (c *Controller) Resync(sw topo.NodeID) (ResyncReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var rr ResyncReport
+	err := c.resyncSwitch(sw, &rr)
+	c.logResync(rr)
+	return rr, err
+}
+
+// ResyncAll runs the anti-entropy pass over every switch the controller
+// has state for — switches with contributions, installed flows, or a
+// quarantine entry. The pass is best-effort: a permanent error on one
+// switch does not stop the others; all permanent errors are joined into
+// the returned error. Transient exhaustion re-quarantines silently, and
+// the report's StillDegraded names the switches a later pass must revisit.
+func (c *Controller) ResyncAll() (ResyncReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make(map[topo.NodeID]bool)
+	for sw := range c.contribs.refs {
+		seen[sw] = true
+	}
+	for sw := range c.installed {
+		seen[sw] = true
+	}
+	c.degradedMu.Lock()
+	for sw := range c.degraded {
+		seen[sw] = true
+	}
+	c.degradedMu.Unlock()
+	sws := make([]topo.NodeID, 0, len(seen))
+	for sw := range seen {
+		sws = append(sws, sw)
+	}
+	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
+
+	var rr ResyncReport
+	var errs []error
+	for _, sw := range sws {
+		var one ResyncReport
+		if err := c.resyncSwitch(sw, &one); err != nil {
+			errs = append(errs, err)
+		}
+		rr.merge(one)
+	}
+	c.logResync(rr)
+	return rr, errors.Join(errs...)
+}
+
+func (c *Controller) logResync(rr ResyncReport) {
+	if c.log == nil {
+		return
+	}
+	c.log.Debug("resync",
+		"switches", rr.Switches,
+		"repaired", rr.Repaired(),
+		"healed", rr.Healed,
+		"stillDegraded", len(rr.StillDegraded),
+	)
+}
+
+// actualFlow is one entry read back from (or assumed on) a switch.
+type actualFlow struct {
+	id       openflow.FlowID
+	priority int
+	actions  []openflow.Action
+}
+
+// resyncSwitch reconciles one switch. Callers hold c.mu.
+func (c *Controller) resyncSwitch(sw topo.NodeID, rr *ResyncReport) error {
+	rr.Switches++
+	c.stats.Resyncs++
+	desired := c.desiredTable(sw)
+
+	// Ground truth: the switch's actual flows when the programmer can
+	// report them, the controller's installed map otherwise.
+	actual := make(map[dz.Expr][]actualFlow)
+	if c.reader != nil {
+		flows, err := c.reader.Flows(sw)
+		if err != nil {
+			rr.StillDegraded = append(rr.StillDegraded, sw)
+			return fmt.Errorf("core: resync switch %d: %w", sw, err)
+		}
+		for _, f := range flows {
+			actual[f.Expr] = append(actual[f.Expr], actualFlow{f.ID, f.Priority, f.Actions})
+		}
+	} else {
+		for e, fl := range c.installed[sw] {
+			actual[e] = append(actual[e], actualFlow{fl.id, fl.priority, fl.actions})
+		}
+	}
+
+	// Diff actual against desired into the minimal repair batch. Entries
+	// that already match are kept verbatim (their IDs seed the rebuilt
+	// installed map); a duplicate-expression table (which this controller
+	// never produces, but a divergent switch might) is wiped and re-added.
+	exprSet := make(map[dz.Expr]bool, len(actual)+len(desired))
+	for e := range actual {
+		exprSet[e] = true
+	}
+	for e := range desired {
+		exprSet[e] = true
+	}
+	exprs := make([]dz.Expr, 0, len(exprSet))
+	for e := range exprSet {
+		exprs = append(exprs, e)
+	}
+	sort.Slice(exprs, func(i, j int) bool { return exprs[i] < exprs[j] })
+
+	newInst := make(map[dz.Expr]installedFlow)
+	var ops []openflow.FlowOp
+	var metas []opMeta
+	for _, e := range exprs {
+		want, wanted := desired[e]
+		have := actual[e]
+		if !wanted || len(have) > 1 {
+			for _, af := range have {
+				ops = append(ops, openflow.DeleteOp(af.id))
+				metas = append(metas, opMeta{expr: e})
+			}
+			have = nil
+		}
+		if !wanted {
+			continue
+		}
+		actions := c.actionsFor(sw, want)
+		prio := e.Len()
+		switch {
+		case len(have) == 1 && have[0].priority == prio && actionsEqual(have[0].actions, actions):
+			newInst[e] = installedFlow{id: have[0].id, priority: prio, actions: actions}
+		case len(have) == 1:
+			ops = append(ops, openflow.ModifyOp(have[0].id, prio, actions))
+			metas = append(metas, opMeta{expr: e, inst: installedFlow{id: have[0].id, priority: prio, actions: actions}})
+		default:
+			f, err := openflow.NewFlow(e, prio, actions...)
+			if err != nil {
+				return fmt.Errorf("core: resync switch %d: build flow: %w", sw, err)
+			}
+			ops = append(ops, openflow.AddOp(f))
+			metas = append(metas, opMeta{expr: e, inst: installedFlow{priority: prio, actions: actions}})
+		}
+	}
+
+	// Reset the installed map to the verified entries, then ship the
+	// repair batch through the retrying flush (which fills in the rest as
+	// the switch acknowledges, and re-quarantines on exhaustion).
+	c.installed[sw] = newInst
+	var rep ReconfigReport
+	err := c.flushOps(sw, ops, metas, newInst, &rep)
+	if len(newInst) == 0 {
+		delete(c.installed, sw)
+	}
+	rr.FlowAdds += rep.FlowAdds
+	rr.FlowDeletes += rep.FlowDeletes
+	rr.FlowModifies += rep.FlowModifies
+	rr.Retries += rep.Retries
+	rr.SouthboundCalls += rep.SouthboundCalls
+	repaired := rep.FlowAdds + rep.FlowDeletes + rep.FlowModifies
+	c.stats.FlowAdds += uint64(rep.FlowAdds)
+	c.stats.FlowDeletes += uint64(rep.FlowDeletes)
+	c.stats.FlowModifies += uint64(rep.FlowModifies)
+	c.stats.SouthboundCalls += uint64(rep.SouthboundCalls)
+	c.stats.Retries += uint64(rep.Retries)
+	c.stats.Quarantines += uint64(rep.Quarantined)
+	c.stats.RepairedFlows += uint64(repaired)
+
+	if err != nil {
+		rr.StillDegraded = append(rr.StillDegraded, sw)
+		return err
+	}
+	if repaired == len(ops) {
+		// Every repair acknowledged and no re-quarantine during the flush:
+		// the switch is consistent again, so a stale degraded entry from
+		// before the pass can be dropped.
+		if c.clearDegraded(sw) {
+			rr.Healed++
+		}
+	} else {
+		// The repair flush itself exhausted its retries; the quarantine
+		// entry now holds the fresh error and a later pass must revisit.
+		rr.StillDegraded = append(rr.StillDegraded, sw)
+	}
+	return nil
+}

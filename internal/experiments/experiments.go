@@ -55,6 +55,7 @@ var registry = map[string]registration{
 	"abl-merge":      {RunAblationMergeThreshold, "ablation: tree-merge threshold sweep (Section 3.2)"},
 	"abl-flows":      {RunAblationFlowBudget, "ablation: flow-table footprint vs. filtering precision"},
 	"ext-activation": {RunExtActivationLatency, "extension: in-band subscription activation latency (requirement 1)"},
+	"ext-faults":     {RunExtFaultChurn, "extension: southbound fault tolerance — retry/quarantine/resync under churn"},
 }
 
 // IDs returns all experiment identifiers, sorted.

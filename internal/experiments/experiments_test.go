@@ -27,8 +27,8 @@ func parseFloat(t *testing.T, s string) float64 {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 14 {
-		t.Errorf("IDs=%v, want 14 experiments", ids)
+	if len(ids) != 15 {
+		t.Errorf("IDs=%v, want 15 experiments", ids)
 	}
 	for _, id := range ids {
 		if desc, ok := Describe(id); !ok || desc == "" {
@@ -369,6 +369,39 @@ func TestAblationFlowBudget(t *testing.T) {
 		if mps := parseFloat(t, row[3]); mps <= 0 {
 			t.Errorf("L_dz=%s: max-flows/switch must be positive", row[0])
 		}
+	}
+}
+
+func TestExtFaultChurnConverges(t *testing.T) {
+	tables, err := RunExtFaultChurn(DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) == 0 {
+		t.Fatal("fault churn produced no rows")
+	}
+	sawInjection := false
+	for _, row := range tab.Rows {
+		rate := parseFloat(t, row[0])
+		injected := parseFloat(t, row[2])
+		repaired := parseFloat(t, row[6])
+		converged := row[7]
+		if converged != "true" {
+			t.Errorf("rate=%s: converged=%s, want true", row[0], converged)
+		}
+		if rate == 0 {
+			if injected != 0 || repaired != 0 {
+				t.Errorf("control row: injected=%v repaired=%v, want 0/0",
+					injected, repaired)
+			}
+		}
+		if injected > 0 {
+			sawInjection = true
+		}
+	}
+	if !sawInjection {
+		t.Error("no row injected any faults; the sweep exercised nothing")
 	}
 }
 

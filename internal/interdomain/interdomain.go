@@ -15,6 +15,7 @@
 package interdomain
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -140,10 +141,23 @@ func WithStaticDiscovery() Option {
 	return func(f *Fabric) { f.staticDiscovery = true }
 }
 
+// WithFlowProgrammer makes every per-partition controller program switches
+// through p instead of the data plane directly. The fault-injection layer
+// uses this to interpose a netem.FaultyProgrammer between controllers and
+// the emulated switches; event forwarding and discovery still use the
+// underlying data plane.
+func WithFlowProgrammer(p core.FlowProgrammer) Option {
+	return func(f *Fabric) { f.prog = p }
+}
+
 // Fabric manages the controllers of all partitions of a topology.
 type Fabric struct {
-	g               *topo.Graph
-	dp              *netem.DataPlane
+	g  *topo.Graph
+	dp *netem.DataPlane
+	// prog is the southbound interface handed to the controllers; it
+	// defaults to dp and is overridden by WithFlowProgrammer (e.g. to
+	// interpose fault injection).
+	prog            core.FlowProgrammer
 	parts           map[int]*partitionState
 	order           []int
 	covering        bool
@@ -190,12 +204,15 @@ func NewFabric(g *topo.Graph, dp *netem.DataPlane, opts ...Option) (*Fabric, err
 	for _, opt := range opts {
 		opt(f)
 	}
+	if f.prog == nil {
+		f.prog = dp
+	}
 	for _, p := range g.Partitions() {
 		opts := append([]core.Option{
 			core.WithHostAddr(netem.HostAddr),
 			core.WithPartition(p),
 		}, f.ctlOpts...)
-		ctl, err := core.NewController(g, dp, opts...)
+		ctl, err := core.NewController(g, f.prog, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("interdomain: controller for partition %d: %w", p, err)
 		}
@@ -366,6 +383,53 @@ func (f *Fabric) RebuildTrees() error {
 	for _, p := range f.order {
 		if _, err := f.parts[p].ctl.RebuildTrees(); err != nil {
 			return fmt.Errorf("interdomain: rebuild partition %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// ResyncAll runs the anti-entropy pass of every partition controller and
+// merges the reports. Like the per-controller pass it is best-effort:
+// permanent errors from different partitions are joined, transient
+// stragglers stay quarantined for the next pass.
+func (f *Fabric) ResyncAll() (core.ResyncReport, error) {
+	var rr core.ResyncReport
+	var errs []error
+	for _, p := range f.order {
+		one, err := f.parts[p].ctl.ResyncAll()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("interdomain: resync partition %d: %w", p, err))
+		}
+		rr.Switches += one.Switches
+		rr.FlowAdds += one.FlowAdds
+		rr.FlowDeletes += one.FlowDeletes
+		rr.FlowModifies += one.FlowModifies
+		rr.Retries += one.Retries
+		rr.Healed += one.Healed
+		rr.SouthboundCalls += one.SouthboundCalls
+		rr.StillDegraded = append(rr.StillDegraded, one.StillDegraded...)
+	}
+	return rr, errors.Join(errs...)
+}
+
+// DegradedSwitches returns the quarantined switches across all partition
+// controllers, ordered by switch ID.
+func (f *Fabric) DegradedSwitches() []core.DegradedSwitch {
+	var out []core.DegradedSwitch
+	for _, p := range f.order {
+		out = append(out, f.parts[p].ctl.DegradedSwitches()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sw < out[j].Sw })
+	return out
+}
+
+// VerifyTables cross-checks every partition controller's incremental flow
+// state against the canonical derivation (and, through the FlowReader, the
+// emulated switch tables); it returns the first inconsistency found.
+func (f *Fabric) VerifyTables() error {
+	for _, p := range f.order {
+		if err := f.parts[p].ctl.VerifyTables(); err != nil {
+			return fmt.Errorf("interdomain: partition %d: %w", p, err)
 		}
 	}
 	return nil

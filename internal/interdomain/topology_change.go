@@ -1,7 +1,9 @@
 package interdomain
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"pleroma/internal/dz"
 )
@@ -16,20 +18,30 @@ import (
 // With a redundant partition graph (e.g. a ring of partitions) traffic
 // therefore survives the loss of a border link: the partition tree grows
 // around the failure.
+//
+// The teardown phase is best-effort: a replica whose controller rejects
+// the removal (e.g. a switch went away with the link) must not leave the
+// fabric half-dismantled, because step 2 resets the bookkeeping the
+// replica maps mirror either way. Teardown errors are collected and
+// joined into the returned error after the rebuild has been attempted in
+// full, and origins are processed in sorted order so a multi-error is
+// deterministic.
 func (f *Fabric) HandleTopologyChange() error {
+	var errs []error
+
 	// 1. Tear down all virtual replicas in every partition.
-	for origin, reps := range f.advReplicas {
-		for _, r := range reps {
+	for _, origin := range sortedKeys(f.advReplicas) {
+		for _, r := range f.advReplicas[origin] {
 			if _, err := f.parts[r.part].ctl.Unadvertise(r.id); err != nil {
-				return fmt.Errorf("interdomain: teardown adv replica %q: %w", r.id, err)
+				errs = append(errs, fmt.Errorf("interdomain: teardown adv replica %q: %w", r.id, err))
 			}
 		}
 		delete(f.advReplicas, origin)
 	}
-	for origin, reps := range f.subReplicas {
-		for _, r := range reps {
+	for _, origin := range sortedKeys(f.subReplicas) {
+		for _, r := range f.subReplicas[origin] {
 			if _, err := f.parts[r.part].ctl.Unsubscribe(r.id); err != nil {
-				return fmt.Errorf("interdomain: teardown sub replica %q: %w", r.id, err)
+				errs = append(errs, fmt.Errorf("interdomain: teardown sub replica %q: %w", r.id, err))
 			}
 		}
 		delete(f.subReplicas, origin)
@@ -56,14 +68,16 @@ func (f *Fabric) HandleTopologyChange() error {
 	if f.staticDiscovery {
 		f.discoverBordersStatic()
 	} else if err := f.discoverBordersLLDP(); err != nil {
-		return err
+		errs = append(errs, err)
+		return errors.Join(errs...)
 	}
 	f.buildPartitionTree()
 
 	// 4. Every controller recomputes its intra-partition trees and paths.
 	for _, p := range f.order {
 		if _, err := f.parts[p].ctl.RebuildTrees(); err != nil {
-			return fmt.Errorf("interdomain: rebuild partition %d: %w", p, err)
+			errs = append(errs, fmt.Errorf("interdomain: rebuild partition %d: %w", p, err))
+			return errors.Join(errs...)
 		}
 	}
 
@@ -76,5 +90,15 @@ func (f *Fabric) HandleTopologyChange() error {
 		home := f.subHome[id]
 		f.forwardSub(home, id, f.parts[home].localSubs[id], home)
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// sortedKeys returns the keys of a replica map in lexicographic order.
+func sortedKeys(m map[string][]replica) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -300,3 +300,41 @@ func (h *Histogram) String() string {
 	}
 	return b.String()
 }
+
+// Counters is an ordered named-counter set: counters print in first-Add
+// order, so reports stay stable across runs. The fault-tolerance soak and
+// experiment use it to aggregate retry/quarantine/repair tallies.
+type Counters struct {
+	order []string
+	vals  map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]uint64)}
+}
+
+// Add increments a named counter, registering it on first use.
+func (c *Counters) Add(name string, delta uint64) {
+	if _, ok := c.vals[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.vals[name] += delta
+}
+
+// Get returns the current value of a counter (0 if never added).
+func (c *Counters) Get(name string) uint64 { return c.vals[name] }
+
+// Names returns the counter names in first-Add order.
+func (c *Counters) Names() []string {
+	return append([]string(nil), c.order...)
+}
+
+// Table renders the counters as a two-column table.
+func (c *Counters) Table(title string) *Table {
+	t := &Table{Title: title, Columns: []string{"counter", "value"}}
+	for _, name := range c.order {
+		t.AddRow(name, c.vals[name])
+	}
+	return t
+}

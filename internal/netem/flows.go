@@ -81,10 +81,19 @@ func (dp *DataPlane) Flows(sw topo.NodeID) ([]openflow.Flow, error) {
 	return t.Flows(), nil
 }
 
-// FlowModCount sums FlowMod operations over all switches.
+// FlowModCount sums FlowMod operations over all switches. The iteration
+// holds dp.mu so stats collection can never race a mutation of the table
+// map (e.g. switch registration); per-table counters are read under each
+// table's own lock.
 func (dp *DataPlane) FlowModCount() uint64 {
-	var total uint64
+	dp.mu.Lock()
+	tables := make([]*openflow.Table, 0, len(dp.tables))
 	for _, t := range dp.tables {
+		tables = append(tables, t)
+	}
+	dp.mu.Unlock()
+	var total uint64
+	for _, t := range tables {
 		total += t.Stats().Total()
 	}
 	return total

@@ -146,7 +146,8 @@ type DataPlane struct {
 	eng    *sim.Engine
 	tables map[topo.NodeID]*openflow.Table
 
-	// mu guards swCfg, hosts, busyUntil, queued, linkStats, and seq.
+	// mu guards swCfg, hosts, busyUntil, queued, linkStats, seq, and
+	// whole-map iteration over tables.
 	mu    sync.Mutex
 	swCfg map[topo.NodeID]SwitchConfig
 	hosts map[topo.NodeID]*hostState

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"time"
 
+	"pleroma/internal/core"
 	"pleroma/internal/dimsel"
 	"pleroma/internal/dz"
 	"pleroma/internal/interdomain"
@@ -107,6 +108,11 @@ type config struct {
 	inBandDelay   time.Duration
 	reindexEvery  time.Duration
 	reindexThresh float64
+	// faults, when set, interposes a fault-injection layer between the
+	// controllers and the switches (see WithSouthboundFaults).
+	faults *netem.FaultConfig
+	// retry, when set, overrides the controllers' southbound retry policy.
+	retry *core.RetryPolicy
 }
 
 // WithTopology selects the emulated network layout.
@@ -157,6 +163,9 @@ type System struct {
 	eng    *sim.Engine
 	dp     *netem.DataPlane
 	fab    *interdomain.Fabric
+	// faulty is the interposed fault-injection layer; nil without
+	// WithSouthboundFaults.
+	faulty *netem.FaultyProgrammer
 	subs   map[string]*subState
 	byHost map[HostID][]*subState
 	pubs   map[string]*Publisher
@@ -232,7 +241,16 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 
 	eng := sim.NewEngine()
 	dp := netem.New(g, eng)
-	fab, err := interdomain.NewFabric(g, dp)
+	var fabOpts []interdomain.Option
+	var faulty *netem.FaultyProgrammer
+	if cfg.faults != nil {
+		faulty = netem.WithFaults(dp, *cfg.faults)
+		fabOpts = append(fabOpts, interdomain.WithFlowProgrammer(faulty))
+	}
+	if cfg.retry != nil {
+		fabOpts = append(fabOpts, interdomain.WithControllerOptions(core.WithRetryPolicy(*cfg.retry)))
+	}
+	fab, err := interdomain.NewFabric(g, dp, fabOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -243,6 +261,7 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 		eng:    eng,
 		dp:     dp,
 		fab:    fab,
+		faulty: faulty,
 		subs:   make(map[string]*subState),
 		byHost: make(map[HostID][]*subState),
 		pubs:   make(map[string]*Publisher),

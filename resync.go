@@ -1,0 +1,170 @@
+package pleroma
+
+import (
+	"pleroma/internal/core"
+	"pleroma/internal/netem"
+)
+
+// The paper's conclusion (Section 8) also names reacting to failures as
+// open: the evaluated system assumes an always-healthy southbound channel.
+// This file exposes the fault-tolerance half as a first-class API, the
+// counterpart of the overload detection in overload.go: deployments can
+// inject southbound faults (for testing and chaos-style soaks), shape the
+// controllers' retry behaviour, inspect which switches fell behind, and
+// run the anti-entropy pass that heals them.
+
+// Re-exported fault-tolerance types.
+type (
+	// FaultConfig shapes injected southbound faults (see
+	// WithSouthboundFaults).
+	FaultConfig = netem.FaultConfig
+	// FaultStats counts the faults the injection layer produced.
+	FaultStats = netem.FaultStats
+	// RetryPolicy shapes the controllers' southbound retries (see
+	// WithRetryPolicy).
+	RetryPolicy = core.RetryPolicy
+	// ResyncReport summarises one anti-entropy pass.
+	ResyncReport = core.ResyncReport
+	// DegradedSwitch describes one switch whose flow table lags the
+	// canonical state after its southbound retries exhausted.
+	DegradedSwitch = core.DegradedSwitch
+)
+
+// DefaultRetryPolicy is the production-shaped retry policy of the
+// controllers (see core.DefaultRetryPolicy).
+var DefaultRetryPolicy = core.DefaultRetryPolicy
+
+// WithSouthboundFaults interposes a fault-injection layer between the
+// controllers and the emulated switches: southbound programming calls fail
+// according to cfg (seeded-random rates, scripted call indices, transient
+// switch-down windows, TCAM-pressure bursts). Reads and event forwarding
+// are never faulted. Combine with WithRetryPolicy and System.Resync to
+// exercise the full degradation/heal lifecycle.
+func WithSouthboundFaults(cfg FaultConfig) Option {
+	return func(c *config) { c.faults = &cfg }
+}
+
+// WithRetryPolicy makes every partition controller retry transient
+// southbound failures with capped exponential backoff before quarantining
+// the switch (see RetryPolicy). Without it controllers attempt each
+// southbound call once.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *config) { c.retry = &p }
+}
+
+// SouthboundReport summarises the health of the controller→switch channel.
+type SouthboundReport struct {
+	// Degraded lists quarantined switches: their retries exhausted, their
+	// tables lag the canonical state, and the next Resync heals them.
+	Degraded []DegradedSwitch
+	// Retries counts southbound attempts repeated after transient errors.
+	Retries uint64
+	// Quarantines counts switches that entered the degraded set.
+	Quarantines uint64
+	// Resyncs counts anti-entropy passes over single switches.
+	Resyncs uint64
+	// RepairedFlows counts FlowMods issued by resync passes.
+	RepairedFlows uint64
+	// InjectedFaults counts faults produced by the injection layer (zero
+	// without WithSouthboundFaults).
+	InjectedFaults uint64
+}
+
+// Healthy reports whether every switch's flow table currently matches the
+// canonical state as far as the controllers know (no quarantined
+// switches).
+func (r SouthboundReport) Healthy() bool { return len(r.Degraded) == 0 }
+
+// SouthboundReport returns a snapshot of southbound fault-tolerance
+// activity, the counterpart of OverloadReport for the control plane.
+func (s *System) SouthboundReport() SouthboundReport {
+	rep := SouthboundReport{Degraded: s.fab.DegradedSwitches()}
+	for _, p := range s.fab.Partitions() {
+		ctl, err := s.fab.Controller(p)
+		if err != nil {
+			continue
+		}
+		st := ctl.Stats()
+		rep.Retries += st.Retries
+		rep.Quarantines += st.Quarantines
+		rep.Resyncs += st.Resyncs
+		rep.RepairedFlows += st.RepairedFlows
+	}
+	if s.faulty != nil {
+		rep.InjectedFaults = s.faulty.Stats().Injected
+	}
+	return rep
+}
+
+// FaultStats returns the injection layer's counters; the zero value
+// without WithSouthboundFaults.
+func (s *System) FaultStats() FaultStats {
+	if s.faulty == nil {
+		return FaultStats{}
+	}
+	return s.faulty.Stats()
+}
+
+// HealFaults closes every open injected switch-down window (no-op without
+// WithSouthboundFaults). Tests use it to let a quarantined deployment
+// recover deterministically before a Resync.
+func (s *System) HealFaults() {
+	if s.faulty != nil {
+		s.faulty.Heal()
+	}
+}
+
+// SetFaultRate replaces the random fault probability of the injection
+// layer (no-op without WithSouthboundFaults).
+func (s *System) SetFaultRate(rate float64) {
+	if s.faulty != nil {
+		s.faulty.SetRate(rate)
+	}
+}
+
+// Resync runs the anti-entropy pass over every partition controller: each
+// switch's desired flow table is recomputed from the canonical state,
+// diffed against the switch's actual flows, and repaired with the minimal
+// FlowMod batch. Quarantined switches that repair fully are healed. The
+// pass is best-effort; switches that fail transiently again stay
+// quarantined for the next pass and are listed in the report.
+func (s *System) Resync() (ResyncReport, error) {
+	return s.fab.ResyncAll()
+}
+
+// ResyncUntilHealthy runs Resync passes until no switch is degraded or
+// maxPasses is exhausted; it returns the merged report and true when the
+// deployment converged. With ongoing fault injection convergence is
+// probabilistic per pass, so soaks pick maxPasses from their fault rate.
+func (s *System) ResyncUntilHealthy(maxPasses int) (ResyncReport, bool) {
+	var total ResyncReport
+	for i := 0; i < maxPasses; i++ {
+		rr, err := s.Resync()
+		total.Switches += rr.Switches
+		total.FlowAdds += rr.FlowAdds
+		total.FlowDeletes += rr.FlowDeletes
+		total.FlowModifies += rr.FlowModifies
+		total.Retries += rr.Retries
+		total.Healed += rr.Healed
+		total.SouthboundCalls += rr.SouthboundCalls
+		total.StillDegraded = rr.StillDegraded
+		if err == nil && len(rr.StillDegraded) == 0 {
+			return total, true
+		}
+	}
+	return total, len(total.StillDegraded) == 0
+}
+
+// VerifyTables cross-checks every controller's incrementally maintained
+// flow state against the full canonical derivation and the emulated
+// switches' actual tables; it returns the first inconsistency. A healthy
+// deployment (SouthboundReport().Healthy() after a Resync) verifies clean.
+func (s *System) VerifyTables() error {
+	return s.fab.VerifyTables()
+}
+
+// Degraded returns the switches whose flow tables are known to lag the
+// canonical state, ordered by switch ID.
+func (s *System) Degraded() []DegradedSwitch {
+	return s.fab.DegradedSwitches()
+}

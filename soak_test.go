@@ -3,7 +3,10 @@ package pleroma
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
+	"time"
 )
 
 // soakDelivery records one delivery for ground-truth comparison.
@@ -35,6 +38,18 @@ func TestSoakChurnExactDelivery(t *testing.T) {
 }
 
 func soakRun(t *testing.T, opts []Option, seed int64) {
+	t.Helper()
+	soakDrive(t, opts, seed, nil)
+}
+
+// soakDrive runs the churn/publish soak and returns the per-round delivery
+// logs (each sorted) so two runs with the same seed can be compared as
+// multisets. The workload consumes the seeded generator in a fixed order —
+// map iterations are sorted before any r.Intn draw — so runs differing only
+// in fault injection produce identical churn and event sequences.
+// beforePublish, when non-nil, runs between the round's churn and its
+// publish batch (e.g. an anti-entropy pass under fault injection).
+func soakDrive(t *testing.T, opts []Option, seed int64, beforePublish func(sys *System, round int)) [][]soakDelivery {
 	t.Helper()
 	sch, err := NewSchema(
 		Attribute{Name: "x", Bits: 10},
@@ -118,6 +133,7 @@ func soakRun(t *testing.T, opts []Option, seed int64) {
 		if len(keys) == 0 {
 			return ""
 		}
+		sort.Strings(keys)
 		return keys[r.Intn(len(keys))]
 	}
 
@@ -129,6 +145,7 @@ func soakRun(t *testing.T, opts []Option, seed int64) {
 		addSub()
 	}
 
+	var rounds [][]soakDelivery
 	for round := 0; round < 12; round++ {
 		// Churn.
 		switch r.Intn(5) {
@@ -162,13 +179,23 @@ func soakRun(t *testing.T, opts []Option, seed int64) {
 			}
 		}
 
+		if beforePublish != nil {
+			beforePublish(sys, round)
+		}
+
 		// Publish a batch from every live publisher, inside its region.
 		received = received[:0]
 		type sent struct {
 			event [2]uint32
 		}
 		var batch []sent
-		for _, ps := range pubs {
+		pubIDs := make([]string, 0, len(pubs))
+		for id := range pubs {
+			pubIDs = append(pubIDs, id)
+		}
+		sort.Strings(pubIDs)
+		for _, id := range pubIDs {
+			ps := pubs[id]
 			for j := 0; j < 5; j++ {
 				x := ps.rect[0][0] + uint32(r.Intn(int(ps.rect[0][1]-ps.rect[0][0]+1)))
 				y := ps.rect[1][0] + uint32(r.Intn(int(ps.rect[1][1]-ps.rect[1][0]+1)))
@@ -205,6 +232,67 @@ func soakRun(t *testing.T, opts []Option, seed int64) {
 				t.Fatalf("round %d: unexpected delivery %v ×%d (expected %d)",
 					round, k, g, expected[k])
 			}
+		}
+
+		log := append([]soakDelivery(nil), received...)
+		sort.Slice(log, func(i, j int) bool {
+			if log[i].sub != log[j].sub {
+				return log[i].sub < log[j].sub
+			}
+			if log[i].event[0] != log[j].event[0] {
+				return log[i].event[0] < log[j].event[0]
+			}
+			return log[i].event[1] < log[j].event[1]
+		})
+		rounds = append(rounds, log)
+	}
+	return rounds
+}
+
+// TestSoakFaultChurnConvergence is the end-to-end acceptance check for the
+// southbound fault-tolerance layer: the same churn workload runs once
+// fault-free and once behind a fault injector (random mid-stream failures
+// plus one scripted fault so at least one always fires). Every round the
+// faulted run resyncs until no switch is degraded and verifies the flow
+// state clean before publishing; its delivery multisets must then match the
+// fault-free run round for round — faults, retries, quarantines and repairs
+// are invisible to subscribers.
+func TestSoakFaultChurnConvergence(t *testing.T) {
+	const seed = 424242
+	baseline := soakDrive(t, nil, seed, nil)
+
+	faultOpts := []Option{
+		WithSouthboundFaults(FaultConfig{Seed: 1, Rate: 0.03, FailCalls: []uint64{5}}),
+		WithRetryPolicy(RetryPolicy{
+			MaxAttempts: 3,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  4 * time.Millisecond,
+			Sleep:       func(time.Duration) {}, // no wall-clock waits in tests
+		}),
+	}
+	var sys *System
+	faulted := soakDrive(t, faultOpts, seed, func(s *System, round int) {
+		sys = s
+		if _, ok := s.ResyncUntilHealthy(100); !ok {
+			t.Fatalf("round %d: resync did not converge (degraded=%v)",
+				round, s.Degraded())
+		}
+		if err := s.VerifyTables(); err != nil {
+			t.Fatalf("round %d: VerifyTables after resync: %v", round, err)
+		}
+	})
+
+	if got := sys.FaultStats().Injected; got == 0 {
+		t.Fatal("no faults injected; the soak exercised nothing")
+	}
+	if len(baseline) != len(faulted) {
+		t.Fatalf("round counts differ: baseline %d, faulted %d",
+			len(baseline), len(faulted))
+	}
+	for round := range baseline {
+		if !reflect.DeepEqual(baseline[round], faulted[round]) {
+			t.Errorf("round %d deliveries diverge under faults:\nbaseline: %v\nfaulted:  %v",
+				round, baseline[round], faulted[round])
 		}
 	}
 }
