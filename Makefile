@@ -26,5 +26,11 @@ race:
 soak:
 	$(GO) test -race -run Soak -count=1 -v .
 
+# Micro-benchmarks for the prefix index (Set algebra, table lookup) plus the
+# system-level publish/subscribe benchmarks. Output is teed into benchmarks/
+# so successive runs can be diffed against benchmarks/before.txt.
 bench:
-	$(GO) test -run XXX -bench . -benchtime 100x ./internal/core/... ./internal/openflow/...
+	mkdir -p benchmarks
+	$(GO) test -run XXX -bench 'BenchmarkSet|BenchmarkTableLookup|BenchmarkLookup' -benchmem ./internal/dz/... ./internal/openflow/... | tee benchmarks/micro.txt
+	$(GO) test -run XXX -bench 'BenchmarkSystemPublishDeliver' -benchtime 100x -benchmem . | tee benchmarks/system.txt
+	$(GO) test -run XXX -bench 'BenchmarkSubscribeAt' -benchmem ./internal/core/... | tee -a benchmarks/system.txt

@@ -6,6 +6,7 @@ import (
 
 	"pleroma/internal/dz"
 	"pleroma/internal/openflow"
+	"pleroma/internal/sortutil"
 	"pleroma/internal/topo"
 )
 
@@ -53,10 +54,8 @@ func (c *Controller) advertise(id string, ep endpoint, set dz.Set) (ReconfigRepo
 	touched := make(touchedSet)
 	for _, dzi := range set {
 		covered := dz.Set(nil)
-		for _, t := range c.sortedTrees() {
-			if !t.set.Overlaps(dzi) {
-				continue
-			}
+		for _, tid := range c.treeIdx.overlapping(dzi) {
+			t := c.trees[tid]
 			overlap := t.set.IntersectExpr(dzi) // DZ^t(p) part from dz_i
 			covered = covered.Union(overlap)
 			c.joinTreeAsPublisher(t, pub, overlap, &rep)
@@ -128,13 +127,11 @@ func (c *Controller) subscribe(id string, ep endpoint, set dz.Set) (ReconfigRepo
 
 	touched := make(touchedSet)
 	for _, dzi := range set {
-		for _, t := range c.sortedTrees() {
-			if !t.set.Overlaps(dzi) {
-				continue
-			}
+		for _, tid := range c.treeIdx.overlapping(dzi) {
+			t := c.trees[tid]
 			overlap := t.set.IntersectExpr(dzi) // DZ^t(s) part from dz_i
 			c.joinTreeAsSubscriber(t, sub, overlap)
-			for _, pid := range sortedKeys(t.pubs) {
+			for _, pid := range sortutil.Keys(t.pubs) {
 				pubOverlap := t.pubs[pid]
 				ov := overlap.Intersect(pubOverlap)
 				if ov.IsEmpty() {
@@ -291,7 +288,7 @@ func (c *Controller) joinTreeAsSubscriber(t *tree, sub *subscriber, overlap dz.S
 // subspaces gets a path from the publisher.
 func (c *Controller) addFlowMultSub(t *tree, pub *publisher, set dz.Set,
 	touched touchedSet, rep *ReconfigReport) error {
-	for _, sid := range sortedKeys(c.subs) {
+	for _, sid := range sortutil.Keys(c.subs) {
 		sub := c.subs[sid]
 		ov := set.Intersect(sub.sub)
 		if ov.IsEmpty() {
@@ -327,6 +324,7 @@ func (c *Controller) createTree(pub *publisher, set dz.Set, rep *ReconfigReport)
 	}
 	pub.trees[t.id] = true
 	c.trees[t.id] = t
+	c.treeIdx.add(t.id, t.set)
 	c.stats.TreesCreated++
 	rep.TreesCreated++
 	if c.log != nil {
@@ -348,6 +346,7 @@ func (c *Controller) dismantleTree(t *tree, touched touchedSet) {
 			delete(p.trees, t.id)
 		}
 	}
+	c.treeIdx.remove(t.set)
 	delete(c.trees, t.id)
 }
 
@@ -411,8 +410,13 @@ func (c *Controller) mergeTrees(t1, t2 *tree, touched touchedSet, rep *ReconfigR
 	c.contribs.removeByTree(t1.id, touched)
 	c.contribs.removeByTree(t2.id, touched)
 
+	// Re-index under the merged set: members may coarsen when sibling
+	// subspaces from the two trees meet, so remove-then-add is required.
+	c.treeIdx.remove(t1.set)
+	c.treeIdx.remove(t2.set)
 	merged := t1.set.Union(t2.set)
 	t1.set = merged
+	c.treeIdx.add(t1.id, merged)
 
 	// Union memberships.
 	for pid := range t2.pubs {
@@ -444,10 +448,10 @@ func (c *Controller) mergeTrees(t1, t2 *tree, touched touchedSet, rep *ReconfigR
 	}
 
 	// Rebuild all paths of the merged tree.
-	for _, pid := range sortedKeys(t1.pubs) {
+	for _, pid := range sortutil.Keys(t1.pubs) {
 		pub := c.pubs[pid]
 		pubSet := t1.pubs[pid]
-		for _, sid := range sortedKeys(t1.subs) {
+		for _, sid := range sortutil.Keys(t1.subs) {
 			sub := c.subs[sid]
 			ov := pubSet.Intersect(t1.subs[sid])
 			if ov.IsEmpty() {
@@ -486,15 +490,6 @@ func (c *Controller) sortedTrees() []*tree {
 	return out
 }
 
-func sortedKeys[V any](m map[string]V) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
 // RebuildTrees recomputes every dissemination tree's spanning tree over
 // the current topology and reinstalls all publisher→subscriber paths. The
 // controller calls it after a topology change (e.g. a link failure): the
@@ -513,10 +508,10 @@ func (c *Controller) RebuildTrees() (ReconfigReport, error) {
 		}
 		t.span = span
 		c.contribs.removeByTree(t.id, touched)
-		for _, pid := range sortedKeys(t.pubs) {
+		for _, pid := range sortutil.Keys(t.pubs) {
 			pub := c.pubs[pid]
 			pubSet := t.pubs[pid]
-			for _, sid := range sortedKeys(t.subs) {
+			for _, sid := range sortutil.Keys(t.subs) {
 				sub := c.subs[sid]
 				ov := pubSet.Intersect(t.subs[sid])
 				if ov.IsEmpty() {

@@ -247,8 +247,12 @@ type Controller struct {
 
 	nextTree TreeID
 	trees    map[TreeID]*tree
-	pubs     map[string]*publisher
-	subs     map[string]*subscriber
+	// treeIdx maps owned DZ prefixes to their tree so advertise/subscribe
+	// resolve overlapping trees by prefix query instead of scanning every
+	// tree's set. Kept in sync by createTree/dismantleTree/mergeTrees.
+	treeIdx treeIndex
+	pubs    map[string]*publisher
+	subs    map[string]*subscriber
 
 	// contribs aggregates all established path contributions; installed
 	// tracks the flows currently programmed per switch, keyed by match

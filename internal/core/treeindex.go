@@ -1,0 +1,78 @@
+package core
+
+import (
+	"slices"
+
+	"pleroma/internal/dz"
+)
+
+// treeIndex resolves which dissemination trees own a subspace. Tree DZ sets
+// are pairwise disjoint by construction — createTree only ever claims the
+// uncovered remainder of an advertisement, and merges fold one tree's set
+// into another — so every canonical set member belongs to exactly one tree
+// and the index is a plain prefix map: packed member → owning tree.
+//
+// Members longer than dz.MaxKeyBits cannot pack losslessly into a trie key
+// and fall back to a small side map checked with string prefix algebra.
+// The zero value is ready for use; all access is guarded by Controller.mu.
+type treeIndex struct {
+	trie dz.Trie[TreeID]
+	long map[dz.Expr]TreeID
+}
+
+// add indexes every member of a tree's canonical DZ set.
+func (x *treeIndex) add(id TreeID, set dz.Set) {
+	for _, e := range set {
+		if k, ok := dz.KeyOf(e); ok {
+			x.trie.Insert(k, id)
+			continue
+		}
+		if x.long == nil {
+			x.long = make(map[dz.Expr]TreeID)
+		}
+		x.long[e] = id
+	}
+}
+
+// remove drops every member of a tree's canonical DZ set. Callers must pass
+// the exact set the tree was indexed with (remove before mutating t.set).
+func (x *treeIndex) remove(set dz.Set) {
+	for _, e := range set {
+		if k, ok := dz.KeyOf(e); ok {
+			x.trie.Delete(k)
+			continue
+		}
+		delete(x.long, e)
+	}
+}
+
+// overlapping returns the IDs of all trees whose DZ set overlaps dzi, in
+// ascending order: one trie descent for members covering dzi, one subtree
+// walk for members covered by it. Replaces the linear scan over every
+// tree's whole set.
+func (x *treeIndex) overlapping(dzi dz.Expr) []TreeID {
+	var ids []TreeID
+	k, exact := dz.KeyOf(dzi)
+	// Stored keys never exceed MaxKeyBits, so a member covers dzi iff it is
+	// a prefix of dzi's first MaxKeyBits bits — exact even when k was
+	// truncated.
+	x.trie.VisitPrefixes(k, func(_ dz.Key, id TreeID) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if exact {
+		// Members covered by dzi. When dzi itself exceeds MaxKeyBits it can
+		// only cover longer members, which all live in the fallback map.
+		x.trie.WalkCovered(k, func(_ dz.Key, id TreeID) bool {
+			ids = append(ids, id)
+			return true
+		})
+	}
+	for e, id := range x.long {
+		if e.Overlaps(dzi) {
+			ids = append(ids, id)
+		}
+	}
+	slices.Sort(ids)
+	return slices.Compact(ids) // dzi == member appears in both walks
+}

@@ -1,0 +1,113 @@
+package dz
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchSizes are the working-set sizes the set-algebra micro-benchmarks
+// sweep; future PRs diff these with benchstat (see `make bench`).
+var benchSizes = []int{10, 100, 1000}
+
+// randomExprs generates n random expressions with lengths in
+// [minLen, minLen+spread]. The benchmarks keep minLen well above log2(n) so
+// canonicalisation does not collapse the whole working set into a handful
+// of coarse subspaces (which would benchmark the empty case).
+func randomExprs(n, minLen, spread int, seed int64) []Expr {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Expr, n)
+	for i := range out {
+		l := minLen + r.Intn(spread+1)
+		buf := make([]byte, l)
+		for j := range buf {
+			buf[j] = byte('0' + r.Intn(2))
+		}
+		out[i] = Expr(buf)
+	}
+	return out
+}
+
+func BenchmarkSetCanonical(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			raw := Set(randomExprs(n, 18, 6, 42))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = raw.Canonical()
+			}
+		})
+	}
+}
+
+func BenchmarkSetSubtract(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := NewSet(randomExprs(n, 18, 6, 1)...)
+			o := NewSet(randomExprs(n, 14, 4, 2)...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.Subtract(o)
+			}
+		})
+	}
+}
+
+func BenchmarkSetUnion(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := NewSet(randomExprs(n, 18, 6, 3)...)
+			o := NewSet(randomExprs(n, 18, 6, 4)...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.Union(o)
+			}
+		})
+	}
+}
+
+// refineSet derives a set overlapping s: every member gets 0–3 extra
+// random bits, so intersections and coverage checks do real work instead of
+// bailing out on disjoint operands.
+func refineSet(s Set, seed int64) Set {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Expr, 0, len(s))
+	for _, e := range s {
+		for k := r.Intn(4); k > 0; k-- {
+			e = e.Child(byte(r.Intn(2)))
+		}
+		out = append(out, e)
+	}
+	return NewSet(out...)
+}
+
+func BenchmarkSetIntersectSized(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := NewSet(randomExprs(n, 18, 6, 5)...)
+			o := refineSet(s, 6)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.Intersect(o)
+			}
+		})
+	}
+}
+
+func BenchmarkSetCovers(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := NewSet(randomExprs(n, 14, 4, 7)...)
+			o := refineSet(s, 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.Covers(o)
+			}
+		})
+	}
+}

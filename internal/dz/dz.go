@@ -18,6 +18,7 @@ package dz
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -198,57 +199,83 @@ func NewSet(exprs ...Expr) Set {
 }
 
 // Canonical returns the canonical form of the set: members sorted, covered
-// members removed, and complete sibling pairs merged into their parent
-// (repeatedly, until a fixed point).
+// members removed, and complete sibling pairs merged into their parent.
 func (s Set) Canonical() Set {
 	if len(s) == 0 {
 		return nil
 	}
 	work := make([]Expr, len(s))
 	copy(work, s)
-	for {
-		sort.Slice(work, func(i, j int) bool { return work[i] < work[j] })
-		// Remove duplicates and covered members. After sorting, a covering
-		// prefix sorts before everything it covers... not in general (e.g.
-		// "0" < "00" holds, and "1" < "10"), so a single linear pass with the
-		// last kept member suffices: any member covered by an earlier member
-		// is adjacent to some retained prefix in lexicographic order.
-		kept := work[:0]
-		for _, e := range work {
-			if len(kept) > 0 && kept[len(kept)-1].Covers(e) {
-				continue
-			}
-			kept = append(kept, e)
-		}
-		work = kept
-		// Merge complete sibling pairs.
-		merged := false
-		out := work[:0]
-		i := 0
-		for i < len(work) {
-			if i+1 < len(work) {
-				a, b := work[i], work[i+1]
-				if sa, ok := a.Sibling(); ok && sa == b {
-					out = append(out, a[:len(a)-1])
-					merged = true
-					i += 2
-					continue
-				}
-			}
-			out = append(out, work[i])
-			i++
-		}
-		work = out
-		if !merged {
-			break
-		}
-	}
+	slices.Sort(work)
+	return canonicalizeSorted(work)
+}
+
+// canonicalizeSorted canonicalises an already sorted slice in place and
+// returns it. Two linear passes reach the fixed point:
+//
+// Covered-member removal compares against the last kept member only: in
+// lexicographic order every expression between a prefix and one of its
+// extensions is itself an extension of that prefix, so a covering member is
+// still "last kept" when the covered one arrives.
+//
+// The sibling merge keeps its output as a stack: when a merged parent
+// completes its own sibling pair the pair merges immediately ("00","01","1"
+// → "0","1" → ε in one sweep). A merged parent can never cover a later
+// member — such a member would have been covered by one of the children and
+// removed by the first pass — so no further passes are needed.
+func canonicalizeSorted(work []Expr) Set {
 	if len(work) == 0 {
 		return nil
 	}
-	res := make(Set, len(work))
-	copy(res, work)
-	return res
+	kept := work[:0]
+	for _, e := range work {
+		if len(kept) > 0 && kept[len(kept)-1].Covers(e) {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	out := kept[:0]
+	for _, e := range kept {
+		for len(out) > 0 {
+			top := out[len(out)-1]
+			if sib, ok := top.Sibling(); ok && sib == e {
+				out = out[:len(out)-1]
+				e = top[:len(top)-1]
+				continue
+			}
+			break
+		}
+		out = append(out, e)
+	}
+	return Set(out)
+}
+
+// isCanonical reports whether the set is already in canonical form:
+// strictly sorted, no member covering another, no complete sibling pair. In
+// a sorted cover-free list both a covering member and a complete sibling
+// are always adjacent, so one linear pass is a complete check. The
+// merge-based set operations use it to skip re-canonicalising inputs this
+// package produced (the overwhelmingly common case).
+func (s Set) isCanonical() bool {
+	for i := 1; i < len(s); i++ {
+		prev, cur := s[i-1], s[i]
+		if prev >= cur || prev.Covers(cur) {
+			return false
+		}
+		if sib, ok := prev.Sibling(); ok && sib == cur {
+			return false
+		}
+	}
+	return true
+}
+
+// canon returns the set itself when already canonical, else its canonical
+// form.
+func (s Set) canon() Set {
+	if s.isCanonical() {
+		return s
+	}
+	return s.Canonical()
 }
 
 // IsEmpty reports whether the set describes the empty region.
@@ -290,33 +317,57 @@ func (s Set) OverlapsSet(o Set) bool {
 }
 
 // Covers reports whether the region of s covers the entire region of o.
+// For canonical operands this is a two-pointer merge: each member of o must
+// be covered by a single member of s — members of s that merely tiled an
+// o-member between them would have merged during canonicalisation.
 func (s Set) Covers(o Set) bool {
+	if len(o) == 0 {
+		return true
+	}
+	s, o = s.canon(), o.canon()
+	i := 0
 	for _, e := range o {
-		rest := Set{e}
-		for _, m := range s {
-			rest = rest.SubtractExpr(m)
-			if rest.IsEmpty() {
-				break
-			}
+		// Skipped members cannot cover anything later: extensions of a
+		// non-prefix expression below e also sort below e.
+		for i < len(s) && s[i] < e && !s[i].Covers(e) {
+			i++
 		}
-		if !rest.IsEmpty() {
+		if i == len(s) || !s[i].Covers(e) {
 			return false
 		}
 	}
 	return true
 }
 
-// Intersect returns the canonical intersection of the two regions.
+// Intersect returns the canonical intersection of the two regions. Members
+// of a canonical set are pairwise disjoint, so overlapping pairs line up in
+// one sorted merge and each overlap is the longer (finer) expression of its
+// pair.
 func (s Set) Intersect(o Set) Set {
+	s, o = s.canon(), o.canon()
 	var out []Expr
-	for _, a := range s {
-		for _, b := range o {
-			if ov, ok := a.Overlap(b); ok {
-				out = append(out, ov)
-			}
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		a, b := s[i], o[j]
+		switch {
+		case a.Covers(b):
+			out = append(out, b)
+			j++
+		case b.Covers(a):
+			out = append(out, a)
+			i++
+		case a < b:
+			i++
+		default:
+			j++
 		}
 	}
-	return NewSet(out...)
+	if len(out) == 0 {
+		return nil
+	}
+	// The merge emits sorted, pairwise-disjoint overlaps; a final pass only
+	// re-merges sibling pairs that became complete (e.g. {0} ∩ {00,01}).
+	return canonicalizeSorted(out)
 }
 
 // IntersectExpr returns the canonical intersection of the region with a
@@ -327,31 +378,89 @@ func (s Set) IntersectExpr(e Expr) Set {
 
 // SubtractExpr returns the canonical region of s minus the subspace of e.
 func (s Set) SubtractExpr(e Expr) Set {
-	var out []Expr
-	for _, m := range s {
-		out = append(out, m.Subtract(e)...)
-	}
-	return NewSet(out...)
+	return s.Subtract(Set{e})
 }
 
-// Subtract returns the canonical region of s minus the region of o.
+// Subtract returns the canonical region of s minus the region of o. Both
+// canonical member lists are sorted and pairwise disjoint, so one merge
+// pass suffices: each member of o either erases, fragments (Expr.Subtract
+// siblings), or misses the current member of s, and fragments are carved
+// further in place until the pass moves beyond them.
 func (s Set) Subtract(o Set) Set {
-	res := s
-	for _, e := range o {
-		res = res.SubtractExpr(e)
-		if res.IsEmpty() {
+	if len(o) == 0 {
+		return s
+	}
+	if len(s) == 0 {
+		return nil
+	}
+	s, o = s.canon(), o.canon()
+	out := make([]Expr, 0, len(s))
+	frags := make([]Expr, 0, 8)
+	j := 0
+	for _, a := range s {
+		for j < len(o) && o[j] < a && !o[j].Covers(a) {
+			j++
+		}
+		if j < len(o) && o[j].Covers(a) {
+			continue // a fully erased; o[j] may still cover later members
+		}
+		if j == len(o) || !a.Covers(o[j]) {
+			out = append(out, a)
+			continue
+		}
+		// a strictly covers a run of members of o: carve each out of a's
+		// fragment list, flushing fragments the run has moved past — a later
+		// subtrahend can never reach back into a flushed fragment.
+		frags = append(frags[:0], a)
+		fi := 0
+		for j < len(o) && a.Covers(o[j]) {
+			b := o[j]
+			j++
+			for fi < len(frags) && frags[fi] < b && !frags[fi].Covers(b) {
+				out = append(out, frags[fi])
+				fi++
+			}
+			if fi < len(frags) && frags[fi].Covers(b) {
+				repl := frags[fi].Subtract(b)
+				slices.Sort(repl)
+				frags = append(frags[:fi], append(repl, frags[fi+1:]...)...)
+			}
+		}
+		out = append(out, frags[fi:]...)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return canonicalizeSorted(out)
+}
+
+// Union returns the canonical union of the two regions via a sorted merge
+// of the two canonical member lists.
+func (s Set) Union(o Set) Set {
+	s, o = s.canon(), o.canon()
+	if len(s) == 0 {
+		if len(o) == 0 {
 			return nil
 		}
+		return o.Clone()
 	}
-	return res
-}
-
-// Union returns the canonical union of the two regions.
-func (s Set) Union(o Set) Set {
-	out := make([]Expr, 0, len(s)+len(o))
-	out = append(out, s...)
-	out = append(out, o...)
-	return NewSet(out...)
+	if len(o) == 0 {
+		return s.Clone()
+	}
+	merged := make([]Expr, 0, len(s)+len(o))
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		if s[i] <= o[j] {
+			merged = append(merged, s[i])
+			i++
+		} else {
+			merged = append(merged, o[j])
+			j++
+		}
+	}
+	merged = append(merged, s[i:]...)
+	merged = append(merged, o[j:]...)
+	return canonicalizeSorted(merged)
 }
 
 // Equal reports whether two canonical sets describe the same region.
@@ -418,11 +527,4 @@ func (s Set) String() string {
 		parts[i] = e.String()
 	}
 	return "{" + strings.Join(parts, ", ") + "}"
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,69 @@
+package interdomain
+
+import "pleroma/internal/dz"
+
+// coverIndex drives covering-based suppression (Section 4.2) for one
+// (partition, neighbour, direction): it maintains the cumulative union of
+// everything already forwarded as a canonical set plus a prefix trie over
+// its members. The suppression question "is this whole set already
+// forwarded?" then costs one CoversAny descent per member of the candidate
+// set, instead of re-uniting every per-origin set and running quadratic
+// set algebra on each forward — the same prefix-index engine the flow
+// tables and the controller's tree index use.
+type coverIndex struct {
+	agg dz.Set // canonical cumulative union of forwarded subspaces
+	// trie indexes agg's members that pack into keys; hasLong flags members
+	// beyond dz.MaxKeyBits, which force the set-algebra fallback.
+	trie    dz.Trie[struct{}]
+	hasLong bool
+}
+
+// add folds a newly forwarded set into the index. Union can coarsen members
+// non-locally (sibling merges cascade), so the trie is rebuilt from the new
+// canonical aggregate rather than patched.
+func (x *coverIndex) add(set dz.Set) {
+	x.reset(x.agg.Union(set))
+}
+
+// reset reindexes the given cumulative aggregate from scratch.
+func (x *coverIndex) reset(agg dz.Set) {
+	x.agg = agg
+	x.trie = dz.Trie[struct{}]{}
+	x.hasLong = false
+	for _, e := range agg {
+		if k, ok := dz.KeyOf(e); ok {
+			x.trie.Insert(k, struct{}{})
+		} else {
+			x.hasLong = true
+		}
+	}
+}
+
+// covers reports whether the already-forwarded region covers set entirely.
+// For canonical operands each member of set must be covered by a single
+// member of the aggregate (complete tiles merged during canonicalisation),
+// which is exactly the trie's CoversAny probe. Stored keys are never
+// truncated when hasLong is false, so probing with a truncated key of an
+// overlong member is still exact.
+func (x *coverIndex) covers(set dz.Set) bool {
+	if x.hasLong {
+		return x.agg.Covers(set)
+	}
+	for _, e := range set {
+		k, _ := dz.KeyOf(e)
+		if !x.trie.CoversAny(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// cover returns the (lazily created) index for one neighbour.
+func cover(m map[int]*coverIndex, nb int) *coverIndex {
+	ci := m[nb]
+	if ci == nil {
+		ci = &coverIndex{}
+		m[nb] = ci
+	}
+	return ci
+}

@@ -107,10 +107,13 @@ type partitionState struct {
 	rcvdAdv map[string]dz.Set
 	rcvdSub map[string]dz.Set
 	// fwdAdvByOrigin/fwdSubByOrigin record what was already forwarded per
-	// neighbour and origin; their unions drive covering-based suppression
-	// and per-origin tracking allows rebuilds after removals.
+	// neighbour and origin; per-origin tracking allows rebuilds after
+	// removals. The cover indexes hold the cumulative unions per neighbour
+	// and drive covering-based suppression via prefix-trie probes.
 	fwdAdvByOrigin map[int]map[string]dz.Set
 	fwdSubByOrigin map[int]map[string]dz.Set
+	fwdAdvCover    map[int]*coverIndex
+	fwdSubCover    map[int]*coverIndex
 	// localAdvs/localSubs are the partition's own clients.
 	localAdvs map[string]dz.Set
 	localSubs map[string]dz.Set
@@ -224,6 +227,8 @@ func NewFabric(g *topo.Graph, dp *netem.DataPlane, opts ...Option) (*Fabric, err
 			rcvdSub:        make(map[string]dz.Set),
 			fwdAdvByOrigin: make(map[int]map[string]dz.Set),
 			fwdSubByOrigin: make(map[int]map[string]dz.Set),
+			fwdAdvCover:    make(map[int]*coverIndex),
+			fwdSubCover:    make(map[int]*coverIndex),
 			localAdvs:      make(map[string]dz.Set),
 			localSubs:      make(map[string]dz.Set),
 		}

@@ -2,9 +2,10 @@ package interdomain
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"pleroma/internal/dz"
+	"pleroma/internal/sortutil"
 	"pleroma/internal/topo"
 )
 
@@ -117,6 +118,9 @@ func (f *Fabric) Unadvertise(id string) error {
 		ps.extAdvs = kept
 		for nb := range ps.fwdAdvByOrigin {
 			delete(ps.fwdAdvByOrigin[nb], id)
+			// The removed origin's subspaces leave the forwarded region, so
+			// the suppression index is rebuilt from the surviving origins.
+			cover(ps.fwdAdvCover, nb).reset(unionOrigins(ps.fwdAdvByOrigin[nb]))
 		}
 	}
 	return f.rebuildSubPropagation()
@@ -140,6 +144,7 @@ func (f *Fabric) rebuildSubPropagation() error {
 	for _, ps := range f.parts {
 		ps.rcvdSub = make(map[string]dz.Set)
 		ps.fwdSubByOrigin = make(map[int]map[string]dz.Set)
+		ps.fwdSubCover = make(map[int]*coverIndex)
 	}
 	for _, origin := range f.subOrder {
 		home := f.subHome[origin]
@@ -173,11 +178,12 @@ func (f *Fabric) forwardAdv(from int, origin string, set dz.Set, exclude int) {
 		if nb == exclude {
 			continue
 		}
-		if f.covering && f.fwdAdvUnion(s, nb).Covers(set) {
+		if f.covering && cover(s.fwdAdvCover, nb).covers(set) {
 			f.suppressed++
 			continue
 		}
 		addOrigin(s.fwdAdvByOrigin, nb, origin, set)
+		cover(s.fwdAdvCover, nb).add(set)
 		f.messagesSent++
 		f.receiveExternalAdv(nb, from, origin, set)
 	}
@@ -224,10 +230,10 @@ func (f *Fabric) backPropagateSubs(at, toward int, advSet dz.Set) {
 		set    dz.Set
 	}
 	var subs []known
-	for _, origin := range sortedStringKeys(s.localSubs) {
+	for _, origin := range sortutil.Keys(s.localSubs) {
 		subs = append(subs, known{origin, s.localSubs[origin]})
 	}
-	for _, origin := range sortedStringKeys(s.rcvdSub) {
+	for _, origin := range sortutil.Keys(s.rcvdSub) {
 		subs = append(subs, known{origin, s.rcvdSub[origin]})
 	}
 	for _, k := range subs {
@@ -259,7 +265,7 @@ func (f *Fabric) forwardSub(from int, origin string, set dz.Set, exclude int) {
 	for nb := range targets {
 		nbs = append(nbs, nb)
 	}
-	sortInts(nbs)
+	slices.Sort(nbs)
 	for _, nb := range nbs {
 		f.sendSubTo(from, nb, origin, targets[nb])
 	}
@@ -269,11 +275,12 @@ func (f *Fabric) forwardSub(from int, origin string, set dz.Set, exclude int) {
 // covering-based suppression.
 func (f *Fabric) sendSubTo(from, nb int, origin string, set dz.Set) {
 	s := f.parts[from]
-	if f.covering && f.fwdSubUnion(s, nb).Covers(set) {
+	if f.covering && cover(s.fwdSubCover, nb).covers(set) {
 		f.suppressed++
 		return
 	}
 	addOrigin(s.fwdSubByOrigin, nb, origin, set)
+	cover(s.fwdSubCover, nb).add(set)
 	f.messagesSent++
 	f.receiveExternalSub(nb, from, origin, set)
 }
@@ -315,15 +322,8 @@ func (f *Fabric) canonicalBorder(at, neighbour int) (BorderPort, bool) {
 	return bps[0], true
 }
 
-// fwdAdvUnion returns everything already forwarded to a neighbour.
-func (f *Fabric) fwdAdvUnion(s *partitionState, nb int) dz.Set {
-	return unionOrigins(s.fwdAdvByOrigin[nb])
-}
-
-func (f *Fabric) fwdSubUnion(s *partitionState, nb int) dz.Set {
-	return unionOrigins(s.fwdSubByOrigin[nb])
-}
-
+// unionOrigins re-unites the per-origin forwarded sets of one neighbour;
+// used to rebuild a cover index after an origin is removed.
 func unionOrigins(m map[string]dz.Set) dz.Set {
 	var u dz.Set
 	for _, set := range m {
@@ -349,17 +349,4 @@ func removeString(s []string, v string) []string {
 		}
 	}
 	return out
-}
-
-func sortedStringKeys[V any](m map[string]V) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func sortInts(s []int) {
-	sort.Ints(s)
 }

@@ -3,9 +3,9 @@ package interdomain
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"pleroma/internal/dz"
+	"pleroma/internal/sortutil"
 )
 
 // HandleTopologyChange reacts to link failures or repairs: the fabric
@@ -30,7 +30,7 @@ func (f *Fabric) HandleTopologyChange() error {
 	var errs []error
 
 	// 1. Tear down all virtual replicas in every partition.
-	for _, origin := range sortedKeys(f.advReplicas) {
+	for _, origin := range sortutil.Keys(f.advReplicas) {
 		for _, r := range f.advReplicas[origin] {
 			if _, err := f.parts[r.part].ctl.Unadvertise(r.id); err != nil {
 				errs = append(errs, fmt.Errorf("interdomain: teardown adv replica %q: %w", r.id, err))
@@ -38,7 +38,7 @@ func (f *Fabric) HandleTopologyChange() error {
 		}
 		delete(f.advReplicas, origin)
 	}
-	for _, origin := range sortedKeys(f.subReplicas) {
+	for _, origin := range sortutil.Keys(f.subReplicas) {
 		for _, r := range f.subReplicas[origin] {
 			if _, err := f.parts[r.part].ctl.Unsubscribe(r.id); err != nil {
 				errs = append(errs, fmt.Errorf("interdomain: teardown sub replica %q: %w", r.id, err))
@@ -55,6 +55,8 @@ func (f *Fabric) HandleTopologyChange() error {
 		ps.rcvdSub = make(map[string]dz.Set)
 		ps.fwdAdvByOrigin = make(map[int]map[string]dz.Set)
 		ps.fwdSubByOrigin = make(map[int]map[string]dz.Set)
+		ps.fwdAdvCover = make(map[int]*coverIndex)
+		ps.fwdSubCover = make(map[int]*coverIndex)
 		for id, set := range ps.localAdvs {
 			ps.rcvdAdv[id] = set.Clone()
 		}
@@ -91,14 +93,4 @@ func (f *Fabric) HandleTopologyChange() error {
 		f.forwardSub(home, id, f.parts[home].localSubs[id], home)
 	}
 	return errors.Join(errs...)
-}
-
-// sortedKeys returns the keys of a replica map in lexicographic order.
-func sortedKeys(m map[string][]replica) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }

@@ -116,6 +116,24 @@ func ExprFromAddr(addr netip.Addr, length int) (dz.Expr, error) {
 	return dz.Expr(buf), nil
 }
 
+// KeyFromAddr packs the 112 dz bits of an event address directly into a
+// prefix-index key, skipping the string form entirely — the packet-path
+// converter for the flow-table fast path. ok is false for addresses outside
+// the ff0e::/16 block (no dz flow can ever match those). It never
+// allocates.
+func KeyFromAddr(addr netip.Addr) (dz.Key, bool) {
+	if !addr.Is6() {
+		return dz.Key{}, false
+	}
+	b := addr.As16()
+	if b[0] != 0xff || b[1] != 0x0e {
+		return dz.Key{}, false
+	}
+	var bits [14]byte
+	copy(bits[:], b[2:])
+	return dz.KeyFromBits(bits, MaxDzLen), true
+}
+
 // Matches reports whether an event destination address matches the flow
 // prefix of a (covering) dz-expression — the TCAM operation.
 func Matches(flowPrefix netip.Prefix, eventAddr netip.Addr) bool {

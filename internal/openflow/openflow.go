@@ -149,10 +149,11 @@ func (s ModStats) Total() uint64 { return s.Adds + s.Deletes + s.Mods }
 //
 // Lookups emulate a TCAM: the highest-priority matching entry wins. When
 // every installed flow keeps the PLEROMA invariant priority == |dz| (the
-// controller always does), the table serves lookups from a prefix index in
-// O(distinct lengths) instead of scanning, mirroring the constant-time
-// behaviour of hardware TCAMs that Figure 7(a) demonstrates. Any flow
-// violating the invariant drops the table back to a full scan.
+// controller always does), the table serves lookups from a compressed
+// binary trie over the packed dz bits of the match expressions: O(|dz|)
+// and zero allocations per lookup, mirroring the constant-time behaviour
+// of hardware TCAMs that Figure 7(a) demonstrates. Any flow violating the
+// invariant drops the table back to a full scan.
 //
 // A Table is safe for concurrent use: every table carries its own lock, so
 // control-plane reconfiguration (FlowMods, batches) and data-plane lookups
@@ -163,12 +164,11 @@ type Table struct {
 	nextID FlowID
 	stats  ModStats
 
-	// byExpr indexes flows by match expression for the fast path.
-	byExpr map[dz.Expr][]*Flow
-	// lenCount tracks how many flows exist per expression length.
-	lenCount map[int]int
-	// slowFlows counts flows with priority != |expr|; nonzero disables
-	// the fast path.
+	// trie is the prefix index of the fast path: one bucket of flows per
+	// distinct match expression, keyed on packed dz bits.
+	trie dz.Trie[*exprBucket]
+	// slowFlows counts flows the trie cannot serve (priority != |expr|);
+	// nonzero disables the fast path.
 	slowFlows int
 	// capacity bounds the number of installed flows (the TCAM budget of
 	// requirement 3 in the paper: vendors ship 40k–180k entries); zero
@@ -182,13 +182,15 @@ type Table struct {
 // TCAM capacity.
 var ErrTableFull = errors.New("openflow: flow table full")
 
+// exprBucket holds the flows installed for one exact match expression; the
+// lookup winner within a bucket is the lowest FlowID (earliest installed).
+type exprBucket struct {
+	flows []*Flow
+}
+
 // NewTable returns an empty flow table.
 func NewTable() *Table {
-	return &Table{
-		flows:    make(map[FlowID]*Flow),
-		byExpr:   make(map[dz.Expr][]*Flow),
-		lenCount: make(map[int]int),
-	}
+	return &Table{flows: make(map[FlowID]*Flow)}
 }
 
 // Len returns the number of installed flows.
@@ -301,33 +303,48 @@ func (t *Table) modifyLocked(id FlowID, priority int, actions []Action) bool {
 	return true
 }
 
-func (t *Table) index(f *Flow) {
-	t.byExpr[f.Expr] = append(t.byExpr[f.Expr], f)
-	t.lenCount[f.Expr.Len()]++
+// indexable reports whether a flow can be served by the prefix trie: it
+// keeps the PLEROMA invariant and its expression packs into a trie key
+// (always true for flows built by NewFlow, which bounds |dz| at 112).
+func indexable(f *Flow) (dz.Key, bool) {
 	if f.Priority != f.Expr.Len() {
-		t.slowFlows++
+		return dz.Key{}, false
 	}
+	return dz.KeyOf(f.Expr)
+}
+
+func (t *Table) index(f *Flow) {
+	k, ok := indexable(f)
+	if !ok {
+		t.slowFlows++
+		return
+	}
+	if b, found := t.trie.Get(k); found {
+		b.flows = append(b.flows, f)
+		return
+	}
+	t.trie.Insert(k, &exprBucket{flows: []*Flow{f}})
 }
 
 func (t *Table) unindex(f *Flow) {
-	bucket := t.byExpr[f.Expr]
-	for i, other := range bucket {
+	k, ok := indexable(f)
+	if !ok {
+		t.slowFlows--
+		return
+	}
+	b, found := t.trie.Get(k)
+	if !found {
+		return
+	}
+	for i, other := range b.flows {
 		if other.ID == f.ID {
-			bucket[i] = bucket[len(bucket)-1]
-			bucket = bucket[:len(bucket)-1]
+			b.flows[i] = b.flows[len(b.flows)-1]
+			b.flows = b.flows[:len(b.flows)-1]
 			break
 		}
 	}
-	if len(bucket) == 0 {
-		delete(t.byExpr, f.Expr)
-	} else {
-		t.byExpr[f.Expr] = bucket
-	}
-	if t.lenCount[f.Expr.Len()]--; t.lenCount[f.Expr.Len()] == 0 {
-		delete(t.lenCount, f.Expr.Len())
-	}
-	if f.Priority != f.Expr.Len() {
-		t.slowFlows--
+	if len(b.flows) == 0 {
+		t.trie.Delete(k)
 	}
 }
 
@@ -380,45 +397,24 @@ func (t *Table) Lookup(dst netip.Addr) (Flow, bool) {
 }
 
 // fastLookup serves the PLEROMA invariant (priority == |dz|): the winning
-// entry is the longest installed prefix of the destination's dz bits.
+// entry is the longest installed prefix of the destination's dz bits,
+// found by one trie descent over the packed address. Zero allocations.
 func (t *Table) fastLookup(dst netip.Addr) (Flow, bool) {
-	maxLen := -1
-	for l := range t.lenCount {
-		if l > maxLen {
-			maxLen = l
-		}
-	}
-	if maxLen < 0 {
-		return Flow{}, false
-	}
-	bits, err := ipmc.ExprFromAddr(dst, min(maxLen, ipmc.MaxDzLen))
-	if err != nil {
+	k, ok := ipmc.KeyFromAddr(dst)
+	if !ok {
 		return Flow{}, false // non-dz destination: no dz flow matches
 	}
-	for l := bits.Len(); l >= 0; l-- {
-		if t.lenCount[l] == 0 {
-			continue
-		}
-		bucket := t.byExpr[bits[:l]]
-		if len(bucket) == 0 {
-			continue
-		}
-		best := bucket[0]
-		for _, f := range bucket[1:] {
-			if f.ID < best.ID {
-				best = f
-			}
-		}
-		return *best, true
+	_, b, found := t.trie.LongestPrefix(k)
+	if !found {
+		return Flow{}, false
 	}
-	return Flow{}, false
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
+	best := b.flows[0]
+	for _, f := range b.flows[1:] {
+		if f.ID < best.ID {
+			best = f
+		}
 	}
-	return b
+	return *best, true
 }
 
 // flowLess reports whether candidate b should win over current best a.

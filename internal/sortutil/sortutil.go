@@ -1,0 +1,20 @@
+// Package sortutil holds the sorted-iteration helper shared by the
+// controller and interdomain layers. Deterministic map iteration is what
+// keeps reconfiguration order — and with it FlowID assignment and test
+// goldens — stable across runs.
+package sortutil
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns the keys of m in ascending order.
+func Keys[K cmp.Ordered, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
