@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages with dedicated concurrency stress coverage; raced separately so
 # `make check` stays fast while still catching locking regressions.
-RACE_PKGS := ./internal/core/... ./internal/netem/... ./internal/openflow/... ./internal/workload/...
+RACE_PKGS := ./internal/core/... ./internal/netem/... ./internal/openflow/... ./internal/workload/... ./internal/obs/... ./internal/metrics/...
 
-.PHONY: check vet build test race soak bench
+.PHONY: check vet build test race soak bench bench-obs obs-demo
 
 check: vet build test race
 
@@ -34,3 +34,23 @@ bench:
 	$(GO) test -run XXX -bench 'BenchmarkSet|BenchmarkTableLookup|BenchmarkLookup' -benchmem ./internal/dz/... ./internal/openflow/... | tee benchmarks/micro.txt
 	$(GO) test -run XXX -bench 'BenchmarkSystemPublishDeliver' -benchtime 100x -benchmem . | tee benchmarks/system.txt
 	$(GO) test -run XXX -bench 'BenchmarkSubscribeAt' -benchmem ./internal/core/... | tee -a benchmarks/system.txt
+
+# Observability overhead: the publish/delivery benchmark with the obs layer
+# off and on, teed for comparison against the committed benchmarks/obs.txt.
+bench-obs:
+	mkdir -p benchmarks
+	$(GO) test -run XXX -bench 'BenchmarkSystemPublishDeliver' -benchtime 5000x -count 3 -benchmem . | tee benchmarks/obs.txt
+
+# Boot an instrumented demo deployment, probe its operational endpoints,
+# and shut it down — a smoke test for the /metrics and /healthz surface.
+obs-demo:
+	@set -e; \
+	$(GO) run ./cmd/pleroma-sim -obs-addr 127.0.0.1:9477 -obs-duration 10s & pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 1 20); do \
+		curl -fsS http://127.0.0.1:9477/healthz >/dev/null 2>&1 && break; sleep 0.5; \
+	done; \
+	echo "--- /healthz"; curl -fsS http://127.0.0.1:9477/healthz; \
+	echo "--- /metrics (head)"; curl -fsS http://127.0.0.1:9477/metrics | head -n 25; \
+	echo "--- /traces (head)"; curl -fsS http://127.0.0.1:9477/traces | head -n 10; \
+	wait $$pid

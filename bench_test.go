@@ -167,6 +167,17 @@ func BenchmarkSystemSubscribe(b *testing.B) {
 }
 
 func BenchmarkSystemPublishDeliver(b *testing.B) {
+	benchPublishDeliver(b)
+}
+
+// BenchmarkSystemPublishDeliverObs is the same workload with the
+// observability layer enabled; the delta against the plain benchmark is
+// the hot-path instrumentation overhead (recorded in benchmarks/obs.txt).
+func BenchmarkSystemPublishDeliverObs(b *testing.B) {
+	benchPublishDeliver(b, pleroma.WithObservability(0))
+}
+
+func benchPublishDeliver(b *testing.B, opts ...pleroma.Option) {
 	sch, err := pleroma.NewSchema(
 		pleroma.Attribute{Name: "a", Bits: 10},
 		pleroma.Attribute{Name: "b", Bits: 10},
@@ -174,7 +185,7 @@ func BenchmarkSystemPublishDeliver(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sys, err := pleroma.NewSystem(sch)
+	sys, err := pleroma.NewSystem(sch, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -38,11 +38,16 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 42, "random seed")
 		list    = fs.Bool("list", false, "list available experiments")
 		jsonOut = fs.Bool("json", false, "emit results as JSON")
+		obsAddr = fs.String("obs-addr", "", "serve the observability endpoint of an instrumented demo deployment on this address (e.g. :9090) instead of running -exp")
+		obsFor  = fs.Duration("obs-duration", 30*time.Second, "how long the -obs-addr demo keeps serving before exiting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *obsAddr != "" {
+		return runObsDemo(*obsAddr, *obsFor, *seed, os.Stdout)
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			desc, _ := experiments.Describe(id)

@@ -26,6 +26,12 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunObsDemo(t *testing.T) {
+	if err := run([]string{"-obs-addr", "127.0.0.1:0", "-obs-duration", "10ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunJSON(t *testing.T) {
 	if err := run([]string{"-exp", "abl-trees", "-json"}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"pleroma"
+)
+
+// runObsDemo boots a small instrumented deployment, drives a workload
+// rich enough to populate every metric family (pub/sub churn, injected
+// southbound faults, a quarantine/heal/resync cycle), and serves the
+// operational endpoint on addr for dur. Scripts (make obs-demo) parse the
+// printed address, so keep the first output line stable.
+func runObsDemo(addr string, dur time.Duration, seed int64, w io.Writer) error {
+	sch, err := pleroma.NewSchema(
+		pleroma.Attribute{Name: "price", Bits: 10},
+		pleroma.Attribute{Name: "volume", Bits: 10},
+	)
+	if err != nil {
+		return err
+	}
+	sys, err := pleroma.NewSystem(sch,
+		pleroma.WithObservability(0),
+		pleroma.WithSouthboundFaults(pleroma.FaultConfig{Seed: seed, Rate: 0.02, DownCalls: 3}),
+		pleroma.WithRetryPolicy(pleroma.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond, MaxBackoff: 10 * time.Microsecond}),
+	)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hosts := sys.Hosts()
+	pub, err := sys.NewPublisher("demo-pub", hosts[0])
+	if err != nil {
+		return err
+	}
+	if err := pub.Advertise(pleroma.NewFilter()); err != nil {
+		return err
+	}
+	for i := 1; i < len(hosts); i++ {
+		f := pleroma.NewFilter().Range("price", uint32(rng.Intn(512)), 1023)
+		if err := sys.Subscribe(fmt.Sprintf("demo-sub-%d", i), hosts[i], f, nil); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if err := pub.Publish(uint32(rng.Intn(1024)), uint32(rng.Intn(1024))); err != nil {
+			return err
+		}
+	}
+	sys.Run()
+	// Heal whatever the random faults broke so /healthz serves 200 unless
+	// the demo got unlucky; leftover quarantines stay visible there.
+	sys.HealFaults()
+	sys.SetFaultRate(0)
+	sys.ResyncUntilHealthy(5)
+
+	srv, err := sys.ServeObservability(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(w, "observability endpoint: http://%s\n", srv.Addr())
+	fmt.Fprintf(w, "paths: /metrics /healthz /readyz /traces /debug/pprof/\n")
+	st := sys.Stats()
+	fmt.Fprintf(w, "workload: %d deliveries, %.1f%% false positives, %d flowmods\n",
+		st.Deliveries, st.FPRPercent(), st.FlowMods)
+	fmt.Fprintf(w, "serving for %v\n", dur)
+	time.Sleep(dur)
+	return nil
+}

@@ -38,8 +38,7 @@ func (c *Controller) AdvertiseVirtual(id string, borderSwitch topo.NodeID, viaPo
 	return c.advertise(id, ep, set)
 }
 
-func (c *Controller) advertise(id string, ep endpoint, set dz.Set) (ReconfigReport, error) {
-	var rep ReconfigReport
+func (c *Controller) advertise(id string, ep endpoint, set dz.Set) (rep ReconfigReport, err error) {
 	if _, dup := c.pubs[id]; dup {
 		return rep, fmt.Errorf("%w: publisher %q", ErrDuplicateClient, id)
 	}
@@ -47,9 +46,11 @@ func (c *Controller) advertise(id string, ep endpoint, set dz.Set) (ReconfigRepo
 	if set.IsEmpty() {
 		return rep, fmt.Errorf("core: advertisement %q has empty DZ set", id)
 	}
+	span, start := c.beginOp(opAdvertise, func() string { return id + " " + set.String() })
+	defer func() { c.endOp(opAdvertise, span, start, &rep, err) }()
 	pub := &publisher{id: id, ep: ep, adv: set, trees: make(map[TreeID]bool)}
 	c.pubs[id] = pub
-	c.stats.Advertisements++
+	c.inst.advertise.Inc()
 
 	touched := make(touchedSet)
 	for _, dzi := range set {
@@ -112,8 +113,7 @@ func (c *Controller) SubscribeVirtual(id string, borderSwitch topo.NodeID, viaPo
 	return c.subscribe(id, ep, set)
 }
 
-func (c *Controller) subscribe(id string, ep endpoint, set dz.Set) (ReconfigReport, error) {
-	var rep ReconfigReport
+func (c *Controller) subscribe(id string, ep endpoint, set dz.Set) (rep ReconfigReport, err error) {
 	if _, dup := c.subs[id]; dup {
 		return rep, fmt.Errorf("%w: subscriber %q", ErrDuplicateClient, id)
 	}
@@ -121,9 +121,11 @@ func (c *Controller) subscribe(id string, ep endpoint, set dz.Set) (ReconfigRepo
 	if set.IsEmpty() {
 		return rep, fmt.Errorf("core: subscription %q has empty DZ set", id)
 	}
+	span, start := c.beginOp(opSubscribe, func() string { return id + " " + set.String() })
+	defer func() { c.endOp(opSubscribe, span, start, &rep, err) }()
 	sub := &subscriber{id: id, ep: ep, sub: set, trees: make(map[TreeID]bool)}
 	c.subs[id] = sub
-	c.stats.Subscriptions++
+	c.inst.subscribe.Inc()
 
 	touched := make(touchedSet)
 	for _, dzi := range set {
@@ -145,7 +147,7 @@ func (c *Controller) subscribe(id string, ep endpoint, set dz.Set) (ReconfigRepo
 	}
 	if len(sub.trees) == 0 {
 		rep.Stored = true
-		c.stats.StoredSubs++
+		c.inst.storedSubs.Inc()
 	}
 	if err := c.refresh(touched, &rep); err != nil {
 		return rep, err
@@ -157,15 +159,16 @@ func (c *Controller) subscribe(id string, ep endpoint, set dz.Set) (ReconfigRepo
 // Unsubscribe removes a subscription: previously established paths are
 // torn down, deleting flows no other path needs and downgrading shared
 // ones (Section 3.3.3).
-func (c *Controller) Unsubscribe(id string) (ReconfigReport, error) {
+func (c *Controller) Unsubscribe(id string) (rep ReconfigReport, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var rep ReconfigReport
 	sub, ok := c.subs[id]
 	if !ok {
 		return rep, fmt.Errorf("%w: subscriber %q", ErrUnknownClient, id)
 	}
-	c.stats.Unsubscriptions++
+	span, start := c.beginOp(opUnsubscribe, func() string { return id })
+	defer func() { c.endOp(opUnsubscribe, span, start, &rep, err) }()
+	c.inst.unsubscribe.Inc()
 	touched := make(touchedSet)
 	c.contribs.removeBySub(id, touched)
 	for tid := range sub.trees {
@@ -184,15 +187,16 @@ func (c *Controller) Unsubscribe(id string) (ReconfigReport, error) {
 // Unadvertise removes an advertisement. Trees left without any publisher
 // are dismantled; their subscribers fall back to stored state for the
 // affected subspaces.
-func (c *Controller) Unadvertise(id string) (ReconfigReport, error) {
+func (c *Controller) Unadvertise(id string) (rep ReconfigReport, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var rep ReconfigReport
 	pub, ok := c.pubs[id]
 	if !ok {
 		return rep, fmt.Errorf("%w: publisher %q", ErrUnknownClient, id)
 	}
-	c.stats.Unadverts++
+	span, start := c.beginOp(opUnadvertise, func() string { return id })
+	defer func() { c.endOp(opUnadvertise, span, start, &rep, err) }()
+	c.inst.unadvertise.Inc()
 	touched := make(touchedSet)
 	c.contribs.removeByPub(id, touched)
 	for tid := range pub.trees {
@@ -325,8 +329,12 @@ func (c *Controller) createTree(pub *publisher, set dz.Set, rep *ReconfigReport)
 	pub.trees[t.id] = true
 	c.trees[t.id] = t
 	c.treeIdx.add(t.id, t.set)
-	c.stats.TreesCreated++
+	c.inst.treesCreated.Inc()
+	c.inst.treeDz.With(treeLabel(t.id)).Set(int64(len(t.set)))
 	rep.TreesCreated++
+	if sp := c.span; sp != nil {
+		sp.Event("tree created", "tree", treeLabel(t.id), "dz", t.set.String())
+	}
 	if c.log != nil {
 		c.log.Debug("tree created", "tree", int(t.id), "root", int(t.root), "dz", t.set.String())
 	}
@@ -348,6 +356,10 @@ func (c *Controller) dismantleTree(t *tree, touched touchedSet) {
 	}
 	c.treeIdx.remove(t.set)
 	delete(c.trees, t.id)
+	c.inst.treeDz.Delete(treeLabel(t.id))
+	if sp := c.span; sp != nil {
+		sp.Event("tree dismantled", "tree", treeLabel(t.id))
+	}
 }
 
 // mergeTreesIfNeeded merges trees while their number exceeds the
@@ -462,8 +474,13 @@ func (c *Controller) mergeTrees(t1, t2 *tree, touched touchedSet, rep *ReconfigR
 			}
 		}
 	}
-	c.stats.TreesMerged++
+	c.inst.treesMerged.Inc()
+	c.inst.treeDz.Delete(treeLabel(t2.id))
+	c.inst.treeDz.With(treeLabel(t1.id)).Set(int64(len(t1.set)))
 	rep.TreesMerged++
+	if sp := c.span; sp != nil {
+		sp.Event("trees merged", "into", treeLabel(t1.id), "from", treeLabel(t2.id), "dz", t1.set.String())
+	}
 	if c.log != nil {
 		c.log.Debug("trees merged", "into", int(t1.id), "from", int(t2.id), "dz", t1.set.String())
 	}
@@ -496,10 +513,11 @@ func (c *Controller) sortedTrees() []*tree {
 // spanning trees avoid failed links and the flow diff moves exactly the
 // affected paths — the controller-side reaction to network dynamics the
 // paper's conclusion names as follow-up work.
-func (c *Controller) RebuildTrees() (ReconfigReport, error) {
+func (c *Controller) RebuildTrees() (rep ReconfigReport, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var rep ReconfigReport
+	sp, start := c.beginOp(opRebuildTrees, func() string { return "" })
+	defer func() { c.endOp(opRebuildTrees, sp, start, &rep, err) }()
 	touched := make(touchedSet)
 	for _, t := range c.sortedTrees() {
 		span, err := c.g.ShortestPathTree(t.root, c.includeFunc())

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"pleroma/internal/dz"
+	"pleroma/internal/obs"
 	"pleroma/internal/openflow"
 	"pleroma/internal/topo"
 )
@@ -166,7 +167,11 @@ func (r ReconfigReport) FlowOps() int {
 	return r.FlowAdds + r.FlowDeletes + r.FlowModifies
 }
 
-// Stats accumulates controller-lifetime counters.
+// Stats is a snapshot of the controller-lifetime counters. It is a view
+// over the controller's obs instruments: every field reads an atomic
+// counter that is also exportable through an attached obs.Registry under
+// its canonical metric name, so report columns and scrape series can
+// never disagree.
 type Stats struct {
 	Advertisements  uint64
 	Subscriptions   uint64
@@ -268,7 +273,13 @@ type Controller struct {
 	degradedMu sync.Mutex
 	degraded   map[topo.NodeID]error
 
-	stats Stats
+	// inst holds the lifetime counters (always allocated; Stats reads
+	// them). tracer, when set, assigns spans to control operations; span
+	// is the operation currently in flight, parked here under c.mu before
+	// refresh workers fan out so they can annotate it.
+	inst   *instruments
+	tracer *obs.Tracer
+	span   *obs.Span
 }
 
 type installedFlow struct {
@@ -325,6 +336,19 @@ func WithRetryPolicy(p RetryPolicy) Option {
 	return func(c *Controller) { c.retry = p }
 }
 
+// WithObservability attaches the controller's lifetime counters, latency
+// histograms, per-switch FlowMod counters, and tree gauges to reg, and —
+// when tracer is non-nil — assigns a trace span to every control
+// operation. Either argument may be nil. Without this option the
+// controller still maintains its counters (they back the Stats view) but
+// exports nothing and creates no spans.
+func WithObservability(reg *obs.Registry, tracer *obs.Tracer) Option {
+	return func(c *Controller) {
+		c.inst = newInstruments(reg)
+		c.tracer = tracer
+	}
+}
+
 // NewController creates a controller for (one partition of) the topology.
 func NewController(g *topo.Graph, prog FlowProgrammer, opts ...Option) (*Controller, error) {
 	if g == nil {
@@ -348,6 +372,9 @@ func NewController(g *topo.Graph, prog FlowProgrammer, opts ...Option) (*Control
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.inst == nil {
+		c.inst = newInstruments(nil)
+	}
 	if c.hostAddr == nil {
 		return nil, fmt.Errorf("core: host address function required (use WithHostAddr)")
 	}
@@ -360,11 +387,30 @@ func NewController(g *topo.Graph, prog FlowProgrammer, opts ...Option) (*Control
 // for the whole graph).
 func (c *Controller) Partition() int { return c.partition }
 
-// Stats returns a copy of the lifetime counters.
+// Stats returns a snapshot of the lifetime counters. The read lock keeps
+// the snapshot consistent with operation boundaries: control operations
+// hold the write lock, so no counter moves mid-read.
 func (c *Controller) Stats() Stats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.stats
+	i := c.inst
+	return Stats{
+		Advertisements:  i.advertise.Value(),
+		Subscriptions:   i.subscribe.Value(),
+		Unsubscriptions: i.unsubscribe.Value(),
+		Unadverts:       i.unadvertise.Value(),
+		FlowAdds:        i.flowAdds.Value(),
+		FlowDeletes:     i.flowDeletes.Value(),
+		FlowModifies:    i.flowModifies.Value(),
+		TreesCreated:    i.treesCreated.Value(),
+		TreesMerged:     i.treesMerged.Value(),
+		StoredSubs:      i.storedSubs.Value(),
+		SouthboundCalls: i.southboundCalls.Value(),
+		Retries:         i.retries.Value(),
+		Quarantines:     i.quarantines.Value(),
+		Resyncs:         i.resyncs.Value(),
+		RepairedFlows:   i.repairedFlows.Value(),
+	}
 }
 
 // Trees returns snapshots of all dissemination trees, ordered by ID.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -354,9 +355,19 @@ func (c *Controller) refreshSwitch(sw topo.NodeID, changed map[dz.Expr]bool,
 		fl, installed := inst[e]
 		switch {
 		case want == nil && installed:
+			// Distinguish the Algorithm-1 outcome: an entry whose direct
+			// contributions vanished is a plain delete; one that still has
+			// direct contributions was pruned because a coarser entry now
+			// forwards identically (the paper's containment case).
+			if _, hasDirect := direct[e]; hasDirect {
+				c.inst.caseCovered.Inc()
+			} else {
+				c.inst.caseDelete.Inc()
+			}
 			ops = append(ops, openflow.DeleteOp(fl.id))
 			metas = append(metas, opMeta{expr: e})
 		case want != nil && !installed:
+			c.inst.caseInstall.Inc()
 			actions := c.actionsFor(sw, want)
 			prio := e.Len()
 			f, err := openflow.NewFlow(e, prio, actions...)
@@ -369,6 +380,16 @@ func (c *Controller) refreshSwitch(sw topo.NodeID, changed map[dz.Expr]bool,
 			actions := c.actionsFor(sw, want)
 			prio := e.Len()
 			if fl.priority != prio || !actionsEqual(fl.actions, actions) {
+				// A grown instruction set extends the entry to more ports;
+				// a shrunken one is the downgrade of Section 3.3.3.
+				switch {
+				case len(actions) > len(fl.actions):
+					c.inst.caseExtend.Inc()
+				case len(actions) < len(fl.actions):
+					c.inst.caseDowngrade.Inc()
+				default:
+					c.inst.caseModify.Inc()
+				}
 				ops = append(ops, openflow.ModifyOp(fl.id, prio, actions))
 				metas = append(metas, opMeta{expr: e, inst: installedFlow{id: fl.id, priority: prio, actions: actions}})
 			}
@@ -415,7 +436,10 @@ func (c *Controller) flushOps(sw topo.NodeID, ops []openflow.FlowOp, metas []opM
 	}
 	acked := make([]ackedOp, 0, len(ops))
 	err := c.programWithRetry(sw, ops, metas, &acked, rep)
-	// Record exactly the ops the switch acknowledged.
+	// Record exactly the ops the switch acknowledged. The lifetime FlowMod
+	// counters move here too — per acknowledged op, in both the refresh and
+	// the resync path — so they stay the single source the Stats view and
+	// the metrics exposition read.
 	for _, a := range acked {
 		switch a.kind {
 		case openflow.OpAdd:
@@ -423,12 +447,21 @@ func (c *Controller) flushOps(sw topo.NodeID, ops []openflow.FlowOp, metas []opM
 			m.id = a.id
 			inst[a.meta.expr] = m
 			rep.FlowAdds++
+			c.inst.flowAdds.Inc()
 		case openflow.OpDelete:
 			delete(inst, a.meta.expr)
 			rep.FlowDeletes++
+			c.inst.flowDeletes.Inc()
 		case openflow.OpModify:
 			inst[a.meta.expr] = a.meta.inst
 			rep.FlowModifies++
+			c.inst.flowModifies.Inc()
+		}
+	}
+	if len(acked) > 0 {
+		c.inst.swFlowMods.With(swLabel(sw)).Add(uint64(len(acked)))
+		if sp := c.span; sp != nil {
+			sp.Event("programmed", "switch", swLabel(sw), "ops", strconv.Itoa(len(acked)))
 		}
 	}
 	return err
@@ -472,11 +505,15 @@ func (c *Controller) programWithRetry(sw topo.NodeID, ops []openflow.FlowOp, met
 					pol.sleep(d)
 				}
 				rep.Retries++
+				c.inst.retries.Inc()
+				c.inst.swRetries.With(swLabel(sw)).Inc()
 				continue
 			}
 		}
 		// Retries exhausted (attempt budget or deadline): quarantine the
-		// switch instead of failing the whole control operation.
+		// switch instead of failing the whole control operation. The
+		// unacknowledged remainder counts as abandoned FlowMods.
+		c.inst.swFailures.With(swLabel(sw)).Add(uint64(len(ops)))
 		c.quarantine(sw, serr, rep)
 		return nil
 	}
@@ -489,6 +526,7 @@ func (c *Controller) programOnce(sw topo.NodeID, ops []openflow.FlowOp, metas []
 	acked *[]ackedOp, rep *ReconfigReport) (int, error) {
 	if c.batch != nil {
 		rep.SouthboundCalls++
+		c.inst.southboundCalls.Inc()
 		ids, err := c.batch.ApplyBatch(sw, ops)
 		for i := range ids {
 			a := ackedOp{kind: ops[i].Kind, meta: metas[i]}
@@ -501,6 +539,7 @@ func (c *Controller) programOnce(sw topo.NodeID, ops []openflow.FlowOp, metas []
 	}
 	for i, op := range ops {
 		rep.SouthboundCalls++
+		c.inst.southboundCalls.Inc()
 		var (
 			id  openflow.FlowID
 			err error
@@ -527,9 +566,13 @@ func (c *Controller) quarantine(sw topo.NodeID, err error, rep *ReconfigReport) 
 	c.degradedMu.Lock()
 	if _, already := c.degraded[sw]; !already {
 		rep.Quarantined++
+		c.inst.quarantines.Inc()
 	}
 	c.degraded[sw] = err
 	c.degradedMu.Unlock()
+	if sp := c.span; sp != nil {
+		sp.Event("quarantined", "switch", swLabel(sw), "err", err.Error())
+	}
 	if c.log != nil {
 		c.log.Warn("switch quarantined", "switch", int(sw), "err", err)
 	}
@@ -608,19 +651,14 @@ func (c *Controller) refresh(touched touchedSet, rep *ReconfigReport) error {
 	}
 
 	// Merge the (possibly partial) refresh outcome into the operation
-	// report and the lifetime counters, then drop empty table entries.
+	// report (the lifetime counters were already incremented at the flush
+	// sites), then drop empty table entries.
 	rep.FlowAdds += agg.FlowAdds
 	rep.FlowDeletes += agg.FlowDeletes
 	rep.FlowModifies += agg.FlowModifies
 	rep.SouthboundCalls += agg.SouthboundCalls
 	rep.Retries += agg.Retries
 	rep.Quarantined += agg.Quarantined
-	c.stats.FlowAdds += uint64(agg.FlowAdds)
-	c.stats.FlowDeletes += uint64(agg.FlowDeletes)
-	c.stats.FlowModifies += uint64(agg.FlowModifies)
-	c.stats.SouthboundCalls += uint64(agg.SouthboundCalls)
-	c.stats.Retries += uint64(agg.Retries)
-	c.stats.Quarantines += uint64(agg.Quarantined)
 	for _, sw := range sws {
 		if len(c.installed[sw]) == 0 {
 			delete(c.installed, sw)

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"pleroma/internal/dz"
+	"pleroma/internal/obs"
 	"pleroma/internal/openflow"
 	"pleroma/internal/topo"
 )
@@ -205,8 +207,10 @@ func (r *ResyncReport) merge(o ResyncReport) {
 func (c *Controller) Resync(sw topo.NodeID) (ResyncReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	sp, start := c.beginOp(opResync, func() string { return swLabel(sw) })
 	var rr ResyncReport
 	err := c.resyncSwitch(sw, &rr)
+	c.endResync(opResync, sp, start, &rr, err)
 	c.logResync(rr)
 	return rr, err
 }
@@ -238,6 +242,7 @@ func (c *Controller) ResyncAll() (ResyncReport, error) {
 	}
 	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
 
+	sp, start := c.beginOp(opResync, func() string { return "all" })
 	var rr ResyncReport
 	var errs []error
 	for _, sw := range sws {
@@ -247,8 +252,27 @@ func (c *Controller) ResyncAll() (ResyncReport, error) {
 		}
 		rr.merge(one)
 	}
+	err := errors.Join(errs...)
+	c.endResync(opResync, sp, start, &rr, err)
 	c.logResync(rr)
-	return rr, errors.Join(errs...)
+	return rr, err
+}
+
+// endResync closes the observation scope of a resync pass, mirroring
+// endOp for the resync-shaped report.
+func (c *Controller) endResync(op string, sp *obs.Span, start time.Time, rr *ResyncReport, err error) {
+	c.span = nil
+	c.inst.latency.With(op).Observe(time.Since(start))
+	if sp == nil {
+		return
+	}
+	sp.Event("report",
+		"switches", strconv.Itoa(rr.Switches),
+		"repaired", strconv.Itoa(rr.Repaired()),
+		"healed", strconv.Itoa(rr.Healed),
+		"stillDegraded", strconv.Itoa(len(rr.StillDegraded)),
+	)
+	sp.End(err)
 }
 
 func (c *Controller) logResync(rr ResyncReport) {
@@ -273,7 +297,7 @@ type actualFlow struct {
 // resyncSwitch reconciles one switch. Callers hold c.mu.
 func (c *Controller) resyncSwitch(sw topo.NodeID, rr *ResyncReport) error {
 	rr.Switches++
-	c.stats.Resyncs++
+	c.inst.resyncs.Inc()
 	desired := c.desiredTable(sw)
 
 	// Ground truth: the switch's actual flows when the programmer can
@@ -360,13 +384,7 @@ func (c *Controller) resyncSwitch(sw topo.NodeID, rr *ResyncReport) error {
 	rr.Retries += rep.Retries
 	rr.SouthboundCalls += rep.SouthboundCalls
 	repaired := rep.FlowAdds + rep.FlowDeletes + rep.FlowModifies
-	c.stats.FlowAdds += uint64(rep.FlowAdds)
-	c.stats.FlowDeletes += uint64(rep.FlowDeletes)
-	c.stats.FlowModifies += uint64(rep.FlowModifies)
-	c.stats.SouthboundCalls += uint64(rep.SouthboundCalls)
-	c.stats.Retries += uint64(rep.Retries)
-	c.stats.Quarantines += uint64(rep.Quarantined)
-	c.stats.RepairedFlows += uint64(repaired)
+	c.inst.repairedFlows.Add(uint64(repaired))
 
 	if err != nil {
 		rr.StillDegraded = append(rr.StillDegraded, sw)

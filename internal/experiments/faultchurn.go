@@ -8,6 +8,7 @@ import (
 	"pleroma/internal/dz"
 	"pleroma/internal/metrics"
 	"pleroma/internal/netem"
+	"pleroma/internal/obs"
 	"pleroma/internal/sim"
 	"pleroma/internal/space"
 	"pleroma/internal/topo"
@@ -64,8 +65,13 @@ func faultChurnRun(seed int64, rate float64, opsPerWorker int) (*metrics.Counter
 	}
 	dp := netem.New(g, sim.NewEngine())
 	faulty := netem.WithFaults(dp, netem.FaultConfig{Seed: seed, Rate: rate})
+	// The run's tallies come off an obs registry instead of ad-hoc stats
+	// reads, so the soak reports exactly what an operator would scrape.
+	reg := obs.NewRegistry()
+	faulty.Instrument(reg)
 	ctl, err := core.NewController(g, faulty,
 		core.WithHostAddr(netem.HostAddr),
+		core.WithObservability(reg, nil),
 		core.WithRefreshWorkers(1),
 		core.WithRetryPolicy(core.RetryPolicy{
 			MaxAttempts: 3,
@@ -144,15 +150,14 @@ func faultChurnRun(seed int64, rate float64, opsPerWorker int) (*metrics.Counter
 		}
 	}
 
-	st := ctl.Stats()
-	fst := faulty.Stats()
+	snap := reg.Snapshot()
 	c := metrics.NewCounters()
 	c.Add("mutations", churn.Mutations())
-	c.Add("injected", fst.Injected)
-	c.Add("retries", st.Retries)
-	c.Add("quarantines", st.Quarantines)
-	c.Add("resync-passes", st.Resyncs)
-	c.Add("repaired", st.RepairedFlows)
+	c.Add("injected", uint64(snap.Total(obs.MInjectedFaults)))
+	c.Add("retries", uint64(snap.Total(obs.MSouthboundRetries)))
+	c.Add("quarantines", uint64(snap.Total(obs.MQuarantines)))
+	c.Add("resync-passes", uint64(snap.Total(obs.MResyncs)))
+	c.Add("repaired", uint64(snap.Total(obs.MResyncRepaired)))
 	if converged {
 		c.Add("converged", 1)
 	} else {

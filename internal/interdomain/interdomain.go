@@ -23,6 +23,7 @@ import (
 	"pleroma/internal/core"
 	"pleroma/internal/dz"
 	"pleroma/internal/netem"
+	"pleroma/internal/obs"
 	"pleroma/internal/openflow"
 	"pleroma/internal/topo"
 )
@@ -144,6 +145,20 @@ func WithStaticDiscovery() Option {
 	return func(f *Fabric) { f.staticDiscovery = true }
 }
 
+// WithObservability attaches the fabric's inter-partition control-traffic
+// counters to reg and hands the registry and tracer down to every
+// per-partition controller (core.WithObservability); the registry merges
+// the per-controller instruments into fabric-wide totals at collect time.
+func WithObservability(reg *obs.Registry, tracer *obs.Tracer) Option {
+	return func(f *Fabric) {
+		f.ctlOpts = append(f.ctlOpts, core.WithObservability(reg, tracer))
+		if reg != nil {
+			f.obsMessages = reg.Counter(obs.MInterdomainMessages, "Controller-to-controller messages sent between partitions.")
+			f.obsSuppressed = reg.Counter(obs.MInterdomainSuppressed, "Inter-partition forwardings suppressed by covering (Section 4.2).")
+		}
+	}
+}
+
 // WithFlowProgrammer makes every per-partition controller program switches
 // through p instead of the data plane directly. The fault-injection layer
 // uses this to interpose a netem.FaultyProgrammer between controllers and
@@ -167,8 +182,12 @@ type Fabric struct {
 	staticDiscovery bool
 	ctlOpts         []core.Option
 
-	messagesSent  uint64
-	suppressed    uint64
+	messagesSent uint64
+	suppressed   uint64
+	// obsMessages/obsSuppressed mirror the two counters above into the
+	// exported registry when WithObservability is used; nil otherwise.
+	obsMessages   *obs.Counter
+	obsSuppressed *obs.Counter
 	signalDelay   time.Duration
 	signalStats   SignalStats
 	inBandEnabled bool

@@ -102,6 +102,7 @@ func (f *Fabric) Unadvertise(id string) error {
 		rs := f.parts[r.part]
 		rs.load.External++
 		f.messagesSent++
+		f.obsMessages.Inc()
 		if _, err := rs.ctl.Unadvertise(r.id); err != nil {
 			return fmt.Errorf("interdomain: remove adv replica %q in partition %d: %w", r.id, r.part, err)
 		}
@@ -135,6 +136,7 @@ func (f *Fabric) rebuildSubPropagation() error {
 			rs := f.parts[r.part]
 			rs.load.External++
 			f.messagesSent++
+			f.obsMessages.Inc()
 			if _, err := rs.ctl.Unsubscribe(r.id); err != nil {
 				return fmt.Errorf("interdomain: remove sub replica %q in partition %d: %w", r.id, r.part, err)
 			}
@@ -180,11 +182,13 @@ func (f *Fabric) forwardAdv(from int, origin string, set dz.Set, exclude int) {
 		}
 		if f.covering && cover(s.fwdAdvCover, nb).covers(set) {
 			f.suppressed++
+			f.obsSuppressed.Inc()
 			continue
 		}
 		addOrigin(s.fwdAdvByOrigin, nb, origin, set)
 		cover(s.fwdAdvCover, nb).add(set)
 		f.messagesSent++
+		f.obsMessages.Inc()
 		f.receiveExternalAdv(nb, from, origin, set)
 	}
 }
@@ -277,11 +281,13 @@ func (f *Fabric) sendSubTo(from, nb int, origin string, set dz.Set) {
 	s := f.parts[from]
 	if f.covering && cover(s.fwdSubCover, nb).covers(set) {
 		f.suppressed++
+		f.obsSuppressed.Inc()
 		return
 	}
 	addOrigin(s.fwdSubByOrigin, nb, origin, set)
 	cover(s.fwdSubCover, nb).add(set)
 	f.messagesSent++
+	f.obsMessages.Inc()
 	f.receiveExternalSub(nb, from, origin, set)
 }
 

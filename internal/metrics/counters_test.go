@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersOrderAndValues(t *testing.T) {
+	c := NewCounters()
+	c.Add("b", 2)
+	c.Add("a", 1)
+	c.Add("b", 3)
+	if got := c.Get("b"); got != 5 {
+		t.Errorf("b = %d, want 5", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("missing = %d, want 0", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Errorf("names = %v, want [b a] (first-Add order)", names)
+	}
+	tbl := c.Table("t")
+	if len(tbl.Rows) != 2 || tbl.Rows[0][0] != "b" || tbl.Rows[0][1] != "5" {
+		t.Errorf("table rows = %v", tbl.Rows)
+	}
+}
+
+// TestCountersConcurrent hammers one Counters from many goroutines; run
+// with -race (make check does) to verify the locking.
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add("shared", 1)
+				c.Add([]string{"x", "y", "z"}[w%3], 1)
+				_ = c.Get("shared")
+				_ = c.Names()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != workers*perWorker {
+		t.Errorf("shared = %d, want %d", got, workers*perWorker)
+	}
+	var sum uint64
+	for _, n := range []string{"x", "y", "z"} {
+		sum += c.Get(n)
+	}
+	if sum != workers*perWorker {
+		t.Errorf("per-worker counters sum = %d, want %d", sum, workers*perWorker)
+	}
+	if got := c.Table("t"); len(got.Rows) != 4 {
+		t.Errorf("table has %d rows, want 4", len(got.Rows))
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	var l Latency
+	for _, d := range []time.Duration{30, 10, 20} {
+		l.Add(d)
+	}
+	if got := l.Percentile(0); got != 10 {
+		t.Errorf("p0 = %v, want 10 (smallest sample)", got)
+	}
+	if got := l.Percentile(1); got != 30 {
+		t.Errorf("p1 = %v, want 30 (largest sample)", got)
+	}
+	if got := l.Percentile(-0.5); got != 10 {
+		t.Errorf("p<0 clamps to p0: got %v", got)
+	}
+	if got := l.Percentile(2); got != 30 {
+		t.Errorf("p>1 clamps to p1: got %v", got)
+	}
+
+	var one Latency
+	one.Add(7)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := one.Percentile(p); got != 7 {
+			t.Errorf("single-sample p%.1f = %v, want 7", p, got)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h, err := NewHistogram(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []time.Duration{5, 15, 20, 1000} {
+		h.Add(d)
+	}
+	bks := h.Buckets()
+	if len(bks) != 3 {
+		t.Fatalf("bucket count = %d, want 3", len(bks))
+	}
+	// [0,10): 5 — [10,20): 15 — overflow: 20 (bound is exclusive) and 1000.
+	if bks[0].Count != 1 || bks[1].Count != 1 || bks[2].Count != 2 {
+		t.Errorf("bucket counts = %d/%d/%d, want 1/1/2", bks[0].Count, bks[1].Count, bks[2].Count)
+	}
+	if bks[2].Bound != 0 {
+		t.Errorf("overflow bucket bound = %v, want 0 sentinel", bks[2].Bound)
+	}
+	if h.Total() != 4 {
+		t.Errorf("total = %d, want 4", h.Total())
+	}
+	if !strings.Contains(h.String(), "+inf") {
+		t.Errorf("rendering lacks +inf row:\n%s", h.String())
+	}
+}
+
+func TestTableFprintRaggedRows(t *testing.T) {
+	tbl := &Table{Title: "ragged", Columns: []string{"a", "bb"}}
+	tbl.AddRow("1")                  // short row
+	tbl.AddRow("1", "2", "3", "444") // long row
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("line count = %d, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[4], "444") {
+		t.Errorf("extra cells dropped: %q", lines[4])
+	}
+	if strings.HasSuffix(lines[3], " ") {
+		t.Errorf("trailing padding not trimmed: %q", lines[3])
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -303,8 +304,10 @@ func (h *Histogram) String() string {
 
 // Counters is an ordered named-counter set: counters print in first-Add
 // order, so reports stay stable across runs. The fault-tolerance soak and
-// experiment use it to aggregate retry/quarantine/repair tallies.
+// experiment use it to aggregate retry/quarantine/repair tallies. It is
+// safe for concurrent use.
 type Counters struct {
+	mu    sync.Mutex
 	order []string
 	vals  map[string]uint64
 }
@@ -316,6 +319,8 @@ func NewCounters() *Counters {
 
 // Add increments a named counter, registering it on first use.
 func (c *Counters) Add(name string, delta uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.vals[name]; !ok {
 		c.order = append(c.order, name)
 	}
@@ -323,15 +328,23 @@ func (c *Counters) Add(name string, delta uint64) {
 }
 
 // Get returns the current value of a counter (0 if never added).
-func (c *Counters) Get(name string) uint64 { return c.vals[name] }
+func (c *Counters) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}
 
 // Names returns the counter names in first-Add order.
 func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append([]string(nil), c.order...)
 }
 
 // Table renders the counters as a two-column table.
 func (c *Counters) Table(title string) *Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t := &Table{Title: title, Columns: []string{"counter", "value"}}
 	for _, name := range c.order {
 		t.AddRow(name, c.vals[name])

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"pleroma/internal/obs"
 	"pleroma/internal/openflow"
 	"pleroma/internal/topo"
 )
@@ -100,6 +101,9 @@ type FaultyProgrammer struct {
 	oneShot   int // -1 when unarmed; otherwise op index for the next batch
 	faults    uint64
 	stats     FaultStats
+	// obsInjected mirrors stats.Injected into an exported counter when the
+	// layer is instrumented (see Instrument); nil otherwise.
+	obsInjected *obs.Counter
 }
 
 // WithFaults wraps the data plane's programming surface in a
@@ -156,6 +160,7 @@ func (f *FaultyProgrammer) Stats() FaultStats {
 func (f *FaultyProgrammer) newFault(sw topo.NodeID) *InjectedError {
 	f.faults++
 	f.stats.Injected++
+	f.obsInjected.Inc()
 	if f.cfg.TableFullEvery > 0 && f.faults%uint64(f.cfg.TableFullEvery) == 0 {
 		f.stats.TableFull++
 		return &InjectedError{Sw: sw, Err: openflow.ErrTableFull, IsTransient: true}
@@ -175,6 +180,7 @@ func (f *FaultyProgrammer) admit(sw topo.NodeID) *InjectedError {
 	if until, down := f.downUntil[sw]; down {
 		if f.calls <= until {
 			f.stats.Injected++
+			f.obsInjected.Inc()
 			return &InjectedError{Sw: sw, Err: ErrSwitchDown, IsTransient: true}
 		}
 		delete(f.downUntil, sw)

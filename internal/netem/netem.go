@@ -19,6 +19,7 @@ import (
 
 	"pleroma/internal/dz"
 	"pleroma/internal/ipmc"
+	"pleroma/internal/obs"
 	"pleroma/internal/openflow"
 	"pleroma/internal/sim"
 	"pleroma/internal/space"
@@ -164,6 +165,13 @@ type DataPlane struct {
 	southbound atomic.Uint64
 	// recordPaths makes every packet accumulate the switches it visits.
 	recordPaths bool
+
+	// Observability counters, set once by Instrument before the simulation
+	// runs and nil otherwise; the forwarding path pays a nil check when
+	// instrumentation is off (obs instruments are nil-safe).
+	obsLinkPackets    *obs.Counter
+	obsLinkDrops      *obs.Counter
+	obsHostDeliveries *obs.Counter
 }
 
 type linkDir struct {
@@ -415,11 +423,13 @@ func (dp *DataPlane) transmit(link *topo.Link, from topo.NodeID, pkt Packet, arr
 	if link.Down {
 		ls.Dropped[from]++
 		dp.mu.Unlock()
+		dp.obsLinkDrops.Inc()
 		return
 	}
 	if q := link.Params.QueuePackets; q > 0 && dp.queued[dir] >= q {
 		ls.Dropped[from]++
 		dp.mu.Unlock()
+		dp.obsLinkDrops.Inc()
 		return
 	}
 	var ser time.Duration
@@ -438,6 +448,7 @@ func (dp *DataPlane) transmit(link *topo.Link, from topo.NodeID, pkt Packet, arr
 	ls.Packets[from]++
 	ls.Bytes[from] += uint64(pkt.SizeBytes)
 	dp.mu.Unlock()
+	dp.obsLinkPackets.Inc()
 
 	dp.eng.At(depart, func() {
 		dp.mu.Lock()
@@ -531,6 +542,7 @@ func (dp *DataPlane) arriveAtHost(h topo.NodeID, pkt Packet) {
 		hs.received++
 		deliver := hs.deliver
 		dp.mu.Unlock()
+		dp.obsHostDeliveries.Inc()
 		if deliver != nil {
 			deliver(Delivery{Host: h, Packet: pkt, At: now})
 		}
@@ -560,6 +572,7 @@ func (dp *DataPlane) arriveAtHost(h topo.NodeID, pkt Packet) {
 		hs.received++
 		deliver := hs.deliver
 		dp.mu.Unlock()
+		dp.obsHostDeliveries.Inc()
 		if deliver != nil {
 			deliver(Delivery{Host: h, Packet: pkt, At: dp.eng.Now()})
 		}

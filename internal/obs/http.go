@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// HealthSource reports the operational health of the system behind the
+// endpoint. DegradedSwitches returns the identifiers of quarantined
+// switches (datapath ids rendered as text); Ready reports whether the
+// system has finished starting up.
+type HealthSource interface {
+	DegradedSwitches() []string
+	Ready() bool
+}
+
+// Handler serves the operational surface:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/healthz        200 when no switch is quarantined, 503 otherwise
+//	/readyz         200 once health.Ready(), 503 before
+//	/traces         recent control-plane spans as indented text
+//	/debug/pprof/*  net/http/pprof profiles
+//
+// Any of reg, tracer, health may be nil; the corresponding endpoint
+// degrades gracefully (empty metrics, empty traces, always-healthy).
+func Handler(reg *Registry, tracer *Tracer, health HealthSource) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		var degraded []string
+		if health != nil {
+			degraded = health.DegradedSwitches()
+		}
+		if len(degraded) == 0 {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		sort.Strings(degraded)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded switches: %s\n", strings.Join(degraded, ", "))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if health == nil || health.Ready() {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var b strings.Builder
+		spans := tracer.Spans()
+		for _, s := range spans {
+			s.Format(&b)
+		}
+		if len(spans) == 0 {
+			b.WriteString("no traces recorded\n")
+		}
+		_, _ = w.Write([]byte(b.String()))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the operational HTTP endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") and returns once the listener is bound, so the caller
+// can read Addr immediately.
+func Serve(addr string, reg *Registry, tracer *Tracer, health HealthSource) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, tracer, health), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

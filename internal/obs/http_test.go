@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+type fakeHealth struct {
+	degraded []string
+	ready    bool
+}
+
+func (f *fakeHealth) DegradedSwitches() []string { return f.degraded }
+func (f *fakeHealth) Ready() bool                { return f.ready }
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MDeliveries, "deliveries").Add(42)
+	tr := NewTracer(4)
+	sp := tr.StartSpan("advertise", "01*")
+	sp.Event("case", "kind", "create")
+	sp.End(nil)
+	health := &fakeHealth{ready: true}
+
+	srv := httptest.NewServer(Handler(reg, tr, health))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, MDeliveries+" 42") {
+		t.Fatalf("/metrics = %d\n%s", code, body)
+	}
+
+	code, _ = get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+
+	// Quarantine flips health to 503.
+	health.degraded = []string{"7", "3"}
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "3, 7") {
+		t.Fatalf("/healthz degraded = %d %q", code, body)
+	}
+
+	code, _ = get(t, srv, "/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", code)
+	}
+	health.ready = false
+	code, _ = get(t, srv, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz not-ready = %d, want 503", code)
+	}
+
+	code, body = get(t, srv, "/traces")
+	if code != http.StatusOK || !strings.Contains(body, "op=advertise") || !strings.Contains(body, "kind=create") {
+		t.Fatalf("/traces = %d\n%s", code, body)
+	}
+
+	code, body = get(t, srv, "/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestHandlerNilComponents(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil, nil))
+	defer srv.Close()
+	code, _ := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics nil registry = %d", code)
+	}
+	code, _ = get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz nil health = %d", code)
+	}
+	code, body := get(t, srv, "/traces")
+	if code != http.StatusOK || !strings.Contains(body, "no traces") {
+		t.Fatalf("/traces nil tracer = %d %q", code, body)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge(MFlowTableOccupancy, "occupancy").Set(3)
+	s, err := Serve("127.0.0.1:0", reg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), MFlowTableOccupancy+" 3") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+	if resp.Header.Get("Content-Type") != ContentType {
+		t.Fatalf("content type = %q", resp.Header.Get("Content-Type"))
+	}
+}

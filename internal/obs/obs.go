@@ -1,0 +1,775 @@
+// Package obs is the runtime observability layer of the middleware: a
+// concurrent metrics registry (atomic counters, gauges, and fixed-bucket
+// histograms with cheap snapshots and Prometheus text exposition),
+// control-plane tracing (per-reconfiguration spans collected in a bounded
+// ring buffer, optionally mirrored to a log/slog sink), and the
+// operational HTTP surface (/metrics, /healthz, /readyz, /traces, pprof).
+//
+// The paper's evaluation (Section 6) is built from quantities — flow-table
+// occupancy, reconfiguration latency per Algorithm-1 case, false-positive
+// rate, southbound retry churn — that previously existed only as post-hoc
+// experiment tallies; this package makes them visible on a live System.
+//
+// Every instrument is nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram, vec, *Registry, *Tracer, or *Span are no-ops, so
+// instrumented code points cost a nil check when observability is
+// disabled. Instruments are standalone values owned by the component that
+// populates them (a controller, the data plane); attaching them to a
+// Registry only determines whether they appear in the exported snapshot.
+// Several components may attach instruments under the same metric name —
+// for example one controller per partition — and the registry sums
+// same-name (and same-label-value) samples at collection time, so the
+// exposition always shows deployment-wide totals.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical metric names. They are defined once here and shared by the
+// controller's Stats view, the experiment harness, and the Prometheus
+// exposition, so a counter can never drift between its report column and
+// its scrape name.
+const (
+	// MRequests counts control requests by op (advertise, subscribe,
+	// unsubscribe, unadvertise).
+	MRequests = "pleroma_controller_requests_total"
+	// MReconfigDuration is the wall-clock latency histogram of control
+	// operations, by op.
+	MReconfigDuration = "pleroma_reconfig_duration_seconds"
+	// MFlowMods counts issued FlowMod messages by kind (add, delete,
+	// modify).
+	MFlowMods = "pleroma_flowmods_total"
+	// MReconfigCases counts the incremental reconfiguration cases of
+	// Algorithm 1 / Section 3.3.2 taken by the flow derivation.
+	MReconfigCases = "pleroma_reconfig_cases_total"
+	// MTreesCreated / MTreesMerged count dissemination-tree life-cycle
+	// events.
+	MTreesCreated = "pleroma_trees_created_total"
+	MTreesMerged  = "pleroma_trees_merged_total"
+	// MTreeDzSize gauges the DZ-set size per live dissemination tree.
+	MTreeDzSize = "pleroma_tree_dz_size"
+	// MStoredSubs counts subscriptions stored without a matching tree.
+	MStoredSubs = "pleroma_stored_subscriptions_total"
+	// MSouthboundCalls counts programmer invocations (a batch counts once).
+	MSouthboundCalls = "pleroma_southbound_calls_total"
+	// MSouthboundRetries counts southbound attempts repeated after
+	// transient errors.
+	MSouthboundRetries = "pleroma_southbound_retries_total"
+	// MQuarantines counts switches that entered the degraded set.
+	MQuarantines = "pleroma_switch_quarantines_total"
+	// MResyncs counts anti-entropy passes over single switches.
+	MResyncs = "pleroma_resync_passes_total"
+	// MResyncRepaired counts FlowMods issued by resync passes.
+	MResyncRepaired = "pleroma_resync_repaired_flows_total"
+	// MSwitchFlowMods / MSwitchRetries / MSwitchFailures count per-switch
+	// FlowMods acknowledged, retried, and abandoned.
+	MSwitchFlowMods = "pleroma_switch_flowmods_total"
+	MSwitchRetries  = "pleroma_switch_flowmod_retries_total"
+	MSwitchFailures = "pleroma_switch_flowmod_failures_total"
+	// MFlowTableOccupancy gauges installed flows per switch (TCAM
+	// pressure), read from the emulated tables themselves.
+	MFlowTableOccupancy = "pleroma_flow_table_occupancy"
+	// MLinkPackets / MLinkDrops count data-plane transmissions and drops.
+	MLinkPackets = "pleroma_link_packets_total"
+	MLinkDrops   = "pleroma_link_drops_total"
+	// MHostDeliveries counts packets handed to host applications.
+	MHostDeliveries = "pleroma_host_deliveries_total"
+	// MDeliveries / MFalsePositives count subscription deliveries and the
+	// false positives among them (Section 6.4's FPR numerator).
+	MDeliveries     = "pleroma_deliveries_total"
+	MFalsePositives = "pleroma_false_positives_total"
+	// MDeliveryLatency is the end-to-end (simulated) delivery latency
+	// histogram.
+	MDeliveryLatency = "pleroma_delivery_latency_seconds"
+	// MInjectedFaults counts failures produced by the fault-injection
+	// layer.
+	MInjectedFaults = "pleroma_injected_faults_total"
+	// MInterdomainMessages / MInterdomainSuppressed count
+	// controller-to-controller messages and covering-suppressed
+	// forwardings.
+	MInterdomainMessages   = "pleroma_interdomain_messages_total"
+	MInterdomainSuppressed = "pleroma_interdomain_suppressed_total"
+)
+
+// DefaultLatencyBuckets spans the µs-to-seconds range control and delivery
+// latencies live in.
+var DefaultLatencyBuckets = []time.Duration{
+	50 * time.Microsecond, 100 * time.Microsecond, 250 * time.Microsecond,
+	500 * time.Microsecond, time.Millisecond, 2500 * time.Microsecond,
+	5 * time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond,
+	50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, time.Second,
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// NewCounter returns a zeroed counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// NewGauge returns a zeroed gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add shifts the value by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket duration histogram safe for concurrent
+// observation: bucket i counts samples below Bounds[i], with an implicit
+// overflow bucket above the last bound.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Uint64 // len(bounds)+1; last is overflow
+	count  atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// NewHistogram builds a histogram over the given bucket upper bounds
+// (sorted and deduplicated; DefaultLatencyBuckets when empty).
+func NewHistogram(bounds ...time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	bs := append([]time.Duration(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	uniq := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{bounds: uniq, counts: make([]atomic.Uint64, len(uniq)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && d >= h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed samples.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// snapshot copies the histogram state (counts may lag count/sum by
+// in-flight observations; each bucket is individually consistent).
+func (h *Histogram) snapshot() *HistSnapshot {
+	s := &HistSnapshot{
+		Bounds: append([]time.Duration(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    time.Duration(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is the collected state of one histogram: Counts[i] holds
+// samples below Bounds[i], the final entry the overflow.
+type HistSnapshot struct {
+	Bounds []time.Duration
+	Counts []uint64
+	Count  uint64
+	Sum    time.Duration
+}
+
+// merge adds another snapshot bucket-wise (equal bounds assumed; extra
+// buckets on either side are ignored).
+func (s *HistSnapshot) merge(o *HistSnapshot) {
+	for i := range s.Counts {
+		if i < len(o.Counts) {
+			s.Counts[i] += o.Counts[i]
+		}
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// CounterVec is a set of counters keyed by one label value.
+type CounterVec struct {
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// NewCounterVec returns an empty counter vector.
+func NewCounterVec() *CounterVec { return &CounterVec{m: make(map[string]*Counter)} }
+
+// With returns the counter for one label value, creating it on first use
+// (nil on a nil vec).
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.m[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.m[value]; c == nil {
+		c = NewCounter()
+		v.m[value] = c
+	}
+	return c
+}
+
+// Values returns a copy of the label-value → count map.
+func (v *CounterVec) Values() map[string]uint64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]uint64, len(v.m))
+	for k, c := range v.m {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// GaugeVec is a set of gauges keyed by one label value.
+type GaugeVec struct {
+	mu sync.RWMutex
+	m  map[string]*Gauge
+}
+
+// NewGaugeVec returns an empty gauge vector.
+func NewGaugeVec() *GaugeVec { return &GaugeVec{m: make(map[string]*Gauge)} }
+
+// With returns the gauge for one label value, creating it on first use
+// (nil on a nil vec).
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	g := v.m[value]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.m[value]; g == nil {
+		g = NewGauge()
+		v.m[value] = g
+	}
+	return g
+}
+
+// Delete removes one label value (e.g. a dismantled tree's gauge).
+func (v *GaugeVec) Delete(value string) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	delete(v.m, value)
+	v.mu.Unlock()
+}
+
+// Values returns a copy of the label-value → value map.
+func (v *GaugeVec) Values() map[string]int64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.m))
+	for k, g := range v.m {
+		out[k] = g.Value()
+	}
+	return out
+}
+
+// HistogramVec is a set of histograms keyed by one label value. All
+// members share the bounds the vec was created with.
+type HistogramVec struct {
+	bounds []time.Duration
+	mu     sync.RWMutex
+	m      map[string]*Histogram
+}
+
+// NewHistogramVec returns an empty histogram vector over the given bounds
+// (DefaultLatencyBuckets when empty).
+func NewHistogramVec(bounds ...time.Duration) *HistogramVec {
+	return &HistogramVec{bounds: bounds, m: make(map[string]*Histogram)}
+}
+
+// With returns the histogram for one label value, creating it on first
+// use (nil on a nil vec).
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.m[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.m[value]; h == nil {
+		h = NewHistogram(v.bounds...)
+		v.m[value] = h
+	}
+	return h
+}
+
+// metric kinds in the exposition.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// entry is one fixed attachment inside a family.
+type entry struct {
+	labelValue string
+	c          *Counter
+	g          *Gauge
+	h          *Histogram
+}
+
+// family aggregates every instrument attached under one metric name.
+type family struct {
+	name, help, kind string
+	label            string // label name; "" for unlabelled metrics
+	entries          []entry
+	cvecs            []*CounterVec
+	gvecs            []*GaugeVec
+	hvecs            []*HistogramVec
+}
+
+// Registry is a concurrent metrics registry: components attach their
+// instruments under canonical names, and Snapshot/WritePrometheus collect
+// them on demand. Attaching is expected at setup time but is safe at any
+// point; collection never blocks instrument updates (instruments are
+// atomic).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+func (r *Registry) familyLocked(name, help, kind, label string) *family {
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, label: label}
+		r.fams[name] = f
+	}
+	return f
+}
+
+// AttachCounter exposes an existing counter under name. labelName/value
+// may be empty for an unlabelled metric; multiple attachments under the
+// same name (and label value) are summed at collection time.
+func (r *Registry) AttachCounter(name, help, labelName, labelValue string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, KindCounter, labelName)
+	f.entries = append(f.entries, entry{labelValue: labelValue, c: c})
+}
+
+// AttachGauge exposes an existing gauge under name.
+func (r *Registry) AttachGauge(name, help, labelName, labelValue string, g *Gauge) {
+	if r == nil || g == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, KindGauge, labelName)
+	f.entries = append(f.entries, entry{labelValue: labelValue, g: g})
+}
+
+// AttachHistogram exposes an existing histogram under name.
+func (r *Registry) AttachHistogram(name, help, labelName, labelValue string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, KindHistogram, labelName)
+	f.entries = append(f.entries, entry{labelValue: labelValue, h: h})
+}
+
+// AttachCounterVec exposes every member of the vec under name with the
+// given label name.
+func (r *Registry) AttachCounterVec(name, help, labelName string, v *CounterVec) {
+	if r == nil || v == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, KindCounter, labelName)
+	f.cvecs = append(f.cvecs, v)
+}
+
+// AttachGaugeVec exposes every member of the vec under name with the
+// given label name.
+func (r *Registry) AttachGaugeVec(name, help, labelName string, v *GaugeVec) {
+	if r == nil || v == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, KindGauge, labelName)
+	f.gvecs = append(f.gvecs, v)
+}
+
+// AttachHistogramVec exposes every member of the vec under name with the
+// given label name.
+func (r *Registry) AttachHistogramVec(name, help, labelName string, v *HistogramVec) {
+	if r == nil || v == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, KindHistogram, labelName)
+	f.hvecs = append(f.hvecs, v)
+}
+
+// Counter creates a counter and attaches it under name. On a nil registry
+// the counter is created but exported nowhere.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := NewCounter()
+	r.AttachCounter(name, help, "", "", c)
+	return c
+}
+
+// Gauge creates a gauge and attaches it under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := NewGauge()
+	r.AttachGauge(name, help, "", "", g)
+	return g
+}
+
+// Histogram creates a histogram over bounds (DefaultLatencyBuckets when
+// empty) and attaches it under name.
+func (r *Registry) Histogram(name, help string, bounds ...time.Duration) *Histogram {
+	h := NewHistogram(bounds...)
+	r.AttachHistogram(name, help, "", "", h)
+	return h
+}
+
+// Sample is one collected time series of a family.
+type Sample struct {
+	// LabelValue is the value of the family's label ("" when unlabelled).
+	LabelValue string
+	// Value holds counter/gauge samples.
+	Value float64
+	// Hist holds histogram samples (nil otherwise).
+	Hist *HistSnapshot
+}
+
+// Family is the collected state of one metric name.
+type Family struct {
+	Name, Help, Kind string
+	// Label is the label name shared by the family's samples ("" when
+	// unlabelled).
+	Label   string
+	Samples []Sample
+}
+
+// Snapshot is a point-in-time collection of every attached instrument.
+type Snapshot struct {
+	Families []Family
+}
+
+// Snapshot collects all families, sorted by name, samples sorted by label
+// value (numeric label values sort numerically so switch/tree series read
+// in order).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	snap := Snapshot{Families: make([]Family, 0, len(fams))}
+	for _, f := range fams {
+		snap.Families = append(snap.Families, f.collect())
+	}
+	return snap
+}
+
+// collect merges every attachment of the family into per-label samples.
+func (f *family) collect() Family {
+	out := Family{Name: f.name, Help: f.help, Kind: f.kind, Label: f.label}
+	vals := make(map[string]float64)
+	hists := make(map[string]*HistSnapshot)
+	add := func(label string, v float64) { vals[label] += v }
+	addHist := func(label string, h *Histogram) {
+		s := h.snapshot()
+		if prev, ok := hists[label]; ok {
+			prev.merge(s)
+		} else {
+			hists[label] = s
+		}
+	}
+	for _, e := range f.entries {
+		switch {
+		case e.c != nil:
+			add(e.labelValue, float64(e.c.Value()))
+		case e.g != nil:
+			add(e.labelValue, float64(e.g.Value()))
+		case e.h != nil:
+			addHist(e.labelValue, e.h)
+		}
+	}
+	for _, v := range f.cvecs {
+		v.mu.RLock()
+		for lv, c := range v.m {
+			add(lv, float64(c.Value()))
+		}
+		v.mu.RUnlock()
+	}
+	for _, v := range f.gvecs {
+		v.mu.RLock()
+		for lv, g := range v.m {
+			add(lv, float64(g.Value()))
+		}
+		v.mu.RUnlock()
+	}
+	for _, v := range f.hvecs {
+		v.mu.RLock()
+		for lv, h := range v.m {
+			addHist(lv, h)
+		}
+		v.mu.RUnlock()
+	}
+
+	labels := make([]string, 0, len(vals)+len(hists))
+	for l := range vals {
+		labels = append(labels, l)
+	}
+	for l := range hists {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labelLess(labels[i], labels[j]) })
+	for _, l := range labels {
+		if h, ok := hists[l]; ok {
+			out.Samples = append(out.Samples, Sample{LabelValue: l, Hist: h})
+		} else {
+			out.Samples = append(out.Samples, Sample{LabelValue: l, Value: vals[l]})
+		}
+	}
+	return out
+}
+
+// labelLess orders label values numerically when both parse as integers
+// (switch and tree ids), lexicographically otherwise.
+func labelLess(a, b string) bool {
+	ai, aerr := strconv.Atoi(a)
+	bi, berr := strconv.Atoi(b)
+	if aerr == nil && berr == nil {
+		return ai < bi
+	}
+	return a < b
+}
+
+// Counter returns the summed value of a counter family's label-value
+// series ("" for unlabelled) and whether the series exists.
+func (s Snapshot) Counter(name, labelValue string) (float64, bool) {
+	return s.value(name, labelValue)
+}
+
+// Gauge returns the value of a gauge family's label-value series.
+func (s Snapshot) Gauge(name, labelValue string) (float64, bool) {
+	return s.value(name, labelValue)
+}
+
+func (s Snapshot) value(name, labelValue string) (float64, bool) {
+	for _, f := range s.Families {
+		if f.Name != name {
+			continue
+		}
+		for _, smp := range f.Samples {
+			if smp.LabelValue == labelValue {
+				return smp.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Total sums every sample of one family (all label values).
+func (s Snapshot) Total(name string) float64 {
+	var t float64
+	for _, f := range s.Families {
+		if f.Name != name {
+			continue
+		}
+		for _, smp := range f.Samples {
+			t += smp.Value
+		}
+	}
+	return t
+}
+
+// ContentType is the Prometheus text exposition content type served by
+// the /metrics endpoint.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4). Histograms emit cumulative _bucket series plus
+// _sum and _count; durations are exported in seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, f := range snap.Families {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.Name, f.Help, f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, smp := range f.Samples {
+			if smp.Hist != nil {
+				if err := writeHist(w, f, smp); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, labelPair(f.Label, smp.LabelValue), formatFloat(smp.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHist(w io.Writer, f Family, smp Sample) error {
+	h := smp.Hist
+	cum := uint64(0)
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		le := formatFloat(b.Seconds())
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, bucketLabels(f.Label, smp.LabelValue, le), cum); err != nil {
+			return err
+		}
+	}
+	if len(h.Counts) > 0 {
+		cum += h.Counts[len(h.Counts)-1]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, bucketLabels(f.Label, smp.LabelValue, "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelPair(f.Label, smp.LabelValue), formatFloat(h.Sum.Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelPair(f.Label, smp.LabelValue), h.Count)
+	return err
+}
+
+// labelPair renders {name="value"} or "" when the family is unlabelled.
+func labelPair(name, value string) string {
+	if name == "" || value == "" && name == "" {
+		return ""
+	}
+	if name == "" {
+		return ""
+	}
+	return "{" + name + `="` + escapeLabel(value) + `"}`
+}
+
+// bucketLabels renders the label set of one histogram bucket including le.
+func bucketLabels(name, value, le string) string {
+	if name == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + name + `="` + escapeLabel(value) + `",le="` + le + `"}`
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatFloat renders a sample value with full precision.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

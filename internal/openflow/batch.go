@@ -35,9 +35,9 @@ func (k OpKind) String() string {
 // single southbound call instead of one round-trip per flow.
 type FlowOp struct {
 	Kind     OpKind
-	Flow     Flow    // OpAdd
-	ID       FlowID  // OpDelete, OpModify
-	Priority int     // OpModify
+	Flow     Flow     // OpAdd
+	ID       FlowID   // OpDelete, OpModify
+	Priority int      // OpModify
 	Actions  []Action // OpModify
 }
 

@@ -176,6 +176,11 @@ type Table struct {
 	capacity int
 	// rejected counts adds refused because the table was full.
 	rejected uint64
+	// sizeObserver, when set, is called with the new flow count after
+	// every size change, under the table lock — observers must be cheap
+	// and must not call back into the table. The observability layer uses
+	// it to drive per-switch occupancy gauges from the ground truth.
+	sizeObserver func(int)
 }
 
 // ErrTableFull is returned (wrapped) when an Add exceeds the configured
@@ -230,6 +235,19 @@ func (t *Table) Capacity() int {
 	return t.capacity
 }
 
+// SetSizeObserver registers fn to be called with the flow count after
+// every size change (and once immediately with the current count). fn
+// runs under the table lock: it must be cheap, non-blocking, and must not
+// call table methods. A nil fn removes the observer.
+func (t *Table) SetSizeObserver(fn func(int)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sizeObserver = fn
+	if fn != nil {
+		fn(len(t.flows))
+	}
+}
+
 // Rejected returns the number of Adds refused due to a full table.
 func (t *Table) Rejected() uint64 {
 	t.mu.RLock()
@@ -261,6 +279,9 @@ func (t *Table) tryAddLocked(f Flow) (FlowID, error) {
 	t.flows[f.ID] = &f
 	t.index(&f)
 	t.stats.Adds++
+	if t.sizeObserver != nil {
+		t.sizeObserver(len(t.flows))
+	}
 	return f.ID, nil
 }
 
@@ -280,6 +301,9 @@ func (t *Table) deleteLocked(id FlowID) bool {
 	t.unindex(f)
 	delete(t.flows, id)
 	t.stats.Deletes++
+	if t.sizeObserver != nil {
+		t.sizeObserver(len(t.flows))
+	}
 	return true
 }
 

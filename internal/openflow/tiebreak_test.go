@@ -27,8 +27,8 @@ func mustEventAddr(t *testing.T, e dz.Expr) netip.Addr {
 // priority first; the PLEROMA invariant is what normally aligns the two).
 func TestLookupTieBreakPriorityBeatsLength(t *testing.T) {
 	tab := NewTable()
-	short := tab.Add(mustFlow(t, "0", 9, 1))   // slow: priority != |dz|
-	tab.Add(mustFlow(t, "0110", 4, 2))         // keeps the invariant
+	short := tab.Add(mustFlow(t, "0", 9, 1)) // slow: priority != |dz|
+	tab.Add(mustFlow(t, "0110", 4, 2))       // keeps the invariant
 	got, ok := tab.Lookup(mustEventAddr(t, "011010"))
 	if !ok || got.ID != short {
 		t.Fatalf("Lookup = %v (ok=%v), want short high-priority flow %d", got, ok, short)

@@ -1,0 +1,132 @@
+package pleroma
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+
+	"pleroma/internal/obs"
+)
+
+// This file is the public face of the runtime observability layer
+// (internal/obs): a metrics registry populated by every subsystem
+// (controllers, data plane, fault layer, interdomain fabric), a bounded
+// trace of control-plane operations, and the operational HTTP endpoint
+// serving /metrics, /healthz, /readyz, /traces and /debug/pprof.
+// Observability is off by default and the publish/delivery hot path then
+// pays only nil checks (see BenchmarkSystemPublishDeliver in
+// benchmarks/obs.txt).
+
+// Re-exported observability types.
+type (
+	// MetricsSnapshot is a point-in-time copy of every registered metric
+	// (families sorted by name, samples by label).
+	MetricsSnapshot = obs.Snapshot
+	// MetricFamily is one named metric with all its label samples.
+	MetricFamily = obs.Family
+	// TraceSpan is one recorded control-plane operation with its events.
+	TraceSpan = obs.Span
+	// ObsServer is a running observability HTTP endpoint.
+	ObsServer = obs.Server
+)
+
+// WithObservability enables the observability layer: a metrics registry
+// threaded through all subsystems, and a control-plane tracer keeping the
+// most recent traceCapacity operation spans (0 selects the default of
+// 256). Disabled systems skip all of it and keep the data path free of
+// instrumentation.
+func WithObservability(traceCapacity int) Option {
+	return func(c *config) {
+		c.obsEnabled = true
+		c.obsTraceCap = traceCapacity
+	}
+}
+
+// WithTraceLog additionally streams every completed control-plane span to
+// l as a structured log record. Implies nothing on its own: it takes
+// effect only together with WithObservability.
+func WithTraceLog(l *slog.Logger) Option {
+	return func(c *config) { c.obsTraceSink = l }
+}
+
+// defaultTraceCapacity is the ring size used when WithObservability is
+// given a non-positive capacity.
+const defaultTraceCapacity = 256
+
+// initObservability builds the registry and tracer before the fabric is
+// created (the fabric threads them into every partition controller).
+func (c *config) initObservability() (*obs.Registry, *obs.Tracer) {
+	if !c.obsEnabled {
+		return nil, nil
+	}
+	cap := c.obsTraceCap
+	if cap <= 0 {
+		cap = defaultTraceCapacity
+	}
+	tracer := obs.NewTracer(cap)
+	if c.obsTraceSink != nil {
+		tracer.SetSink(c.obsTraceSink)
+	}
+	return obs.NewRegistry(), tracer
+}
+
+// instrumentDispatch creates the facade-level delivery instruments; the
+// dispatch hot path increments them nil-safely.
+func (s *System) instrumentDispatch() {
+	if s.reg == nil {
+		return
+	}
+	s.obsDeliveries = s.reg.Counter(obs.MDeliveries, "Events handed to subscription handlers.")
+	s.obsFalsePositives = s.reg.Counter(obs.MFalsePositives, "Deliveries not matching the receiving subscription exactly (dz truncation, Section 6.4).")
+	s.obsDeliveryLatency = s.reg.Histogram(obs.MDeliveryLatency, "End-to-end publish-to-delivery latency (simulated time).", obs.DefaultLatencyBuckets...)
+}
+
+// Metrics returns a snapshot of every registered metric. The zero
+// snapshot without WithObservability.
+func (s *System) Metrics() MetricsSnapshot {
+	if s.reg == nil {
+		return MetricsSnapshot{}
+	}
+	return s.reg.Snapshot()
+}
+
+// Traces returns the recorded control-plane spans, oldest first; nil
+// without WithObservability.
+func (s *System) Traces() []*TraceSpan {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.Spans()
+}
+
+// systemHealth adapts the deployment's southbound health to the
+// operational endpoint: /healthz degrades while any switch is
+// quarantined.
+type systemHealth struct{ s *System }
+
+func (h systemHealth) DegradedSwitches() []string {
+	ds := h.s.fab.DegradedSwitches()
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = strconv.Itoa(int(d.Sw))
+	}
+	return out
+}
+
+func (h systemHealth) Ready() bool { return true }
+
+// ObsHandler returns the operational HTTP handler (/metrics, /healthz,
+// /readyz, /traces, /debug/pprof/*). It works — with empty metrics and
+// traces — even without WithObservability, so health stays inspectable.
+func (s *System) ObsHandler() http.Handler {
+	return obs.Handler(s.reg, s.tracer, systemHealth{s: s})
+}
+
+// ServeObservability binds the operational endpoint on addr (e.g.
+// ":9090", or "127.0.0.1:0" for an ephemeral port) and serves it in the
+// background; close the returned server when done. The endpoint only
+// reads atomics and mutex-guarded rings, so it is safe alongside the
+// single goroutine driving the System.
+func (s *System) ServeObservability(addr string) (*ObsServer, error) {
+	return obs.Serve(addr, s.reg, s.tracer, systemHealth{s: s})
+}

@@ -1,0 +1,292 @@
+package pleroma
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pleroma/internal/obs"
+)
+
+// obsFixture builds an instrumented testbed system with one publisher and
+// one subscriber and runs a few publications through it.
+func obsFixture(t *testing.T, opts ...Option) (*System, *Publisher) {
+	t.Helper()
+	sch, err := NewSchema(Attribute{Name: "v", Bits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(sch, append([]Option{WithObservability(0)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := sys.Hosts()
+	pub, err := sys.NewPublisher("p", hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Advertise(NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Subscribe("s", hosts[7], NewFilter(), func(Delivery) {}); err != nil {
+		t.Fatal(err)
+	}
+	return sys, pub
+}
+
+func TestSystemMetricsSnapshot(t *testing.T) {
+	sys, pub := obsFixture(t)
+	for i := 0; i < 3; i++ {
+		if err := pub.Publish(uint32(100 * i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Run()
+
+	snap := sys.Metrics()
+	if got := snap.Total(obs.MRequests); got != 2 { // advertise + subscribe
+		t.Errorf("requests total = %v, want 2", got)
+	}
+	if got, ok := snap.Counter(obs.MRequests, "advertise"); !ok || got != 1 {
+		t.Errorf("advertise requests = %v (ok=%v), want 1", got, ok)
+	}
+	if got := snap.Total(obs.MDeliveries); got != 3 {
+		t.Errorf("deliveries = %v, want 3", got)
+	}
+	if got := snap.Total(obs.MFlowMods); got == 0 {
+		t.Error("no FlowMods counted")
+	}
+	if got := snap.Total(obs.MReconfigCases); got == 0 {
+		t.Error("no Algorithm-1 cases counted")
+	}
+	if got := snap.Total(obs.MLinkPackets); got == 0 {
+		t.Error("no link packets counted")
+	}
+	// Occupancy gauges must agree with the data plane's ground truth.
+	var occ float64
+	for _, f := range snap.Families {
+		if f.Name == obs.MFlowTableOccupancy {
+			for _, smp := range f.Samples {
+				occ += smp.Value
+			}
+		}
+	}
+	if occ == 0 {
+		t.Error("flow-table occupancy all zero with installed flows")
+	}
+
+	// The facade Stats view and the registry must agree.
+	st := sys.Stats()
+	if got := snap.Total(obs.MDeliveries); got != float64(st.Deliveries) {
+		t.Errorf("registry deliveries %v != Stats %d", got, st.Deliveries)
+	}
+}
+
+func TestSystemMetricsDisabled(t *testing.T) {
+	sch, err := NewSchema(Attribute{Name: "v", Bits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := sys.Metrics(); len(snap.Families) != 0 {
+		t.Errorf("disabled system exported %d families", len(snap.Families))
+	}
+	if tr := sys.Traces(); tr != nil {
+		t.Errorf("disabled system recorded traces: %v", tr)
+	}
+	// The handler still answers health probes.
+	srv, err := sys.ServeObservability("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestSystemTraces(t *testing.T) {
+	sys, pub := obsFixture(t)
+	if err := pub.Publish(1); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+
+	spans := sys.Traces()
+	if len(spans) < 2 {
+		t.Fatalf("want >=2 spans (advertise, subscribe), got %d", len(spans))
+	}
+	ops := make(map[string]bool)
+	for _, sp := range spans {
+		ops[sp.Op] = true
+	}
+	if !ops["advertise"] || !ops["subscribe"] {
+		t.Errorf("span ops = %v, want advertise and subscribe", ops)
+	}
+}
+
+func TestObservabilityEndpoint(t *testing.T) {
+	sys, pub := obsFixture(t)
+	if err := pub.Publish(1); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+
+	srv, err := sys.ServeObservability("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		obs.MRequests, obs.MFlowMods, obs.MReconfigCases,
+		obs.MFlowTableOccupancy, obs.MReconfigDuration + "_bucket",
+		obs.MDeliveries, obs.MLinkPackets,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", code)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz = %d, want 200", code)
+	}
+	code, body = get("/traces")
+	if code != http.StatusOK || !strings.Contains(body, "op=advertise") {
+		t.Errorf("/traces = %d, body %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d, want 200", code)
+	}
+}
+
+// TestHealthzDegradesOnQuarantine drives a switch into quarantine via
+// injected southbound faults and watches /healthz flip to 503 and back.
+func TestHealthzDegradesOnQuarantine(t *testing.T) {
+	sch, err := NewSchema(Attribute{Name: "v", Bits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(sch,
+		WithObservability(0),
+		WithSouthboundFaults(FaultConfig{FailCalls: []uint64{1, 2, 3, 4, 5, 6, 7, 8}, DownCalls: 0}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := sys.Hosts()
+	pub, err := sys.NewPublisher("p", hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Subscribe("s", hosts[7], NewFilter(), nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = pub.Advertise(NewFilter()) // scripted faults quarantine switches
+
+	if len(sys.Degraded()) == 0 {
+		t.Fatal("scripted faults did not quarantine any switch")
+	}
+	srv, err := sys.ServeObservability("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with quarantined switches = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "degraded switches") {
+		t.Errorf("/healthz body %q", body)
+	}
+
+	snap := sys.Metrics()
+	if got := snap.Total(obs.MQuarantines); got == 0 {
+		t.Error("quarantine counter is zero")
+	}
+	if got := snap.Total(obs.MInjectedFaults); got == 0 {
+		t.Error("injected-fault counter is zero")
+	}
+
+	// Heal and resync; health recovers.
+	sys.HealFaults()
+	if _, ok := sys.ResyncUntilHealthy(5); !ok {
+		t.Fatal("resync did not converge")
+	}
+	resp, err = http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz after resync = %d, want 200", resp.StatusCode)
+	}
+	if got := sys.Metrics().Total(obs.MResyncs); got == 0 {
+		t.Error("resync counter is zero after resync")
+	}
+}
+
+// TestInterdomainObservability checks the fabric counters reach the
+// registry in a partitioned deployment.
+func TestInterdomainObservability(t *testing.T) {
+	sch, err := NewSchema(Attribute{Name: "v", Bits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(sch, WithObservability(0), WithTopology(TopologyRing20), WithPartitions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := sys.Hosts()
+	pub, err := sys.NewPublisher("p", hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Advertise(NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Subscribe("s", hosts[len(hosts)-1], NewFilter(), nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Metrics()
+	got := snap.Total(obs.MInterdomainMessages)
+	if got == 0 {
+		t.Fatal("no interdomain messages counted")
+	}
+	if want := sys.fab.Stats().MessagesSent; got != float64(want) {
+		t.Errorf("registry interdomain messages %v != fabric stats %d", got, want)
+	}
+}

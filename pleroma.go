@@ -32,6 +32,7 @@ package pleroma
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"pleroma/internal/core"
@@ -39,6 +40,7 @@ import (
 	"pleroma/internal/dz"
 	"pleroma/internal/interdomain"
 	"pleroma/internal/netem"
+	"pleroma/internal/obs"
 	"pleroma/internal/sim"
 	"pleroma/internal/space"
 	"pleroma/internal/topo"
@@ -113,6 +115,11 @@ type config struct {
 	faults *netem.FaultConfig
 	// retry, when set, overrides the controllers' southbound retry policy.
 	retry *core.RetryPolicy
+	// obsEnabled/obsTraceCap/obsTraceSink configure the observability
+	// layer (see WithObservability in observability.go).
+	obsEnabled   bool
+	obsTraceCap  int
+	obsTraceSink *slog.Logger
 }
 
 // WithTopology selects the emulated network layout.
@@ -157,12 +164,12 @@ var (
 
 // System is one emulated PLEROMA deployment.
 type System struct {
-	cfg    config
-	sch    *Schema
-	g      *topo.Graph
-	eng    *sim.Engine
-	dp     *netem.DataPlane
-	fab    *interdomain.Fabric
+	cfg config
+	sch *Schema
+	g   *topo.Graph
+	eng *sim.Engine
+	dp  *netem.DataPlane
+	fab *interdomain.Fabric
 	// faulty is the interposed fault-injection layer; nil without
 	// WithSouthboundFaults.
 	faulty *netem.FaultyProgrammer
@@ -183,6 +190,14 @@ type System struct {
 	// delivery accounting for the FPR metric of Section 6.4.
 	deliveries     uint64
 	falsePositives uint64
+
+	// Observability (nil without WithObservability; see observability.go).
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	// Facade-level delivery instruments; nil-safe no-ops when disabled.
+	obsDeliveries      *obs.Counter
+	obsFalsePositives  *obs.Counter
+	obsDeliveryLatency *obs.Histogram
 }
 
 type subState struct {
@@ -241,6 +256,7 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 
 	eng := sim.NewEngine()
 	dp := netem.New(g, eng)
+	reg, tracer := cfg.initObservability()
 	var fabOpts []interdomain.Option
 	var faulty *netem.FaultyProgrammer
 	if cfg.faults != nil {
@@ -249,6 +265,9 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 	}
 	if cfg.retry != nil {
 		fabOpts = append(fabOpts, interdomain.WithControllerOptions(core.WithRetryPolicy(*cfg.retry)))
+	}
+	if reg != nil {
+		fabOpts = append(fabOpts, interdomain.WithObservability(reg, tracer))
 	}
 	fab, err := interdomain.NewFabric(g, dp, fabOpts...)
 	if err != nil {
@@ -262,9 +281,18 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 		dp:     dp,
 		fab:    fab,
 		faulty: faulty,
+		reg:    reg,
+		tracer: tracer,
 		subs:   make(map[string]*subState),
 		byHost: make(map[HostID][]*subState),
 		pubs:   make(map[string]*Publisher),
+	}
+	if reg != nil {
+		dp.Instrument(reg)
+		if faulty != nil {
+			faulty.Instrument(reg)
+		}
+		sys.instrumentDispatch()
 	}
 	for _, h := range g.Hosts() {
 		h := h
@@ -336,8 +364,11 @@ func (s *System) dispatch(host HostID, d netem.Delivery) {
 		}
 		fp := !dz.RectContainsPoint(st.rect, d.Packet.Event.Values)
 		s.deliveries++
+		s.obsDeliveries.Inc()
+		s.obsDeliveryLatency.Observe(d.At - d.Packet.SentAt)
 		if fp {
 			s.falsePositives++
+			s.obsFalsePositives.Inc()
 		}
 		if st.handler == nil {
 			continue
