@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages with dedicated concurrency stress coverage; raced separately so
 # `make check` stays fast while still catching locking regressions.
-RACE_PKGS := ./internal/core/... ./internal/netem/... ./internal/openflow/... ./internal/workload/... ./internal/obs/... ./internal/metrics/...
+RACE_PKGS := ./internal/core/... ./internal/netem/... ./internal/openflow/... ./internal/workload/... ./internal/obs/... ./internal/metrics/... ./internal/sim/...
 
-.PHONY: check vet build test race soak bench bench-obs obs-demo
+.PHONY: check vet build test race soak bench bench-obs bench-dataplane obs-demo
 
 check: vet build test race
 
@@ -34,6 +34,18 @@ bench:
 	$(GO) test -run XXX -bench 'BenchmarkSet|BenchmarkTableLookup|BenchmarkLookup' -benchmem ./internal/dz/... ./internal/openflow/... | tee benchmarks/micro.txt
 	$(GO) test -run XXX -bench 'BenchmarkSystemPublishDeliver' -benchtime 100x -benchmem . | tee benchmarks/system.txt
 	$(GO) test -run XXX -bench 'BenchmarkSubscribeAt' -benchmem ./internal/core/... | tee -a benchmarks/system.txt
+
+# Data-plane fast-path benchmarks: engine scheduling, raw forwarding, and
+# the end-to-end publish/deliver path (single and batched). Results are
+# appended to benchmarks/dataplane.txt, which keeps the pre-fast-path
+# records as comments; compare before/after with
+#   benchstat old.txt new.txt
+# (or eyeball ns/op and allocs/op — the committed file carries both eras).
+bench-dataplane:
+	mkdir -p benchmarks
+	$(GO) test -run XXX -bench 'BenchmarkEngineScheduleRun|BenchmarkScheduleRun' -benchtime 100000x -benchmem ./internal/sim/ | tee -a benchmarks/dataplane.txt
+	$(GO) test -run XXX -bench 'BenchmarkDataPlaneForward' -benchtime 50000x -benchmem ./internal/netem/ | tee -a benchmarks/dataplane.txt
+	$(GO) test -run XXX -bench 'BenchmarkSystemPublishDeliver$$|BenchmarkSystemPublishBatch' -benchtime 5000x -count 3 -benchmem . | tee -a benchmarks/dataplane.txt
 
 # Observability overhead: the publish/delivery benchmark with the obs layer
 # off and on, teed for comparison against the committed benchmarks/obs.txt.

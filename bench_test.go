@@ -216,6 +216,58 @@ func benchPublishDeliver(b *testing.B, opts ...pleroma.Option) {
 	}
 }
 
+// BenchmarkSystemPublishBatch is the batched-ingestion counterpart of
+// BenchmarkSystemPublishDeliver: same fanout workload, events injected 16
+// per PublishBatch call. ns/op and allocs/op are per event.
+func BenchmarkSystemPublishBatch(b *testing.B) {
+	sch, err := pleroma.NewSchema(
+		pleroma.Attribute{Name: "a", Bits: 10},
+		pleroma.Attribute{Name: "b", Bits: 10},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := pleroma.NewSystem(sch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := sys.Hosts()
+	pub, err := sys.NewPublisher("p", hosts[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pub.Advertise(pleroma.NewFilter()); err != nil {
+		b.Fatal(err)
+	}
+	delivered := 0
+	for i := 1; i < 8; i++ {
+		if err := sys.Subscribe("s"+strconv.Itoa(i), hosts[i],
+			pleroma.NewFilter(), func(pleroma.Delivery) { delivered++ }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const batch = 16
+	pool := make([][][]uint32, 64)
+	for i := range pool {
+		pool[i] = make([][]uint32, batch)
+		for j := range pool[i] {
+			k := i*batch + j
+			pool[i][j] = []uint32{uint32(k % 1024), uint32((k * 7) % 1024)}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		if err := pub.PublishBatch(pool[(i/batch)%len(pool)]...); err != nil {
+			b.Fatal(err)
+		}
+		sys.Run()
+	}
+	if delivered == 0 {
+		b.Fatal("no deliveries")
+	}
+}
+
 func BenchmarkAblationMergeThreshold(b *testing.B) {
 	tables := runExperiment(b, "abl-merge")
 	t := tables[0]

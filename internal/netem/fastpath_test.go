@@ -1,0 +1,273 @@
+package netem
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pleroma/internal/ipmc"
+	"pleroma/internal/openflow"
+	"pleroma/internal/sim"
+	"pleroma/internal/space"
+	"pleroma/internal/topo"
+)
+
+// TestToggleHandlersDuringRun is the -race regression for the unguarded
+// recordPaths/punt fields: the forwarding path reads both on every switch
+// arrival while other goroutines toggle them (and swap switch configs and
+// read every stats surface) mid-run. The forwarding itself stays on the
+// test goroutine — the engine is single-threaded by contract.
+func TestToggleHandlersDuringRun(t *testing.T) {
+	dp, eng, hosts, switches := buildLine(t)
+	if err := dp.ConfigureHost(hosts[1], HostConfig{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	sch, err := space.UniformSchema(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := sch.NewEvent(600, 5)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	spin := func(body func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					body(i)
+				}
+			}
+		}()
+	}
+	spin(func(i int) { dp.RecordPaths(i%2 == 0) })
+	spin(func(i int) {
+		if i%2 == 0 {
+			dp.SetPuntHandler(func(topo.NodeID, openflow.PortID, Packet) {})
+		} else {
+			dp.SetPuntHandler(nil)
+		}
+	})
+	spin(func(i int) {
+		cfg := DefaultSwitchConfig
+		if i%2 == 0 {
+			cfg.PerFlowPenalty = time.Microsecond
+		}
+		if err := dp.SetSwitchConfig(switches[0], cfg); err != nil {
+			panic(err)
+		}
+	})
+	spin(func(int) {
+		for _, sw := range switches {
+			_ = dp.SwitchStatsFor(sw)
+		}
+		_ = dp.TotalLinkPackets()
+		_ = dp.HostReceived(hosts[1])
+		for _, l := range dp.Graph().Links() {
+			_ = dp.LinkStatsFor(l)
+		}
+	})
+
+	for i := 0; i < 300; i++ {
+		if err := dp.Publish(hosts[0], "1", ev, 64); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+	}
+	close(stop)
+	wg.Wait()
+	if dp.HostReceived(hosts[1]) == 0 {
+		t.Error("no deliveries during toggle stress")
+	}
+}
+
+// TestPublishBatchMatchesSequential pins the PublishBatch contract: the
+// packet stream it produces — sequence numbers, deliveries, timestamps,
+// final clock — is indistinguishable from sequential Publish calls at the
+// same instant.
+func TestPublishBatchMatchesSequential(t *testing.T) {
+	run := func(batch bool) ([]Delivery, time.Duration) {
+		dp, eng, hosts, _ := buildLine(t)
+		var got []Delivery
+		if err := dp.ConfigureHost(hosts[1], HostConfig{CapacityPerSec: 50_000, MaxQueue: 8},
+			func(d Delivery) { got = append(got, d) }); err != nil {
+			t.Fatal(err)
+		}
+		sch, err := space.UniformSchema(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pubs []Publication
+		for i := 0; i < 20; i++ {
+			ev, err := sch.NewEvent(uint32(i*30), uint32(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pubs = append(pubs, Publication{Expr: "1", Event: ev})
+		}
+		if batch {
+			if err := dp.PublishBatch(hosts[0], pubs); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for _, pb := range pubs {
+				if err := dp.Publish(hosts[0], pb.Expr, pb.Event, pb.Size); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return got, eng.Run()
+	}
+	seq, seqEnd := run(false)
+	bat, batEnd := run(true)
+	if seqEnd != batEnd {
+		t.Fatalf("final clock differs: sequential %v, batch %v", seqEnd, batEnd)
+	}
+	if len(seq) != len(bat) {
+		t.Fatalf("delivery count differs: sequential %d, batch %d", len(seq), len(bat))
+	}
+	for i := range seq {
+		a, b := seq[i], bat[i]
+		if a.At != b.At || a.Packet.Seq != b.Packet.Seq ||
+			a.Packet.SentAt != b.Packet.SentAt ||
+			a.Packet.Event.Values[0] != b.Packet.Event.Values[0] {
+			t.Fatalf("delivery %d differs:\nsequential %+v\nbatch      %+v", i, a, b)
+		}
+	}
+}
+
+// TestPublishBatchValidation: a bad expression anywhere in the batch
+// rejects the whole batch before any packet is injected or sequence number
+// consumed.
+func TestPublishBatchValidation(t *testing.T) {
+	dp, eng, hosts, _ := buildLine(t)
+	sch, err := space.UniformSchema(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := sch.NewEvent(1, 1)
+	err = dp.PublishBatch(hosts[0], []Publication{
+		{Expr: "1", Event: ev},
+		{Expr: "01x2", Event: ev}, // invalid dz
+	})
+	if err == nil {
+		t.Fatal("invalid expression must fail the batch")
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("failed batch injected %d events", eng.Pending())
+	}
+	if err := dp.Publish(hosts[0], "1", ev, 64); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if dp.HostReceived(hosts[1]) != 1 {
+		t.Errorf("received=%d after failed batch + publish", dp.HostReceived(hosts[1]))
+	}
+}
+
+// BenchmarkDataPlaneForward measures the pure forwarding hot path — one
+// publish through three switch hops to one host per iteration, no facade,
+// no matching — on the compiled plan. Steady state must be 0 allocs/op.
+func BenchmarkDataPlaneForward(b *testing.B) {
+	g, err := topo.Linear(3, topo.DefaultLinkParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	dp := New(g, eng)
+	hosts := g.Hosts()
+	path, err := g.ShortestPath(hosts[0], hosts[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	hops, err := g.RouteHops(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, hop := range hops {
+		f, err := openflow.NewFlow("1", 1, openflow.Action{OutPort: hop.OutPort})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab, err := dp.Table(hop.Switch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tab.Add(f)
+	}
+	if err := dp.ConfigureHost(hosts[1], HostConfig{}, nil); err != nil {
+		b.Fatal(err)
+	}
+	sch, err := space.UniformSchema(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, _ := sch.NewEvent(600, 5)
+	addr, err := ipmc.EventAddr("1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := Packet{Dst: addr, Expr: "1", Event: ev, Publisher: hosts[0],
+		SizeBytes: DefaultPacketSize, HopLimit: DefaultHopLimit}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.Seq = uint64(i)
+		if err := dp.SendFromHost(hosts[0], pkt); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+	if dp.HostReceived(hosts[1]) == 0 {
+		b.Fatal("no deliveries")
+	}
+}
+
+// TestPlanRebuildOnTopologyGrowth: the compiled forwarding plan notices
+// structural graph growth (new host and link after New) and recompiles, so
+// traffic reaches nodes the plan has never seen.
+func TestPlanRebuildOnTopologyGrowth(t *testing.T) {
+	dp, eng, hosts, switches := buildLine(t)
+	g := dp.Graph()
+	h3 := g.AddHost("h3")
+	swPort, _, err := g.Connect(switches[2], h3, topo.DefaultLinkParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if err := dp.ConfigureHost(h3, HostConfig{}, func(Delivery) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := dp.Table(switches[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := tab.Flows()
+	if len(flows) != 1 {
+		t.Fatalf("expected 1 flow on last switch, got %d", len(flows))
+	}
+	actions := append(append([]openflow.Action(nil), flows[0].Actions...),
+		openflow.Action{OutPort: swPort, SetDest: HostAddr(h3)})
+	if !tab.Modify(flows[0].ID, flows[0].Priority, actions) {
+		t.Fatal("modify failed")
+	}
+	sch, err := space.UniformSchema(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := sch.NewEvent(600, 5)
+	if err := dp.Publish(hosts[0], "1", ev, 64); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got != 1 {
+		t.Errorf("new host got %d deliveries, want 1", got)
+	}
+	if dp.HostReceived(hosts[1]) != 1 {
+		t.Errorf("original host received=%d, want 1", dp.HostReceived(hosts[1]))
+	}
+}

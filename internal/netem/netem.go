@@ -8,6 +8,17 @@
 // It substitutes for the paper's Open vSwitch testbed and Mininet: the
 // observables of the evaluation — end-to-end delay, throughput saturation,
 // link load — are functions of exactly the quantities modelled here.
+//
+// # Fast path
+//
+// Forwarding runs on a precompiled plan instead of graph queries: at
+// construction (and whenever the topology's structural version changes)
+// the data plane compiles, per switch, a dense port → link-direction array
+// whose entries point straight at per-direction link state and carry the
+// peer's identity, kind, and ingress port. A packet hop therefore touches
+// no maps, takes no global lock, and — because in-flight packets live in a
+// free-listed slab addressed by the typed event payload — allocates
+// nothing in steady state.
 package netem
 
 import (
@@ -123,6 +134,60 @@ type LinkStats struct {
 	Dropped map[topo.NodeID]uint64
 }
 
+// Publication is one event of a PublishBatch.
+type Publication struct {
+	Expr  dz.Expr
+	Event space.Event
+	// Size is the wire size; zero or negative uses DefaultPacketSize.
+	Size int
+}
+
+// dirState is the compiled state of one link direction. The plan points
+// every switch port and host access link straight at its dirState, so a
+// hop reads the link, updates the direction's serialization bookkeeping,
+// and schedules arrival at the precompiled peer — no map, no graph query.
+//
+// busyUntil and queued are owned by the engine goroutine (the one driving
+// injection and Engine.Run); the traffic counters are atomics so stats
+// readers on other goroutines see sane values mid-run.
+type dirState struct {
+	link *topo.Link
+	from topo.NodeID
+	// idx is this direction's stable index in DataPlane.dirs, carried by
+	// link-free events.
+	idx int32
+	// Precompiled arrival side.
+	to     topo.NodeID
+	toPort openflow.PortID
+	toHost bool
+
+	busyUntil time.Duration
+	queued    int
+
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// switchPlan is the compiled forwarding view of one switch.
+type switchPlan struct {
+	table *openflow.Table
+	stats *SwitchStats
+	// cfg is replaceable mid-run (SetSwitchConfig) without locking the
+	// forwarding path.
+	cfg atomic.Pointer[SwitchConfig]
+	// ports maps PortID (1-based; index 0 unused) to the outgoing link
+	// direction, nil where no link is attached.
+	ports []*dirState
+}
+
+func (p *switchPlan) dirFor(port openflow.PortID) *dirState {
+	if int(port) <= 0 || int(port) >= len(p.ports) {
+		return nil
+	}
+	return p.ports[port]
+}
+
 type hostState struct {
 	cfg       HostConfig
 	busyUntil time.Duration
@@ -130,7 +195,21 @@ type hostState struct {
 	received  uint64
 	dropped   uint64
 	deliver   DeliverFunc
+	// access is the compiled host→switch link direction (nil when the
+	// host has no attached switch). Immutable after a plan build.
+	access *dirState
 }
+
+// Typed event kinds the data plane schedules on the engine. The payload
+// words are: A = dir index (link free) or node id (everything else),
+// B = switch ingress port, Ref = packet slab slot.
+const (
+	evLinkFree uint8 = iota + 1
+	evArriveSwitch
+	evSwitchLookup
+	evArriveHost
+	evHostDone
+)
 
 // DataPlane wires a topology, per-switch flow tables, and host models onto
 // a simulation engine.
@@ -138,33 +217,46 @@ type hostState struct {
 // Concurrency: each switch's flow table carries its own lock, so
 // control-plane reconfiguration (AddFlow/DeleteFlow/ModifyFlow/ApplyBatch,
 // possibly from many controller goroutines touching disjoint switches) and
-// data-plane forwarding interleave safely. Per-switch counters use atomics
-// and the remaining shared state (link, host, and sequence counters) sits
-// behind mu. The simulation engine itself stays single-threaded: packets
-// are forwarded on the goroutine driving Engine.Run.
+// data-plane forwarding interleave safely. Per-switch counters and link
+// counters use atomics, the punt handler, path-recording flag, and switch
+// configs are swapped atomically (safe to toggle mid-run), and mu guards
+// only host and publisher-sequence bookkeeping plus whole-map iteration
+// over tables. The simulation itself stays single-threaded: packets are
+// injected and forwarded on the goroutine driving Engine.Run, which also
+// owns the packet slab and per-direction serialization state.
 type DataPlane struct {
 	g      *topo.Graph
 	eng    *sim.Engine
 	tables map[topo.NodeID]*openflow.Table
 
-	// mu guards swCfg, hosts, busyUntil, queued, linkStats, seq, and
-	// whole-map iteration over tables.
-	mu    sync.Mutex
-	swCfg map[topo.NodeID]SwitchConfig
-	hosts map[topo.NodeID]*hostState
-	// busyUntil tracks per-direction link availability for serialization;
-	// queued tracks the per-direction transmit backlog for tail-drops.
-	busyUntil map[linkDir]time.Duration
-	queued    map[linkDir]int
-	swStats   map[topo.NodeID]*SwitchStats
-	linkStats map[*topo.Link]*LinkStats
-	punt      PuntFunc
-	seq       map[topo.NodeID]uint64
+	// Compiled forwarding plan (engine goroutine; rebuilt when the graph's
+	// structural version moves — see ensurePlan).
+	plans       []*switchPlan // dense by NodeID, nil for non-switches
+	hosts       []*hostState  // dense by NodeID, nil for non-hosts
+	dirs        []*dirState   // append-only; dirState.idx indexes it
+	dirByLink   map[*topo.Link]int32
+	planVersion uint64
+	planDirty   bool
+
+	// Packet slab: in-flight packets, addressed by event Ref; free is the
+	// free list. Engine-goroutine-only.
+	slab []Packet
+	free []uint32
+
+	// mu guards hosts' mutable state, pubSeq, swCfg, and iteration over
+	// the tables map.
+	mu     sync.Mutex
+	swCfg  map[topo.NodeID]SwitchConfig
+	pubSeq map[topo.NodeID]uint64
+
+	swStats map[topo.NodeID]*SwitchStats
+
+	punt        atomic.Pointer[PuntFunc]
+	recordPaths atomic.Bool
+
 	// southbound counts controller→switch programming calls; a batch is
 	// one call regardless of how many FlowMods it carries.
 	southbound atomic.Uint64
-	// recordPaths makes every packet accumulate the switches it visits.
-	recordPaths bool
 
 	// Observability counters, set once by Instrument before the simulation
 	// runs and nil otherwise; the forwarding path pays a nil check when
@@ -174,36 +266,118 @@ type DataPlane struct {
 	obsHostDeliveries *obs.Counter
 }
 
-type linkDir struct {
-	link *topo.Link
-	from topo.NodeID
-}
-
 // New creates a data plane for the topology on the given engine. Every
 // switch gets an empty flow table and DefaultSwitchConfig; every host gets
-// an unlimited-capacity model until configured.
+// an unlimited-capacity model until configured. The forwarding plan is
+// compiled immediately.
 func New(g *topo.Graph, eng *sim.Engine) *DataPlane {
 	dp := &DataPlane{
 		g:         g,
 		eng:       eng,
 		tables:    make(map[topo.NodeID]*openflow.Table),
 		swCfg:     make(map[topo.NodeID]SwitchConfig),
-		hosts:     make(map[topo.NodeID]*hostState),
-		busyUntil: make(map[linkDir]time.Duration),
-		queued:    make(map[linkDir]int),
+		pubSeq:    make(map[topo.NodeID]uint64),
 		swStats:   make(map[topo.NodeID]*SwitchStats),
-		linkStats: make(map[*topo.Link]*LinkStats),
-		seq:       make(map[topo.NodeID]uint64),
+		dirByLink: make(map[*topo.Link]int32),
 	}
-	for _, sw := range g.Switches() {
-		dp.tables[sw] = openflow.NewTable()
-		dp.swCfg[sw] = DefaultSwitchConfig
-		dp.swStats[sw] = &SwitchStats{}
-	}
-	for _, h := range g.Hosts() {
-		dp.hosts[h] = &hostState{}
-	}
+	dp.rebuildPlan()
 	return dp
+}
+
+// InvalidatePlan discards the compiled forwarding plan; the next packet
+// injection rebuilds it. Structural topology growth is detected
+// automatically via the graph's version counter — this hook exists for
+// mutations the version cannot see.
+func (dp *DataPlane) InvalidatePlan() { dp.planDirty = true }
+
+// ensurePlan recompiles the forwarding plan when the topology's structural
+// version has moved past the compiled one. Called from injection entry
+// points on the engine goroutine.
+func (dp *DataPlane) ensurePlan() {
+	if dp.planDirty || dp.planVersion != dp.g.Version() {
+		dp.rebuildPlan()
+	}
+}
+
+// rebuildPlan compiles the dense forwarding plan from the graph. Stats
+// survive rebuilds: switch counters, link-direction counters, and host
+// state are carried over by identity; only the dense index arrays are
+// rebuilt.
+func (dp *DataPlane) rebuildPlan() {
+	g := dp.g
+	nodes := g.Nodes()
+
+	// Register per-link direction state (append-only so indices carried by
+	// queued link-free events stay valid across rebuilds).
+	for _, l := range g.Links() {
+		if _, ok := dp.dirByLink[l]; ok {
+			continue
+		}
+		base := int32(len(dp.dirs))
+		dp.dirByLink[l] = base
+		na, _ := g.Node(l.A)
+		nb, _ := g.Node(l.B)
+		dp.dirs = append(dp.dirs,
+			&dirState{link: l, from: l.A, idx: base, to: l.B, toPort: l.BPort, toHost: nb.Kind == topo.KindHost},
+			&dirState{link: l, from: l.B, idx: base + 1, to: l.A, toPort: l.APort, toHost: na.Kind == topo.KindHost},
+		)
+	}
+	// dirFrom resolves the direction of l transmitting from node n.
+	dirFrom := func(l *topo.Link, n topo.NodeID) *dirState {
+		base := dp.dirByLink[l]
+		if l.A == n {
+			return dp.dirs[base]
+		}
+		return dp.dirs[base+1]
+	}
+
+	plans := make([]*switchPlan, len(nodes))
+	hosts := make([]*hostState, len(nodes))
+	dp.mu.Lock()
+	oldHosts := dp.hosts
+	for _, n := range nodes {
+		switch n.Kind {
+		case topo.KindSwitch:
+			if dp.tables[n.ID] == nil {
+				dp.tables[n.ID] = openflow.NewTable()
+				dp.swCfg[n.ID] = DefaultSwitchConfig
+				dp.swStats[n.ID] = &SwitchStats{}
+			}
+			p := &switchPlan{table: dp.tables[n.ID], stats: dp.swStats[n.ID]}
+			cfg := dp.swCfg[n.ID]
+			p.cfg.Store(&cfg)
+			nbs := g.Neighbors(n.ID)
+			maxPort := openflow.PortID(0)
+			for _, nb := range nbs {
+				if nb.Port > maxPort {
+					maxPort = nb.Port
+				}
+			}
+			p.ports = make([]*dirState, maxPort+1)
+			for _, nb := range nbs {
+				p.ports[nb.Port] = dirFrom(nb.Link, n.ID)
+			}
+			plans[n.ID] = p
+		case topo.KindHost:
+			hs := &hostState{}
+			if int(n.ID) < len(oldHosts) && oldHosts[n.ID] != nil {
+				hs = oldHosts[n.ID]
+			}
+			hs.access = nil
+			for _, nb := range g.Neighbors(n.ID) {
+				if nodes[nb.Peer].Kind == topo.KindSwitch {
+					hs.access = dirFrom(nb.Link, n.ID)
+					break
+				}
+			}
+			hosts[n.ID] = hs
+		}
+	}
+	dp.hosts = hosts
+	dp.mu.Unlock()
+	dp.plans = plans
+	dp.planVersion = g.Version()
+	dp.planDirty = false
 }
 
 // Graph returns the underlying topology.
@@ -221,7 +395,15 @@ func (dp *DataPlane) Table(sw topo.NodeID) (*openflow.Table, error) {
 	return t, nil
 }
 
-// SetSwitchConfig overrides the forwarding model of one switch.
+func (dp *DataPlane) planFor(sw topo.NodeID) *switchPlan {
+	if int(sw) < 0 || int(sw) >= len(dp.plans) {
+		return nil
+	}
+	return dp.plans[sw]
+}
+
+// SetSwitchConfig overrides the forwarding model of one switch. Safe to
+// call mid-run: the forwarding path picks up the new config atomically.
 func (dp *DataPlane) SetSwitchConfig(sw topo.NodeID, cfg SwitchConfig) error {
 	if _, ok := dp.tables[sw]; !ok {
 		return fmt.Errorf("netem: node %d is not a switch", sw)
@@ -229,6 +411,10 @@ func (dp *DataPlane) SetSwitchConfig(sw topo.NodeID, cfg SwitchConfig) error {
 	dp.mu.Lock()
 	dp.swCfg[sw] = cfg
 	dp.mu.Unlock()
+	if p := dp.planFor(sw); p != nil {
+		c := cfg
+		p.cfg.Store(&c)
+	}
 	return nil
 }
 
@@ -239,28 +425,42 @@ func (dp *DataPlane) SetAllSwitchConfigs(cfg SwitchConfig) {
 		dp.swCfg[sw] = cfg
 	}
 	dp.mu.Unlock()
+	for _, p := range dp.plans {
+		if p != nil {
+			c := cfg
+			p.cfg.Store(&c)
+		}
+	}
 }
 
 // ConfigureHost sets the processing model and delivery callback of a host.
 func (dp *DataPlane) ConfigureHost(h topo.NodeID, cfg HostConfig, deliver DeliverFunc) error {
+	dp.ensurePlan()
 	dp.mu.Lock()
 	defer dp.mu.Unlock()
-	hs, ok := dp.hosts[h]
-	if !ok {
+	if int(h) < 0 || int(h) >= len(dp.hosts) || dp.hosts[h] == nil {
 		return fmt.Errorf("netem: node %d is not a host", h)
 	}
+	hs := dp.hosts[h]
 	hs.cfg = cfg
 	hs.deliver = deliver
 	return nil
 }
 
-// SetPuntHandler registers the controller-bound punt path.
-func (dp *DataPlane) SetPuntHandler(f PuntFunc) { dp.punt = f }
+// SetPuntHandler registers the controller-bound punt path. Safe to call
+// mid-run.
+func (dp *DataPlane) SetPuntHandler(f PuntFunc) {
+	if f == nil {
+		dp.punt.Store(nil)
+		return
+	}
+	dp.punt.Store(&f)
+}
 
 // RecordPaths toggles per-packet path recording (each visited switch is
 // appended to Packet.Path) — a debugging aid and the hook the forwarding
-// invariants are tested against.
-func (dp *DataPlane) RecordPaths(on bool) { dp.recordPaths = on }
+// invariants are tested against. Safe to toggle mid-run.
+func (dp *DataPlane) RecordPaths(on bool) { dp.recordPaths.Store(on) }
 
 // SwitchStatsFor returns a copy of the counters of one switch.
 func (dp *DataPlane) SwitchStatsFor(sw topo.NodeID) SwitchStats {
@@ -280,8 +480,8 @@ func (dp *DataPlane) SwitchStatsFor(sw topo.NodeID) SwitchStats {
 func (dp *DataPlane) HostReceived(h topo.NodeID) uint64 {
 	dp.mu.Lock()
 	defer dp.mu.Unlock()
-	if hs, ok := dp.hosts[h]; ok {
-		return hs.received
+	if int(h) >= 0 && int(h) < len(dp.hosts) && dp.hosts[h] != nil {
+		return dp.hosts[h].received
 	}
 	return 0
 }
@@ -290,31 +490,52 @@ func (dp *DataPlane) HostReceived(h topo.NodeID) uint64 {
 func (dp *DataPlane) HostDropped(h topo.NodeID) uint64 {
 	dp.mu.Lock()
 	defer dp.mu.Unlock()
-	if hs, ok := dp.hosts[h]; ok {
-		return hs.dropped
+	if int(h) >= 0 && int(h) < len(dp.hosts) && dp.hosts[h] != nil {
+		return dp.hosts[h].dropped
 	}
 	return 0
 }
 
-// LinkStatsFor returns the counters of one link (may be nil if unused).
-// The returned struct is shared with the data plane; read it only once the
-// simulation has settled.
+// LinkStatsFor returns the counters of one link, or nil if the link has
+// carried (and dropped) nothing. The returned struct is a snapshot
+// synthesized from the per-direction counters.
 func (dp *DataPlane) LinkStatsFor(l *topo.Link) *LinkStats {
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
-	return dp.linkStats[l]
+	base, ok := dp.dirByLink[l]
+	if !ok {
+		return nil
+	}
+	ls := &LinkStats{
+		Packets: make(map[topo.NodeID]uint64),
+		Bytes:   make(map[topo.NodeID]uint64),
+		Dropped: make(map[topo.NodeID]uint64),
+	}
+	var total uint64
+	for _, d := range []*dirState{dp.dirs[base], dp.dirs[base+1]} {
+		if v := d.packets.Load(); v > 0 {
+			ls.Packets[d.from] = v
+			total += v
+		}
+		if v := d.bytes.Load(); v > 0 {
+			ls.Bytes[d.from] = v
+			total += v
+		}
+		if v := d.dropped.Load(); v > 0 {
+			ls.Dropped[d.from] = v
+			total += v
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	return ls
 }
 
 // TotalLinkPackets sums packet transmissions over all links — the
 // bandwidth-usage measure used by the tree-strategy ablation.
 func (dp *DataPlane) TotalLinkPackets() uint64 {
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
 	var total uint64
-	for _, ls := range dp.linkStats {
-		for _, c := range ls.Packets {
-			total += c
-		}
+	for _, d := range dp.dirs {
+		total += d.packets.Load()
 	}
 	return total
 }
@@ -331,8 +552,8 @@ func (dp *DataPlane) Publish(host topo.NodeID, expr dz.Expr, ev space.Event, siz
 		size = DefaultPacketSize
 	}
 	dp.mu.Lock()
-	dp.seq[host]++
-	seq := dp.seq[host]
+	dp.pubSeq[host]++
+	seq := dp.pubSeq[host]
 	dp.mu.Unlock()
 	pkt := Packet{
 		Dst:       addr,
@@ -347,21 +568,83 @@ func (dp *DataPlane) Publish(host topo.NodeID, expr dz.Expr, ev space.Event, siz
 	return dp.SendFromHost(host, pkt)
 }
 
-// SendFromHost transmits an arbitrary packet from a host onto its access
-// link (also used for IP_vir control signalling).
-func (dp *DataPlane) SendFromHost(host topo.NodeID, pkt Packet) error {
+// PublishBatch injects a burst of event packets from one host, assigning
+// all sequence numbers under a single lock acquisition. The batch is
+// validated up front: on error nothing is published. The resulting packet
+// stream — sequence numbers, timestamps, event ordering — is identical to
+// calling Publish once per publication at the same simulated instant.
+func (dp *DataPlane) PublishBatch(host topo.NodeID, pubs []Publication) error {
+	if len(pubs) == 0 {
+		return nil
+	}
+	addrs := make([]netip.Addr, len(pubs))
+	for i, pb := range pubs {
+		addr, err := ipmc.EventAddr(pb.Expr)
+		if err != nil {
+			return fmt.Errorf("netem: publish: %w", err)
+		}
+		addrs[i] = addr
+	}
+	dp.ensurePlan()
+	d := dp.hostAccess(host)
+	if d == nil {
+		return dp.hostAccessErr(host)
+	}
+	now := dp.eng.Now()
+	dp.mu.Lock()
+	base := dp.pubSeq[host]
+	dp.pubSeq[host] = base + uint64(len(pubs))
+	dp.mu.Unlock()
+	for i, pb := range pubs {
+		size := pb.Size
+		if size <= 0 {
+			size = DefaultPacketSize
+		}
+		dp.transmit(d, Packet{
+			Dst:       addrs[i],
+			Expr:      pb.Expr,
+			Event:     pb.Event,
+			Publisher: host,
+			Seq:       base + uint64(i) + 1,
+			SizeBytes: size,
+			SentAt:    now,
+			HopLimit:  DefaultHopLimit,
+		})
+	}
+	return nil
+}
+
+// hostAccess resolves the compiled access-link direction of a host.
+func (dp *DataPlane) hostAccess(host topo.NodeID) *dirState {
+	if int(host) < 0 || int(host) >= len(dp.hosts) {
+		return nil
+	}
+	hs := dp.hosts[host]
+	if hs == nil {
+		return nil
+	}
+	return hs.access
+}
+
+// hostAccessErr reproduces the precise error of the uncompiled lookup path
+// for a host with no usable access link.
+func (dp *DataPlane) hostAccessErr(host topo.NodeID) error {
 	sw, err := dp.g.AttachedSwitch(host)
 	if err != nil {
 		return fmt.Errorf("netem: send from host: %w", err)
 	}
-	link, ok := dp.g.LinkBetween(host, sw)
-	if !ok {
-		return fmt.Errorf("netem: host %d has no link to switch %d", host, sw)
+	return fmt.Errorf("netem: host %d has no link to switch %d", host, sw)
+}
+
+// SendFromHost transmits an arbitrary packet from a host onto its access
+// link (also used for IP_vir control signalling).
+func (dp *DataPlane) SendFromHost(host topo.NodeID, pkt Packet) error {
+	dp.ensurePlan()
+	d := dp.hostAccess(host)
+	if d == nil {
+		return dp.hostAccessErr(host)
 	}
-	inPort, _ := link.PortAt(sw)
-	dp.transmit(link, host, pkt, func(p Packet) {
-		dp.arriveAtSwitch(sw, inPort, p)
-	})
+	dp.transmit(d, pkt)
 	return nil
 }
 
@@ -370,15 +653,16 @@ func (dp *DataPlane) SendFromHost(host topo.NodeID, pkt Packet) error {
 // (Section 4.1 of the paper). The packet is not matched against the
 // sending switch's table; it arrives at the peer as regular traffic.
 func (dp *DataPlane) SendFromSwitchPort(sw topo.NodeID, port openflow.PortID, pkt Packet) error {
-	if _, ok := dp.tables[sw]; !ok {
+	dp.ensurePlan()
+	p := dp.planFor(sw)
+	if p == nil {
 		return fmt.Errorf("netem: node %d is not a switch", sw)
 	}
-	peer, ok := dp.g.PortToPeer(sw, port)
-	if !ok {
-		return fmt.Errorf("netem: switch %d has no port %d", sw, port)
-	}
-	link, ok := dp.g.LinkBetween(sw, peer)
-	if !ok {
+	d := p.dirFor(port)
+	if d == nil {
+		if _, ok := dp.g.PortToPeer(sw, port); !ok {
+			return fmt.Errorf("netem: switch %d has no port %d", sw, port)
+		}
 		return fmt.Errorf("netem: switch %d: no link on port %d", sw, port)
 	}
 	if pkt.HopLimit <= 0 {
@@ -387,48 +671,58 @@ func (dp *DataPlane) SendFromSwitchPort(sw topo.NodeID, port openflow.PortID, pk
 	if pkt.SizeBytes <= 0 {
 		pkt.SizeBytes = DefaultPacketSize
 	}
-	peerNode, err := dp.g.Node(peer)
-	if err != nil {
-		return err
-	}
-	switch peerNode.Kind {
-	case topo.KindSwitch:
-		peerPort, _ := link.PortAt(peer)
-		dp.transmit(link, sw, pkt, func(p Packet) {
-			dp.arriveAtSwitch(peer, peerPort, p)
-		})
-	case topo.KindHost:
-		dp.transmit(link, sw, pkt, func(p Packet) {
-			dp.arriveAtHost(peer, p)
-		})
-	}
+	dp.transmit(d, pkt)
 	return nil
 }
 
-// transmit models serialization + propagation of a packet over one link
-// direction and schedules the arrival callback.
-func (dp *DataPlane) transmit(link *topo.Link, from topo.NodeID, pkt Packet, arrive func(Packet)) {
-	now := dp.eng.Now()
-	dir := linkDir{link: link, from: from}
-	dp.mu.Lock()
-	ls := dp.linkStats[link]
-	if ls == nil {
-		ls = &LinkStats{
-			Packets: make(map[topo.NodeID]uint64),
-			Bytes:   make(map[topo.NodeID]uint64),
-			Dropped: make(map[topo.NodeID]uint64),
-		}
-		dp.linkStats[link] = ls
+// allocPkt parks an in-flight packet in the slab and returns its slot.
+func (dp *DataPlane) allocPkt(p Packet) uint32 {
+	if n := len(dp.free); n > 0 {
+		slot := dp.free[n-1]
+		dp.free = dp.free[:n-1]
+		dp.slab[slot] = p
+		return slot
 	}
+	dp.slab = append(dp.slab, p)
+	return uint32(len(dp.slab) - 1)
+}
+
+// releasePkt returns a slot to the free list, dropping payload references.
+func (dp *DataPlane) releasePkt(slot uint32) {
+	dp.slab[slot] = Packet{}
+	dp.free = append(dp.free, slot)
+}
+
+// HandleEvent dispatches the data plane's typed simulation events. It
+// implements sim.Handler and is invoked by the engine only.
+func (dp *DataPlane) HandleEvent(ev sim.Event) {
+	switch ev.Kind {
+	case evLinkFree:
+		dp.dirs[ev.A].queued--
+	case evArriveSwitch:
+		dp.arriveAtSwitch(topo.NodeID(ev.A), openflow.PortID(ev.B), ev.Ref)
+	case evSwitchLookup:
+		dp.lookupAndForward(topo.NodeID(ev.A), openflow.PortID(ev.B), ev.Ref)
+	case evArriveHost:
+		dp.arriveAtHost(topo.NodeID(ev.A), ev.Ref)
+	case evHostDone:
+		dp.hostDone(topo.NodeID(ev.A), ev.Ref)
+	}
+}
+
+// transmit models serialization + propagation of a packet over one link
+// direction and schedules the link-free and arrival events. The event
+// order (link free first, then arrival) is load-bearing: it fixes the
+// (time, seq) interleaving every recorded experiment depends on.
+func (dp *DataPlane) transmit(d *dirState, pkt Packet) {
+	link := d.link
 	if link.Down {
-		ls.Dropped[from]++
-		dp.mu.Unlock()
+		d.dropped.Add(1)
 		dp.obsLinkDrops.Inc()
 		return
 	}
-	if q := link.Params.QueuePackets; q > 0 && dp.queued[dir] >= q {
-		ls.Dropped[from]++
-		dp.mu.Unlock()
+	if q := link.Params.QueuePackets; q > 0 && d.queued >= q {
+		d.dropped.Add(1)
 		dp.obsLinkDrops.Inc()
 		return
 	}
@@ -436,105 +730,97 @@ func (dp *DataPlane) transmit(link *topo.Link, from topo.NodeID, pkt Packet, arr
 	if bw := link.Params.BandwidthBps; bw > 0 {
 		ser = time.Duration(int64(pkt.SizeBytes) * 8 * int64(time.Second) / bw)
 	}
-	depart := now
-	if b := dp.busyUntil[dir]; b > depart {
-		depart = b
+	depart := dp.eng.Now()
+	if d.busyUntil > depart {
+		depart = d.busyUntil
 	}
 	depart += ser
-	dp.busyUntil[dir] = depart
+	d.busyUntil = depart
 	arriveAt := depart + link.Params.Latency
 
-	dp.queued[dir]++
-	ls.Packets[from]++
-	ls.Bytes[from] += uint64(pkt.SizeBytes)
-	dp.mu.Unlock()
+	d.queued++
+	d.packets.Add(1)
+	d.bytes.Add(uint64(pkt.SizeBytes))
 	dp.obsLinkPackets.Inc()
 
-	dp.eng.At(depart, func() {
-		dp.mu.Lock()
-		dp.queued[dir]--
-		dp.mu.Unlock()
-	})
-	dp.eng.At(arriveAt, func() { arrive(pkt) })
+	slot := dp.allocPkt(pkt)
+	dp.eng.AtEvent(depart, dp, sim.Event{Kind: evLinkFree, A: d.idx})
+	kind := evArriveSwitch
+	if d.toHost {
+		kind = evArriveHost
+	}
+	dp.eng.AtEvent(arriveAt, dp, sim.Event{Kind: kind, A: int32(d.to), B: int32(d.toPort), Ref: slot})
 }
 
-// arriveAtSwitch performs the table lookup and fans the packet out.
-func (dp *DataPlane) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, pkt Packet) {
-	stats := dp.swStats[sw]
+// arriveAtSwitch charges hop accounting, punts signal traffic, and
+// schedules the table lookup after the switch's lookup delay.
+func (dp *DataPlane) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, slot uint32) {
+	p := dp.plans[sw]
+	pkt := &dp.slab[slot]
 	if pkt.HopLimit <= 0 {
-		atomic.AddUint64(&stats.HopExceeded, 1)
+		atomic.AddUint64(&p.stats.HopExceeded, 1)
+		dp.releasePkt(slot)
 		return
 	}
 	pkt.HopLimit--
-	if dp.recordPaths {
+	if dp.recordPaths.Load() {
 		pkt.Path = append(append([]topo.NodeID(nil), pkt.Path...), sw)
 	}
 
 	if ipmc.IsSignal(pkt.Dst) {
-		atomic.AddUint64(&stats.Punted, 1)
-		if dp.punt != nil {
-			dp.punt(sw, inPort, pkt)
+		atomic.AddUint64(&p.stats.Punted, 1)
+		punt := dp.punt.Load()
+		out := *pkt
+		dp.releasePkt(slot)
+		if punt != nil {
+			(*punt)(sw, inPort, out)
 		}
 		return
 	}
 
-	dp.mu.Lock()
-	cfg := dp.swCfg[sw]
-	dp.mu.Unlock()
-	table := dp.tables[sw]
+	cfg := p.cfg.Load()
 	delay := cfg.LookupDelay
 	if cfg.PerFlowPenalty > 0 {
-		delay += cfg.PerFlowPenalty * time.Duration(table.Len()) / 1000
+		delay += cfg.PerFlowPenalty * time.Duration(p.table.Len()) / 1000
 	}
-	dp.eng.Schedule(delay, func() {
-		flow, ok := table.Lookup(pkt.Dst)
-		if !ok {
-			atomic.AddUint64(&stats.TableMisses, 1)
-			if dp.punt != nil {
-				atomic.AddUint64(&stats.Punted, 1)
-				dp.punt(sw, inPort, pkt)
-			}
-			return
+	dp.eng.ScheduleEvent(delay, dp, sim.Event{Kind: evSwitchLookup, A: int32(sw), B: int32(inPort), Ref: slot})
+}
+
+// lookupAndForward performs the table lookup and fans the packet out over
+// the compiled port array.
+func (dp *DataPlane) lookupAndForward(sw topo.NodeID, inPort openflow.PortID, slot uint32) {
+	p := dp.plans[sw]
+	pkt := dp.slab[slot]
+	dp.releasePkt(slot)
+	flow, ok := p.table.Lookup(pkt.Dst)
+	if !ok {
+		atomic.AddUint64(&p.stats.TableMisses, 1)
+		if punt := dp.punt.Load(); punt != nil {
+			atomic.AddUint64(&p.stats.Punted, 1)
+			(*punt)(sw, inPort, pkt)
 		}
-		for _, action := range flow.Actions {
-			if action.OutPort == inPort {
-				continue // never forward out the ingress port
-			}
-			peer, ok := dp.g.PortToPeer(sw, action.OutPort)
-			if !ok {
-				continue
-			}
-			link, ok := dp.g.LinkBetween(sw, peer)
-			if !ok {
-				continue
-			}
-			out := pkt
-			if action.SetDest.IsValid() {
-				out.Dst = action.SetDest
-			}
-			atomic.AddUint64(&stats.Forwarded, 1)
-			peerNode, err := dp.g.Node(peer)
-			if err != nil {
-				continue
-			}
-			switch peerNode.Kind {
-			case topo.KindSwitch:
-				peerPort, _ := link.PortAt(peer)
-				dp.transmit(link, sw, out, func(p Packet) {
-					dp.arriveAtSwitch(peer, peerPort, p)
-				})
-			case topo.KindHost:
-				dp.transmit(link, sw, out, func(p Packet) {
-					dp.arriveAtHost(peer, p)
-				})
-			}
+		return
+	}
+	for _, action := range flow.Actions {
+		if action.OutPort == inPort {
+			continue // never forward out the ingress port
 		}
-	})
+		d := p.dirFor(action.OutPort)
+		if d == nil {
+			continue
+		}
+		out := pkt
+		if action.SetDest.IsValid() {
+			out.Dst = action.SetDest
+		}
+		atomic.AddUint64(&p.stats.Forwarded, 1)
+		dp.transmit(d, out)
+	}
 }
 
 // arriveAtHost applies the host processing model and hands the packet to
 // the application.
-func (dp *DataPlane) arriveAtHost(h topo.NodeID, pkt Packet) {
+func (dp *DataPlane) arriveAtHost(h topo.NodeID, slot uint32) {
 	now := dp.eng.Now()
 	dp.mu.Lock()
 	hs := dp.hosts[h]
@@ -543,6 +829,8 @@ func (dp *DataPlane) arriveAtHost(h topo.NodeID, pkt Packet) {
 		deliver := hs.deliver
 		dp.mu.Unlock()
 		dp.obsHostDeliveries.Inc()
+		pkt := dp.slab[slot]
+		dp.releasePkt(slot)
 		if deliver != nil {
 			deliver(Delivery{Host: h, Packet: pkt, At: now})
 		}
@@ -555,6 +843,7 @@ func (dp *DataPlane) arriveAtHost(h topo.NodeID, pkt Packet) {
 	if hs.queued >= maxQueue {
 		hs.dropped++
 		dp.mu.Unlock()
+		dp.releasePkt(slot)
 		return
 	}
 	service := time.Duration(int64(time.Second) / int64(hs.cfg.CapacityPerSec))
@@ -566,15 +855,21 @@ func (dp *DataPlane) arriveAtHost(h topo.NodeID, pkt Packet) {
 	hs.busyUntil = done
 	hs.queued++
 	dp.mu.Unlock()
-	dp.eng.At(done, func() {
-		dp.mu.Lock()
-		hs.queued--
-		hs.received++
-		deliver := hs.deliver
-		dp.mu.Unlock()
-		dp.obsHostDeliveries.Inc()
-		if deliver != nil {
-			deliver(Delivery{Host: h, Packet: pkt, At: dp.eng.Now()})
-		}
-	})
+	dp.eng.AtEvent(done, dp, sim.Event{Kind: evHostDone, A: int32(h), Ref: slot})
+}
+
+// hostDone completes a queued host ingestion and delivers the packet.
+func (dp *DataPlane) hostDone(h topo.NodeID, slot uint32) {
+	dp.mu.Lock()
+	hs := dp.hosts[h]
+	hs.queued--
+	hs.received++
+	deliver := hs.deliver
+	dp.mu.Unlock()
+	dp.obsHostDeliveries.Inc()
+	pkt := dp.slab[slot]
+	dp.releasePkt(slot)
+	if deliver != nil {
+		deliver(Delivery{Host: h, Packet: pkt, At: dp.eng.Now()})
+	}
 }

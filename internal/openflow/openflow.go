@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pleroma/internal/dz"
 	"pleroma/internal/ipmc"
@@ -176,6 +177,11 @@ type Table struct {
 	capacity int
 	// rejected counts adds refused because the table was full.
 	rejected uint64
+	// size mirrors len(flows) so Len is lock-free: the data plane reads it
+	// on every packet lookup (software-switch per-flow penalty) and must
+	// not contend with controller FlowMods. Updated by the only two size-
+	// changing paths, tryAddLocked and deleteLocked, under t.mu.
+	size atomic.Int64
 	// sizeObserver, when set, is called with the new flow count after
 	// every size change, under the table lock — observers must be cheap
 	// and must not call back into the table. The observability layer uses
@@ -198,11 +204,11 @@ func NewTable() *Table {
 	return &Table{flows: make(map[FlowID]*Flow)}
 }
 
-// Len returns the number of installed flows.
+// Len returns the number of installed flows. It is lock-free: the count
+// is maintained atomically by add/delete, so the forwarding hot path can
+// read table occupancy without touching the table lock.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.flows)
+	return int(t.size.Load())
 }
 
 // Stats returns the FlowMod counters.
@@ -279,6 +285,7 @@ func (t *Table) tryAddLocked(f Flow) (FlowID, error) {
 	t.flows[f.ID] = &f
 	t.index(&f)
 	t.stats.Adds++
+	t.size.Store(int64(len(t.flows)))
 	if t.sizeObserver != nil {
 		t.sizeObserver(len(t.flows))
 	}
@@ -301,6 +308,7 @@ func (t *Table) deleteLocked(id FlowID) bool {
 	t.unindex(f)
 	delete(t.flows, id)
 	t.stats.Deletes++
+	t.size.Store(int64(len(t.flows)))
 	if t.sizeObserver != nil {
 		t.sizeObserver(len(t.flows))
 	}

@@ -1,20 +1,50 @@
 // Package sim provides a small deterministic discrete-event simulation
 // engine. It replaces the paper's wall-clock testbed measurements with a
 // simulated clock: every experiment schedules work at simulated instants
-// and the engine executes callbacks in (time, insertion) order, making all
+// and the engine executes events in (time, insertion) order, making all
 // latency and throughput numbers exactly reproducible.
+//
+// The queue is built for the data-plane hot path: events are inline
+// structs in a 4-ary implicit heap (no per-event heap node, no
+// container/heap interface boxing), and the typed form — a small tagged
+// payload dispatched to a Handler — schedules with zero allocations in
+// steady state. The legacy closure form (Schedule/At with a func()) keeps
+// working for control-plane and experiment code; both forms share one
+// (time, seq) order, so interleavings are bit-for-bit reproducible
+// regardless of which form a caller uses.
 package sim
 
 import (
-	"container/heap"
 	"time"
 )
+
+// Event is a typed, allocation-free scheduled occurrence. The engine does
+// not interpret Kind or the payload words; they belong to the Handler that
+// scheduled the event (the data plane packs packet-arrival, link-free and
+// host-done variants into them). Payload layout:
+//
+//	Kind — the handler's tag (which variant this is)
+//	A, B — two small words (node id, ingress port, …)
+//	Ref  — a reference into handler-owned storage (e.g. a packet slab slot)
+type Event struct {
+	Kind uint8
+	A, B int32
+	Ref  uint32
+}
+
+// Handler consumes typed events at their simulated instant. Implementations
+// are typically a single long-lived object (the data plane), so scheduling
+// a typed event allocates nothing: the interface value boxes a pointer that
+// already exists.
+type Handler interface {
+	HandleEvent(ev Event)
+}
 
 // Engine is a discrete-event scheduler. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
 	now   time.Duration
-	queue eventHeap
+	queue eventQueue
 	seq   uint64
 }
 
@@ -43,18 +73,41 @@ func (e *Engine) At(t time.Duration, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.queue.push(item{at: t, seq: e.seq, fn: fn})
+}
+
+// ScheduleEvent is Schedule for the typed, zero-alloc form: h.HandleEvent(ev)
+// runs after the given delay. Negative delays are clamped to zero.
+func (e *Engine) ScheduleEvent(delay time.Duration, h Handler, ev Event) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.AtEvent(e.now+delay, h, ev)
+}
+
+// AtEvent is At for the typed, zero-alloc form: h.HandleEvent(ev) runs at
+// the given absolute simulated time (clamped to the current instant).
+func (e *Engine) AtEvent(t time.Duration, h Handler, ev Event) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.queue.push(item{at: t, seq: e.seq, h: h, ev: ev})
 }
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.queue.items) == 0 {
 		return false
 	}
-	ev, _ := heap.Pop(&e.queue).(*event)
-	e.now = ev.at
-	ev.fn()
+	it := e.queue.pop()
+	e.now = it.at
+	if it.fn != nil {
+		it.fn()
+	} else {
+		it.h.HandleEvent(it.ev)
+	}
 	return true
 }
 
@@ -70,7 +123,7 @@ func (e *Engine) Run() time.Duration {
 // the clock to deadline (if it has not advanced further) and returns it.
 // Events scheduled after the deadline remain queued.
 func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
-	for e.queue.Len() > 0 && e.queue[0].at <= deadline {
+	for len(e.queue.items) > 0 && e.queue.items[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -80,40 +133,94 @@ func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue.items) }
 
-type event struct {
+// item is one queued occurrence: either a legacy closure (fn != nil) or a
+// typed event for h. Items live inline in the queue slice — pushing never
+// allocates a node, and in steady state (pop ≈ push) the slice's capacity
+// is the free list, so typed scheduling is 0 allocs/op.
+type item struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
+	h   Handler
+	ev  Event
 }
 
-type eventHeap []*event
+// eventQueue is a 4-ary implicit min-heap over (at, seq). A 4-ary layout
+// halves the tree depth of a binary heap, trading slightly more sibling
+// comparisons per level for many fewer cache-missing levels — the winning
+// trade for the data plane's push/pop-heavy usage. Ordering is a total
+// order ((at, seq) with seq unique), so any correct min-heap executes the
+// exact same sequence as the historical container/heap implementation.
+type eventQueue struct {
+	items []item
+}
 
-func (h eventHeap) Len() int { return len(h) }
+func (q *eventQueue) push(it item) {
+	q.items = append(q.items, it)
+	q.siftUp(len(q.items) - 1)
+}
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (q *eventQueue) pop() item {
+	items := q.items
+	top := items[0]
+	n := len(items) - 1
+	items[0] = items[n]
+	items[n] = item{} // drop fn/handler references for GC
+	q.items = items[:n]
+	if n > 1 {
+		q.siftDown(0)
 	}
-	return h[i].seq < h[j].seq
+	return top
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
+// before reports whether a must run before b.
+func before(a, b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	*h = append(*h, ev)
+	return a.seq < b.seq
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (q *eventQueue) siftUp(i int) {
+	items := q.items
+	it := items[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !before(&it, &items[parent]) {
+			break
+		}
+		items[i] = items[parent]
+		i = parent
+	}
+	items[i] = it
+}
+
+func (q *eventQueue) siftDown(i int) {
+	items := q.items
+	n := len(items)
+	it := items[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if before(&items[c], &items[best]) {
+				best = c
+			}
+		}
+		if !before(&items[best], &it) {
+			break
+		}
+		items[i] = items[best]
+		i = best
+	}
+	items[i] = it
 }

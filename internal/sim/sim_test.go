@@ -142,7 +142,106 @@ func TestPropertyMonotoneClock(t *testing.T) {
 	}
 }
 
+// recorder implements Handler and logs each event with its instant.
+type recorder struct {
+	e   *Engine
+	evs []Event
+	ats []time.Duration
+}
+
+func (r *recorder) HandleEvent(ev Event) {
+	r.evs = append(r.evs, ev)
+	r.ats = append(r.ats, r.e.Now())
+}
+
+func TestTypedEventDelivery(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{e: e}
+	e.ScheduleEvent(2*time.Millisecond, r, Event{Kind: 7, A: -3, B: 42, Ref: 9})
+	e.ScheduleEvent(time.Millisecond, r, Event{Kind: 1})
+	e.AtEvent(3*time.Millisecond, r, Event{Kind: 2, Ref: 1})
+	e.Run()
+	if len(r.evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(r.evs))
+	}
+	if r.evs[0].Kind != 1 || r.evs[1].Kind != 7 || r.evs[2].Kind != 2 {
+		t.Errorf("kinds out of order: %+v", r.evs)
+	}
+	if r.evs[1].A != -3 || r.evs[1].B != 42 || r.evs[1].Ref != 9 {
+		t.Errorf("payload corrupted: %+v", r.evs[1])
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	for i, at := range r.ats {
+		if at != want[i] {
+			t.Errorf("event %d at %v, want %v", i, at, want[i])
+		}
+	}
+}
+
+// TestMixedFormsShareOrder: closures and typed events scheduled at the same
+// instant interleave strictly by insertion order — one (time, seq) sequence.
+func TestMixedFormsShareOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	r := &recorder{e: e}
+	e.Schedule(time.Millisecond, func() { got = append(got, 0) })
+	e.ScheduleEvent(time.Millisecond, handlerFunc(func(Event) { got = append(got, 1) }), Event{})
+	e.Schedule(time.Millisecond, func() { got = append(got, 2) })
+	e.ScheduleEvent(time.Millisecond, r, Event{Kind: 3})
+	e.Schedule(time.Millisecond, func() { got = append(got, 4) })
+	e.Run()
+	if len(got) != 4 || got[0] != 0 || got[1] != 1 || got[2] != 2 || got[3] != 4 {
+		t.Errorf("interleaving=%v", got)
+	}
+	if len(r.evs) != 1 || r.evs[0].Kind != 3 {
+		t.Errorf("typed event lost: %+v", r.evs)
+	}
+}
+
+type handlerFunc func(Event)
+
+func (f handlerFunc) HandleEvent(ev Event) { f(ev) }
+
+func TestTypedEventClamping(t *testing.T) {
+	e := NewEngine()
+	r := &recorder{e: e}
+	e.Schedule(time.Second, func() {
+		e.ScheduleEvent(-time.Hour, r, Event{Kind: 1})
+		e.AtEvent(0, r, Event{Kind: 2})
+	})
+	e.Run()
+	if len(r.ats) != 2 || r.ats[0] != time.Second || r.ats[1] != time.Second {
+		t.Errorf("clamped typed events ran at %v", r.ats)
+	}
+}
+
+// drain is a no-op handler for benchmarks: a pointer receiver so the
+// Handler interface value carries an existing pointer, never boxing.
+type drain struct{ n int }
+
+func (d *drain) HandleEvent(Event) { d.n++ }
+
+// BenchmarkEngineScheduleRun measures the typed steady-state hot path —
+// schedule+run cycles against a warm queue. The free-listed inline heap
+// must report 0 allocs/op.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	d := &drain{}
+	// Warm the queue's backing array.
+	for j := 0; j < 1024; j++ {
+		e.ScheduleEvent(time.Duration(j%97)*time.Microsecond, d, Event{Kind: 1, Ref: uint32(j)})
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleEvent(time.Duration(i%97)*time.Microsecond, d, Event{Kind: 1, Ref: uint32(i)})
+		e.Step()
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()
 		for j := 0; j < 1000; j++ {

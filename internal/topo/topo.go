@@ -114,6 +114,12 @@ type Graph struct {
 	adj map[NodeID][]Neighbor
 	// nextPort tracks per-node port allocation (ports start at 1).
 	nextPort map[NodeID]openflow.PortID
+	// version counts structural mutations (nodes and links added). Layers
+	// that precompute dense views of the adjacency — the data plane's
+	// forwarding plan — compare it against the version they compiled from
+	// and rebuild when stale. Link state flips (Down) are not structural:
+	// they are read live and do not bump the version.
+	version uint64
 }
 
 // NewGraph returns an empty topology.
@@ -138,8 +144,14 @@ func (g *Graph) addNode(name string, kind NodeKind) NodeID {
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Name: name})
 	g.nextPort[id] = 1
+	g.version++
 	return id
 }
+
+// Version returns the structural mutation counter: it changes whenever a
+// node or link is added, and consumers holding precomputed adjacency (the
+// data plane's forwarding plan) use it to detect staleness.
+func (g *Graph) Version() uint64 { return g.version }
 
 // Node returns the node with the given ID.
 func (g *Graph) Node(id NodeID) (Node, error) {
@@ -172,6 +184,7 @@ func (g *Graph) Connect(a, b NodeID, params LinkParams) (aPort, bPort openflow.P
 	g.links = append(g.links, l)
 	g.adj[a] = append(g.adj[a], Neighbor{Peer: b, Port: aPort, Link: l})
 	g.adj[b] = append(g.adj[b], Neighbor{Peer: a, Port: bPort, Link: l})
+	g.version++
 	return aPort, bPort, nil
 }
 
