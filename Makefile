@@ -4,7 +4,7 @@ GO ?= go
 # `make check` stays fast while still catching locking regressions.
 RACE_PKGS := ./internal/core/... ./internal/netem/... ./internal/openflow/... ./internal/workload/... ./internal/obs/... ./internal/metrics/... ./internal/sim/...
 
-.PHONY: check vet build test race soak bench bench-obs bench-dataplane obs-demo
+.PHONY: check vet build test race soak bench bench-obs bench-dataplane bench-parallel obs-demo
 
 check: vet build test race
 
@@ -19,7 +19,7 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -run 'Fault|Resync' -count=1 .
+	$(GO) test -race -run 'Fault|Resync|Sharded|WithShards' -count=1 .
 
 # Long-running churn soaks against the public API, raced: exact-delivery
 # ground truth plus fault-injection convergence (resync heals every round).
@@ -32,7 +32,7 @@ soak:
 bench:
 	mkdir -p benchmarks
 	$(GO) test -run XXX -bench 'BenchmarkSet|BenchmarkTableLookup|BenchmarkLookup' -benchmem ./internal/dz/... ./internal/openflow/... | tee benchmarks/micro.txt
-	$(GO) test -run XXX -bench 'BenchmarkSystemPublishDeliver' -benchtime 100x -benchmem . | tee benchmarks/system.txt
+	$(GO) test -run XXX -bench 'BenchmarkSystemPublishDeliver(Obs)?$$' -benchtime 100x -benchmem . | tee benchmarks/system.txt
 	$(GO) test -run XXX -bench 'BenchmarkSubscribeAt' -benchmem ./internal/core/... | tee -a benchmarks/system.txt
 
 # Data-plane fast-path benchmarks: engine scheduling, raw forwarding, and
@@ -51,7 +51,17 @@ bench-dataplane:
 # off and on, teed for comparison against the committed benchmarks/obs.txt.
 bench-obs:
 	mkdir -p benchmarks
-	$(GO) test -run XXX -bench 'BenchmarkSystemPublishDeliver' -benchtime 5000x -count 3 -benchmem . | tee benchmarks/obs.txt
+	$(GO) test -run XXX -bench 'BenchmarkSystemPublishDeliver(Obs)?$$' -benchtime 5000x -count 3 -benchmem . | tee benchmarks/obs.txt
+
+# Parallel engine speedup: the sharded fat-tree fan-out benchmark swept
+# across -cpu 1,2,4,8. GOMAXPROCS doubles as the shard count, so -cpu 1 is
+# the classic single-engine path and -cpu N runs N-way barrier windows;
+# compare ns/op down the sweep for the speedup. Teed into
+# benchmarks/parallel.txt (the committed file keeps reference runs as
+# comments).
+bench-parallel:
+	mkdir -p benchmarks
+	$(GO) test -run XXX -bench 'BenchmarkSystemPublishDeliverFatTree8' -benchtime 50x -count 1 -cpu 1,2,4,8 -benchmem . | tee -a benchmarks/parallel.txt
 
 # Boot an instrumented demo deployment, probe its operational endpoints,
 # and shut it down — a smoke test for the /metrics and /healthz surface.

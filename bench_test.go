@@ -1,7 +1,9 @@
 package pleroma_test
 
 import (
+	"runtime"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -214,6 +216,71 @@ func benchPublishDeliver(b *testing.B, opts ...pleroma.Option) {
 	if delivered == 0 {
 		b.Fatal("no deliveries")
 	}
+}
+
+// BenchmarkSystemPublishDeliverFatTree8 is the parallel-engine speedup
+// benchmark: a k=8-style fat-tree (40 switches, 32 hosts, all of them
+// subscribed) with 8 publishers bursting batches into a full fan-out. The
+// shard count tracks GOMAXPROCS, so sweeping `-cpu 1,2,4,8` sweeps the
+// engine from the classic single-shard path (-cpu 1) to 8-way parallel
+// windows; ns/op at -cpu 1 over ns/op at -cpu N is the speedup
+// (`make bench-parallel` records the sweep in benchmarks/parallel.txt).
+func BenchmarkSystemPublishDeliverFatTree8(b *testing.B) {
+	sch, err := pleroma.NewSchema(
+		pleroma.Attribute{Name: "a", Bits: 10},
+		pleroma.Attribute{Name: "b", Bits: 10},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := pleroma.NewSystem(sch,
+		pleroma.WithFatTree(8, 8, 2),
+		pleroma.WithShards(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	hosts := sys.Hosts()
+	var delivered atomic.Uint64 // handlers run on shard workers
+	for i, h := range hosts {
+		if err := sys.Subscribe("s"+strconv.Itoa(i), h,
+			pleroma.NewFilter(), func(pleroma.Delivery) { delivered.Add(1) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const numPubs = 8
+	const batch = 16
+	var pubs []*pleroma.Publisher
+	for i := 0; i < numPubs; i++ {
+		// Spread publishers across pods so bursts traverse the core.
+		pub, err := sys.NewPublisher("p"+strconv.Itoa(i), hosts[(i*5)%len(hosts)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pub.Advertise(pleroma.NewFilter()); err != nil {
+			b.Fatal(err)
+		}
+		pubs = append(pubs, pub)
+	}
+	tuples := make([][]uint32, batch)
+	for j := range tuples {
+		tuples[j] = []uint32{uint32(j * 61 % 1024), uint32(j * 97 % 1024)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pub := range pubs {
+			if err := pub.PublishBatch(tuples...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Run()
+	}
+	b.StopTimer()
+	if delivered.Load() == 0 {
+		b.Fatal("no deliveries")
+	}
+	b.ReportMetric(float64(numPubs*batch), "events/op")
+	b.ReportMetric(float64(delivered.Load())/float64(b.N), "deliveries/op")
 }
 
 // BenchmarkSystemPublishBatch is the batched-ingestion counterpart of

@@ -40,13 +40,14 @@ func run(args []string) error {
 		jsonOut = fs.Bool("json", false, "emit results as JSON")
 		obsAddr = fs.String("obs-addr", "", "serve the observability endpoint of an instrumented demo deployment on this address (e.g. :9090) instead of running -exp")
 		obsFor  = fs.Duration("obs-duration", 30*time.Second, "how long the -obs-addr demo keeps serving before exiting")
+		shards  = fs.Int("shards", 1, "parallel simulation shards for the -obs-addr demo (clamped to the switch count; >1 exposes the pleroma_shard_* metric families)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *obsAddr != "" {
-		return runObsDemo(*obsAddr, *obsFor, *seed, os.Stdout)
+		return runObsDemo(*obsAddr, *obsFor, *seed, *shards, os.Stdout)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -32,6 +32,12 @@ func TestRunObsDemo(t *testing.T) {
 	}
 }
 
+func TestRunObsDemoSharded(t *testing.T) {
+	if err := run([]string{"-obs-addr", "127.0.0.1:0", "-obs-duration", "10ms", "-shards", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunJSON(t *testing.T) {
 	if err := run([]string{"-exp", "abl-trees", "-json"}); err != nil {
 		t.Fatal(err)

@@ -14,7 +14,7 @@ import (
 // southbound faults, a quarantine/heal/resync cycle), and serves the
 // operational endpoint on addr for dur. Scripts (make obs-demo) parse the
 // printed address, so keep the first output line stable.
-func runObsDemo(addr string, dur time.Duration, seed int64, w io.Writer) error {
+func runObsDemo(addr string, dur time.Duration, seed int64, shards int, w io.Writer) error {
 	sch, err := pleroma.NewSchema(
 		pleroma.Attribute{Name: "price", Bits: 10},
 		pleroma.Attribute{Name: "volume", Bits: 10},
@@ -24,12 +24,14 @@ func runObsDemo(addr string, dur time.Duration, seed int64, w io.Writer) error {
 	}
 	sys, err := pleroma.NewSystem(sch,
 		pleroma.WithObservability(0),
+		pleroma.WithShards(shards),
 		pleroma.WithSouthboundFaults(pleroma.FaultConfig{Seed: seed, Rate: 0.02, DownCalls: 3}),
 		pleroma.WithRetryPolicy(pleroma.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond, MaxBackoff: 10 * time.Microsecond}),
 	)
 	if err != nil {
 		return err
 	}
+	defer sys.Close()
 	rng := rand.New(rand.NewSource(seed))
 	hosts := sys.Hosts()
 	pub, err := sys.NewPublisher("demo-pub", hosts[0])
@@ -65,8 +67,8 @@ func runObsDemo(addr string, dur time.Duration, seed int64, w io.Writer) error {
 	fmt.Fprintf(w, "observability endpoint: http://%s\n", srv.Addr())
 	fmt.Fprintf(w, "paths: /metrics /healthz /readyz /traces /debug/pprof/\n")
 	st := sys.Stats()
-	fmt.Fprintf(w, "workload: %d deliveries, %.1f%% false positives, %d flowmods\n",
-		st.Deliveries, st.FPRPercent(), st.FlowMods)
+	fmt.Fprintf(w, "workload: %d deliveries, %.1f%% false positives, %d flowmods, %d shards\n",
+		st.Deliveries, st.FPRPercent(), st.FlowMods, sys.Shards())
 	fmt.Fprintf(w, "serving for %v\n", dur)
 	time.Sleep(dur)
 	return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"pleroma/internal/netem"
 	"pleroma/internal/openflow"
@@ -38,6 +39,9 @@ func (f *Fabric) discoverBordersLLDP() error {
 		probe       lldpProbe
 	}
 	var hits []hit
+	// Punts arrive concurrently from shard workers when the data plane is
+	// sharded; the sort below makes the collection order irrelevant.
+	var hitsMu sync.Mutex
 
 	// Take over the punt path for the discovery round; restore the in-band
 	// signalling handler (if enabled) afterwards.
@@ -56,7 +60,9 @@ func (f *Fabric) discoverBordersLLDP() error {
 		if f.g.Partition(sw) == probe.originPart {
 			return // intra-partition discovery, handled by the local controller
 		}
+		hitsMu.Lock()
 		hits = append(hits, hit{localSwitch: sw, localPort: inPort, probe: probe})
+		hitsMu.Unlock()
 	})
 
 	// Every controller floods probes out of all switch ports it manages.
@@ -73,7 +79,7 @@ func (f *Fabric) discoverBordersLLDP() error {
 			}
 		}
 	}
-	f.dp.Engine().Run() // drain the probe exchange
+	f.dp.Run() // drain the probe exchange (barrier drain when sharded)
 
 	// Convert punted probes into border ports. Sort by a link-symmetric
 	// key so both endpoint partitions agree on the canonical crossing.

@@ -33,6 +33,7 @@ import (
 	"pleroma/internal/obs"
 	"pleroma/internal/openflow"
 	"pleroma/internal/sim"
+	"pleroma/internal/sim/shard"
 	"pleroma/internal/space"
 	"pleroma/internal/topo"
 )
@@ -188,12 +189,17 @@ func (p *switchPlan) dirFor(port openflow.PortID) *dirState {
 	return p.ports[port]
 }
 
+// hostState models one end host. busyUntil/queued/cfg/deliver are owned
+// by the host's shard during a run (configuration happens between runs);
+// the received/dropped counters are atomics so stats readers on other
+// goroutines — and the facade's aggregate accounting — stay race-free
+// when hosts on different shards deliver concurrently.
 type hostState struct {
 	cfg       HostConfig
 	busyUntil time.Duration
 	queued    int
-	received  uint64
-	dropped   uint64
+	received  atomic.Uint64
+	dropped   atomic.Uint64
 	deliver   DeliverFunc
 	// access is the compiled host→switch link direction (nil when the
 	// host has no attached switch). Immutable after a plan build.
@@ -211,19 +217,57 @@ const (
 	evHostDone
 )
 
+// shardCtx is the execution context of one simulation shard: its engine,
+// its private packet slab and free list (so the intra-shard fast path
+// stays single-owner and allocation-free), and one outbound mailbox per
+// peer shard. In single-engine mode the data plane has exactly one ctx
+// and the hot path is unchanged. shardCtx is the sim.Handler the data
+// plane schedules events on, so a typed event always executes against
+// the slab that owns its Ref.
+type shardCtx struct {
+	dp  *DataPlane
+	id  int32
+	eng *sim.Engine
+
+	// Packet slab: in-flight packets, addressed by event Ref; free is the
+	// free list. Owned by this shard's goroutine during a run.
+	slab []Packet
+	free []uint32
+
+	// out[dst] buffers packets whose next hop lands on another shard;
+	// drained by flushMailboxes at every barrier. nil in single mode.
+	out [][]crossMsg
+}
+
+// crossMsg is one cross-shard packet hop: the arrival event, flattened.
+// The packet travels by value — the sending shard releases (or never
+// allocates) its slab slot, and the receiving shard re-slabs it when the
+// mailbox is drained, so no slab is ever touched by two goroutines.
+type crossMsg struct {
+	at   time.Duration
+	kind uint8
+	node int32
+	port int32
+	pkt  Packet
+}
+
 // DataPlane wires a topology, per-switch flow tables, and host models onto
 // a simulation engine.
 //
 // Concurrency: each switch's flow table carries its own lock, so
 // control-plane reconfiguration (AddFlow/DeleteFlow/ModifyFlow/ApplyBatch,
 // possibly from many controller goroutines touching disjoint switches) and
-// data-plane forwarding interleave safely. Per-switch counters and link
-// counters use atomics, the punt handler, path-recording flag, and switch
-// configs are swapped atomically (safe to toggle mid-run), and mu guards
-// only host and publisher-sequence bookkeeping plus whole-map iteration
-// over tables. The simulation itself stays single-threaded: packets are
-// injected and forwarded on the goroutine driving Engine.Run, which also
-// owns the packet slab and per-direction serialization state.
+// data-plane forwarding interleave safely. Per-switch counters, link
+// counters, and host delivery/drop counters use atomics, the punt handler,
+// path-recording flag, and switch configs are swapped atomically (safe to
+// toggle mid-run), and mu guards publisher-sequence bookkeeping plus
+// whole-map iteration over tables. In single-engine mode the simulation is
+// single-threaded: packets are injected and forwarded on the goroutine
+// driving Run, which also owns the packet slab and per-direction
+// serialization state. Under EnableSharding each shard's worker owns the
+// same state for its partition of the topology (slab, link directions
+// transmitting from its nodes, its hosts), cross-shard hops travel through
+// barrier-drained mailboxes, and injection is only legal between runs.
 type DataPlane struct {
 	g      *topo.Graph
 	eng    *sim.Engine
@@ -238,10 +282,14 @@ type DataPlane struct {
 	planVersion uint64
 	planDirty   bool
 
-	// Packet slab: in-flight packets, addressed by event Ref; free is the
-	// free list. Engine-goroutine-only.
-	slab []Packet
-	free []uint32
+	// Sharded execution (EnableSharding). local is the sole context in
+	// single-engine mode and shard 0 otherwise; shardOf is the dense
+	// NodeID→shard assignment (nil in single mode, so the fast path pays
+	// one nil check); coord drives the barrier-window protocol.
+	local   *shardCtx
+	shards  []*shardCtx
+	shardOf []int32
+	coord   *shard.Coordinator
 
 	// mu guards hosts' mutable state, pubSeq, swCfg, and iteration over
 	// the tables map.
@@ -264,6 +312,8 @@ type DataPlane struct {
 	obsLinkPackets    *obs.Counter
 	obsLinkDrops      *obs.Counter
 	obsHostDeliveries *obs.Counter
+	obsCrossMessages  *obs.Counter
+	obsMailboxDrained *obs.Gauge
 }
 
 // New creates a data plane for the topology on the given engine. Every
@@ -280,8 +330,121 @@ func New(g *topo.Graph, eng *sim.Engine) *DataPlane {
 		swStats:   make(map[topo.NodeID]*SwitchStats),
 		dirByLink: make(map[*topo.Link]int32),
 	}
+	dp.local = &shardCtx{dp: dp, id: 0, eng: eng}
+	dp.shards = []*shardCtx{dp.local}
 	dp.rebuildPlan()
 	return dp
+}
+
+// EnableSharding switches the data plane to parallel execution under the
+// coordinator: assign maps every NodeID to a shard, shard 0 must be the
+// engine the data plane was built on, and every host must share its
+// attached switch's shard (so host arrivals and deliveries stay
+// shard-local). With one shard this is a no-op and the classic
+// single-engine path remains untouched.
+//
+// In sharded mode delivery and punt callbacks run on shard worker
+// goroutines — at most one invocation per host at a time, but callbacks
+// for hosts on different shards run concurrently and must synchronize
+// any shared state.
+func (dp *DataPlane) EnableSharding(coord *shard.Coordinator, assign []int32) error {
+	n := coord.Shards()
+	if n <= 1 {
+		return nil
+	}
+	if coord.Engine(0) != dp.eng {
+		return fmt.Errorf("netem: data plane must be built on shard 0's engine")
+	}
+	if err := topo.ValidateShardAssignment(dp.g, assign, n); err != nil {
+		return fmt.Errorf("netem: %w", err)
+	}
+	dp.ensurePlan()
+	shards := make([]*shardCtx, n)
+	shards[0] = dp.local
+	for i := 1; i < n; i++ {
+		shards[i] = &shardCtx{dp: dp, id: int32(i), eng: coord.Engine(i)}
+	}
+	for _, c := range shards {
+		c.out = make([][]crossMsg, n)
+	}
+	dp.shards = shards
+	dp.shardOf = append([]int32(nil), assign...)
+	dp.coord = coord
+	coord.SetExchange(dp.flushMailboxes)
+	return nil
+}
+
+// Sharded reports whether parallel execution is enabled.
+func (dp *DataPlane) Sharded() bool { return dp.coord != nil }
+
+// Run drains the simulation to quiescence: the coordinator's barrier
+// drain in sharded mode, the engine's otherwise. Layers that drive the
+// data plane (controllers, experiments) must use this instead of
+// Engine().Run() so they work under both modes.
+func (dp *DataPlane) Run() time.Duration {
+	if dp.coord != nil {
+		return dp.coord.Run()
+	}
+	return dp.eng.Run()
+}
+
+// RunUntil is Run bounded by a deadline; see sim.Engine.RunUntil.
+func (dp *DataPlane) RunUntil(deadline time.Duration) time.Duration {
+	if dp.coord != nil {
+		return dp.coord.RunUntil(deadline)
+	}
+	return dp.eng.RunUntil(deadline)
+}
+
+// ctxFor returns the execution context owning a node.
+func (dp *DataPlane) ctxFor(n topo.NodeID) *shardCtx {
+	if dp.shardOf == nil {
+		return dp.local
+	}
+	return dp.shards[dp.shardOf[n]]
+}
+
+// injectable rejects external packet injection while a sharded drain is
+// in flight: delivery handlers run on shard goroutines, and scheduling
+// from them would race the barrier protocol. Inject between runs (the
+// classic driver pattern), or in single-engine mode where re-entrant
+// injection remains supported.
+func (dp *DataPlane) injectable() error {
+	if dp.coord != nil && dp.coord.Running() {
+		return fmt.Errorf("netem: cannot inject packets during a sharded run; inject between runs or use WithShards(1)")
+	}
+	return nil
+}
+
+// flushMailboxes moves every buffered cross-shard hop into its
+// destination engine. Drain order is fixed — destination shard, then
+// source shard, then FIFO within a mailbox — so the (time, seq) order
+// each engine assigns to simultaneous arrivals is deterministic for a
+// given shard count. Called by the coordinator at every barrier with all
+// shards idle.
+func (dp *DataPlane) flushMailboxes() bool {
+	moved := 0
+	for dst, dctx := range dp.shards {
+		for _, sctx := range dp.shards {
+			box := sctx.out[dst]
+			if len(box) == 0 {
+				continue
+			}
+			for i := range box {
+				m := &box[i]
+				slot := dctx.allocPkt(m.pkt)
+				dctx.eng.AtEvent(m.at, dctx, sim.Event{Kind: m.kind, A: m.node, B: m.port, Ref: slot})
+				box[i] = crossMsg{} // drop payload references
+			}
+			moved += len(box)
+			sctx.out[dst] = box[:0]
+		}
+	}
+	if moved > 0 {
+		dp.obsCrossMessages.Add(uint64(moved))
+	}
+	dp.obsMailboxDrained.Set(int64(moved))
+	return moved > 0
 }
 
 // InvalidatePlan discards the compiled forwarding plan; the next packet
@@ -478,20 +641,16 @@ func (dp *DataPlane) SwitchStatsFor(sw topo.NodeID) SwitchStats {
 // HostReceived returns the number of packets delivered to the host
 // application.
 func (dp *DataPlane) HostReceived(h topo.NodeID) uint64 {
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
 	if int(h) >= 0 && int(h) < len(dp.hosts) && dp.hosts[h] != nil {
-		return dp.hosts[h].received
+		return dp.hosts[h].received.Load()
 	}
 	return 0
 }
 
 // HostDropped returns the number of packets dropped at host ingress.
 func (dp *DataPlane) HostDropped(h topo.NodeID) uint64 {
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
 	if int(h) >= 0 && int(h) < len(dp.hosts) && dp.hosts[h] != nil {
-		return dp.hosts[h].dropped
+		return dp.hosts[h].dropped.Load()
 	}
 	return 0
 }
@@ -585,12 +744,16 @@ func (dp *DataPlane) PublishBatch(host topo.NodeID, pubs []Publication) error {
 		}
 		addrs[i] = addr
 	}
+	if err := dp.injectable(); err != nil {
+		return err
+	}
 	dp.ensurePlan()
 	d := dp.hostAccess(host)
 	if d == nil {
 		return dp.hostAccessErr(host)
 	}
-	now := dp.eng.Now()
+	c := dp.ctxFor(host)
+	now := c.eng.Now()
 	dp.mu.Lock()
 	base := dp.pubSeq[host]
 	dp.pubSeq[host] = base + uint64(len(pubs))
@@ -600,7 +763,7 @@ func (dp *DataPlane) PublishBatch(host topo.NodeID, pubs []Publication) error {
 		if size <= 0 {
 			size = DefaultPacketSize
 		}
-		dp.transmit(d, Packet{
+		c.transmit(d, Packet{
 			Dst:       addrs[i],
 			Expr:      pb.Expr,
 			Event:     pb.Event,
@@ -639,12 +802,15 @@ func (dp *DataPlane) hostAccessErr(host topo.NodeID) error {
 // SendFromHost transmits an arbitrary packet from a host onto its access
 // link (also used for IP_vir control signalling).
 func (dp *DataPlane) SendFromHost(host topo.NodeID, pkt Packet) error {
+	if err := dp.injectable(); err != nil {
+		return err
+	}
 	dp.ensurePlan()
 	d := dp.hostAccess(host)
 	if d == nil {
 		return dp.hostAccessErr(host)
 	}
-	dp.transmit(d, pkt)
+	dp.ctxFor(host).transmit(d, pkt)
 	return nil
 }
 
@@ -653,6 +819,9 @@ func (dp *DataPlane) SendFromHost(host topo.NodeID, pkt Packet) error {
 // (Section 4.1 of the paper). The packet is not matched against the
 // sending switch's table; it arrives at the peer as regular traffic.
 func (dp *DataPlane) SendFromSwitchPort(sw topo.NodeID, port openflow.PortID, pkt Packet) error {
+	if err := dp.injectable(); err != nil {
+		return err
+	}
 	dp.ensurePlan()
 	p := dp.planFor(sw)
 	if p == nil {
@@ -671,50 +840,58 @@ func (dp *DataPlane) SendFromSwitchPort(sw topo.NodeID, port openflow.PortID, pk
 	if pkt.SizeBytes <= 0 {
 		pkt.SizeBytes = DefaultPacketSize
 	}
-	dp.transmit(d, pkt)
+	dp.ctxFor(sw).transmit(d, pkt)
 	return nil
 }
 
-// allocPkt parks an in-flight packet in the slab and returns its slot.
-func (dp *DataPlane) allocPkt(p Packet) uint32 {
-	if n := len(dp.free); n > 0 {
-		slot := dp.free[n-1]
-		dp.free = dp.free[:n-1]
-		dp.slab[slot] = p
+// allocPkt parks an in-flight packet in the shard's slab and returns its
+// slot.
+func (c *shardCtx) allocPkt(p Packet) uint32 {
+	if n := len(c.free); n > 0 {
+		slot := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.slab[slot] = p
 		return slot
 	}
-	dp.slab = append(dp.slab, p)
-	return uint32(len(dp.slab) - 1)
+	c.slab = append(c.slab, p)
+	return uint32(len(c.slab) - 1)
 }
 
 // releasePkt returns a slot to the free list, dropping payload references.
-func (dp *DataPlane) releasePkt(slot uint32) {
-	dp.slab[slot] = Packet{}
-	dp.free = append(dp.free, slot)
+func (c *shardCtx) releasePkt(slot uint32) {
+	c.slab[slot] = Packet{}
+	c.free = append(c.free, slot)
 }
 
-// HandleEvent dispatches the data plane's typed simulation events. It
-// implements sim.Handler and is invoked by the engine only.
-func (dp *DataPlane) HandleEvent(ev sim.Event) {
+// HandleEvent dispatches the data plane's typed simulation events for one
+// shard. It implements sim.Handler and is invoked by the shard's engine
+// only, so every touched structure — slab, free list, link directions and
+// hosts assigned to this shard — has a single owner.
+func (c *shardCtx) HandleEvent(ev sim.Event) {
 	switch ev.Kind {
 	case evLinkFree:
-		dp.dirs[ev.A].queued--
+		c.dp.dirs[ev.A].queued--
 	case evArriveSwitch:
-		dp.arriveAtSwitch(topo.NodeID(ev.A), openflow.PortID(ev.B), ev.Ref)
+		c.arriveAtSwitch(topo.NodeID(ev.A), openflow.PortID(ev.B), ev.Ref)
 	case evSwitchLookup:
-		dp.lookupAndForward(topo.NodeID(ev.A), openflow.PortID(ev.B), ev.Ref)
+		c.lookupAndForward(topo.NodeID(ev.A), openflow.PortID(ev.B), ev.Ref)
 	case evArriveHost:
-		dp.arriveAtHost(topo.NodeID(ev.A), ev.Ref)
+		c.arriveAtHost(topo.NodeID(ev.A), ev.Ref)
 	case evHostDone:
-		dp.hostDone(topo.NodeID(ev.A), ev.Ref)
+		c.hostDone(topo.NodeID(ev.A), ev.Ref)
 	}
 }
 
 // transmit models serialization + propagation of a packet over one link
 // direction and schedules the link-free and arrival events. The event
 // order (link free first, then arrival) is load-bearing: it fixes the
-// (time, seq) interleaving every recorded experiment depends on.
-func (dp *DataPlane) transmit(d *dirState, pkt Packet) {
+// (time, seq) interleaving every recorded experiment depends on. The
+// caller must be the context owning d.from; when the arrival side lives
+// on another shard the hop is buffered as a mailbox message instead of a
+// local event (the link-free stays local — the transmit queue belongs to
+// the sending side).
+func (c *shardCtx) transmit(d *dirState, pkt Packet) {
+	dp := c.dp
 	link := d.link
 	if link.Down {
 		d.dropped.Add(1)
@@ -730,7 +907,7 @@ func (dp *DataPlane) transmit(d *dirState, pkt Packet) {
 	if bw := link.Params.BandwidthBps; bw > 0 {
 		ser = time.Duration(int64(pkt.SizeBytes) * 8 * int64(time.Second) / bw)
 	}
-	depart := dp.eng.Now()
+	depart := c.eng.Now()
 	if d.busyUntil > depart {
 		depart = d.busyUntil
 	}
@@ -743,23 +920,31 @@ func (dp *DataPlane) transmit(d *dirState, pkt Packet) {
 	d.bytes.Add(uint64(pkt.SizeBytes))
 	dp.obsLinkPackets.Inc()
 
-	slot := dp.allocPkt(pkt)
-	dp.eng.AtEvent(depart, dp, sim.Event{Kind: evLinkFree, A: d.idx})
+	c.eng.AtEvent(depart, c, sim.Event{Kind: evLinkFree, A: d.idx})
 	kind := evArriveSwitch
 	if d.toHost {
 		kind = evArriveHost
 	}
-	dp.eng.AtEvent(arriveAt, dp, sim.Event{Kind: kind, A: int32(d.to), B: int32(d.toPort), Ref: slot})
+	if so := dp.shardOf; so != nil {
+		if dst := so[d.to]; dst != c.id {
+			c.out[dst] = append(c.out[dst],
+				crossMsg{at: arriveAt, kind: kind, node: int32(d.to), port: int32(d.toPort), pkt: pkt})
+			return
+		}
+	}
+	slot := c.allocPkt(pkt)
+	c.eng.AtEvent(arriveAt, c, sim.Event{Kind: kind, A: int32(d.to), B: int32(d.toPort), Ref: slot})
 }
 
 // arriveAtSwitch charges hop accounting, punts signal traffic, and
 // schedules the table lookup after the switch's lookup delay.
-func (dp *DataPlane) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, slot uint32) {
+func (c *shardCtx) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, slot uint32) {
+	dp := c.dp
 	p := dp.plans[sw]
-	pkt := &dp.slab[slot]
+	pkt := &c.slab[slot]
 	if pkt.HopLimit <= 0 {
 		atomic.AddUint64(&p.stats.HopExceeded, 1)
-		dp.releasePkt(slot)
+		c.releasePkt(slot)
 		return
 	}
 	pkt.HopLimit--
@@ -771,7 +956,7 @@ func (dp *DataPlane) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, slot
 		atomic.AddUint64(&p.stats.Punted, 1)
 		punt := dp.punt.Load()
 		out := *pkt
-		dp.releasePkt(slot)
+		c.releasePkt(slot)
 		if punt != nil {
 			(*punt)(sw, inPort, out)
 		}
@@ -783,19 +968,19 @@ func (dp *DataPlane) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, slot
 	if cfg.PerFlowPenalty > 0 {
 		delay += cfg.PerFlowPenalty * time.Duration(p.table.Len()) / 1000
 	}
-	dp.eng.ScheduleEvent(delay, dp, sim.Event{Kind: evSwitchLookup, A: int32(sw), B: int32(inPort), Ref: slot})
+	c.eng.ScheduleEvent(delay, c, sim.Event{Kind: evSwitchLookup, A: int32(sw), B: int32(inPort), Ref: slot})
 }
 
 // lookupAndForward performs the table lookup and fans the packet out over
 // the compiled port array.
-func (dp *DataPlane) lookupAndForward(sw topo.NodeID, inPort openflow.PortID, slot uint32) {
-	p := dp.plans[sw]
-	pkt := dp.slab[slot]
-	dp.releasePkt(slot)
+func (c *shardCtx) lookupAndForward(sw topo.NodeID, inPort openflow.PortID, slot uint32) {
+	p := c.dp.plans[sw]
+	pkt := c.slab[slot]
+	c.releasePkt(slot)
 	flow, ok := p.table.Lookup(pkt.Dst)
 	if !ok {
 		atomic.AddUint64(&p.stats.TableMisses, 1)
-		if punt := dp.punt.Load(); punt != nil {
+		if punt := c.dp.punt.Load(); punt != nil {
 			atomic.AddUint64(&p.stats.Punted, 1)
 			(*punt)(sw, inPort, pkt)
 		}
@@ -814,25 +999,23 @@ func (dp *DataPlane) lookupAndForward(sw topo.NodeID, inPort openflow.PortID, sl
 			out.Dst = action.SetDest
 		}
 		atomic.AddUint64(&p.stats.Forwarded, 1)
-		dp.transmit(d, out)
+		c.transmit(d, out)
 	}
 }
 
 // arriveAtHost applies the host processing model and hands the packet to
-// the application.
-func (dp *DataPlane) arriveAtHost(h topo.NodeID, slot uint32) {
-	now := dp.eng.Now()
-	dp.mu.Lock()
-	hs := dp.hosts[h]
+// the application. Hosts always share their attached switch's shard, so
+// arrivals are shard-local and the mutable host state needs no lock.
+func (c *shardCtx) arriveAtHost(h topo.NodeID, slot uint32) {
+	now := c.eng.Now()
+	hs := c.dp.hosts[h]
 	if hs.cfg.CapacityPerSec <= 0 {
-		hs.received++
-		deliver := hs.deliver
-		dp.mu.Unlock()
-		dp.obsHostDeliveries.Inc()
-		pkt := dp.slab[slot]
-		dp.releasePkt(slot)
-		if deliver != nil {
-			deliver(Delivery{Host: h, Packet: pkt, At: now})
+		hs.received.Add(1)
+		c.dp.obsHostDeliveries.Inc()
+		pkt := c.slab[slot]
+		c.releasePkt(slot)
+		if hs.deliver != nil {
+			hs.deliver(Delivery{Host: h, Packet: pkt, At: now})
 		}
 		return
 	}
@@ -841,9 +1024,8 @@ func (dp *DataPlane) arriveAtHost(h topo.NodeID, slot uint32) {
 		maxQueue = DefaultMaxQueue
 	}
 	if hs.queued >= maxQueue {
-		hs.dropped++
-		dp.mu.Unlock()
-		dp.releasePkt(slot)
+		hs.dropped.Add(1)
+		c.releasePkt(slot)
 		return
 	}
 	service := time.Duration(int64(time.Second) / int64(hs.cfg.CapacityPerSec))
@@ -854,22 +1036,18 @@ func (dp *DataPlane) arriveAtHost(h topo.NodeID, slot uint32) {
 	done := start + service
 	hs.busyUntil = done
 	hs.queued++
-	dp.mu.Unlock()
-	dp.eng.AtEvent(done, dp, sim.Event{Kind: evHostDone, A: int32(h), Ref: slot})
+	c.eng.AtEvent(done, c, sim.Event{Kind: evHostDone, A: int32(h), Ref: slot})
 }
 
 // hostDone completes a queued host ingestion and delivers the packet.
-func (dp *DataPlane) hostDone(h topo.NodeID, slot uint32) {
-	dp.mu.Lock()
-	hs := dp.hosts[h]
+func (c *shardCtx) hostDone(h topo.NodeID, slot uint32) {
+	hs := c.dp.hosts[h]
 	hs.queued--
-	hs.received++
-	deliver := hs.deliver
-	dp.mu.Unlock()
-	dp.obsHostDeliveries.Inc()
-	pkt := dp.slab[slot]
-	dp.releasePkt(slot)
-	if deliver != nil {
-		deliver(Delivery{Host: h, Packet: pkt, At: dp.eng.Now()})
+	hs.received.Add(1)
+	c.dp.obsHostDeliveries.Inc()
+	pkt := c.slab[slot]
+	c.releasePkt(slot)
+	if hs.deliver != nil {
+		hs.deliver(Delivery{Host: h, Packet: pkt, At: c.eng.Now()})
 	}
 }

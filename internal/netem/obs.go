@@ -23,6 +23,10 @@ func (dp *DataPlane) Instrument(reg *obs.Registry) {
 	dp.obsLinkPackets = reg.Counter(obs.MLinkPackets, "Packets transmitted over links (all directions).")
 	dp.obsLinkDrops = reg.Counter(obs.MLinkDrops, "Packets dropped at links (down links and full transmit queues).")
 	dp.obsHostDeliveries = reg.Counter(obs.MHostDeliveries, "Packets handed to host applications.")
+	if dp.Sharded() {
+		dp.obsCrossMessages = reg.Counter(obs.MShardCrossMessages, "Packet hops that crossed a shard boundary through a barrier mailbox.")
+		dp.obsMailboxDrained = reg.Gauge(obs.MShardMailbox, "Cross-shard mailbox backlog drained at the most recent barrier.")
+	}
 
 	occ := obs.NewGaugeVec()
 	reg.AttachGaugeVec(obs.MFlowTableOccupancy, "Installed flows per switch (TCAM pressure), read from the emulated tables.", "switch", occ)

@@ -97,6 +97,25 @@ const (
 	// forwardings.
 	MInterdomainMessages   = "pleroma_interdomain_messages_total"
 	MInterdomainSuppressed = "pleroma_interdomain_suppressed_total"
+	// MShardQueueDepth gauges pending events per shard engine, sampled at
+	// barrier windows of the parallel simulation engine.
+	MShardQueueDepth = "pleroma_shard_queue_depth"
+	// MShardHorizon gauges the committed simulation horizon per shard
+	// (nanoseconds): no shard has executed past it.
+	MShardHorizon = "pleroma_shard_horizon_ns"
+	// MShardWindows counts barrier windows executed by the parallel
+	// engine.
+	MShardWindows = "pleroma_shard_windows_total"
+	// MShardStalls counts barrier stalls per shard: windows in which the
+	// shard had no runnable event and sat at the barrier while its
+	// neighbours worked.
+	MShardStalls = "pleroma_shard_barrier_stalls_total"
+	// MShardMailbox gauges the cross-shard mailbox backlog per receiving
+	// shard, sampled when mailboxes are flushed at a barrier.
+	MShardMailbox = "pleroma_shard_mailbox_backlog"
+	// MShardCrossMessages counts packets that hopped between shards
+	// through the mailbox exchange.
+	MShardCrossMessages = "pleroma_shard_cross_messages_total"
 )
 
 // DefaultLatencyBuckets spans the µs-to-seconds range control and delivery

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestQueueShrinksAfterBurst pins the capacity-release behaviour: a burst
+// far above steady state must not pin its peak backing array (and the
+// per-slot closure/handler references) for the life of the engine.
+func TestQueueShrinksAfterBurst(t *testing.T) {
+	e := NewEngine()
+	h := countHandler{n: new(int)}
+	const burst = 100_000
+	for i := 0; i < burst; i++ {
+		e.ScheduleEvent(time.Duration(i), h, Event{Kind: 1})
+	}
+	peak := cap(e.queue.items)
+	if peak < burst {
+		t.Fatalf("burst capacity %d, want >= %d", peak, burst)
+	}
+	// Drain to a steady-state trickle: capacity must have been released.
+	for e.Pending() > 64 {
+		e.Step()
+	}
+	if c := cap(e.queue.items); c > shrinkFloor {
+		t.Errorf("capacity %d still pinned after drain to %d events (shrink floor %d)",
+			c, e.Pending(), shrinkFloor)
+	}
+	e.Run()
+	if *h.n != burst {
+		t.Fatalf("executed %d events, want %d", *h.n, burst)
+	}
+	// A small queue must never thrash allocation: below the floor the
+	// capacity is retained.
+	for i := 0; i < 128; i++ {
+		e.ScheduleEvent(0, h, Event{})
+	}
+	c0 := cap(e.queue.items)
+	e.Run()
+	for i := 0; i < 128; i++ {
+		e.ScheduleEvent(0, h, Event{})
+	}
+	if c := cap(e.queue.items); c != c0 {
+		t.Errorf("small-queue capacity changed %d -> %d; steady state must reuse", c0, c)
+	}
+}
+
+type countHandler struct{ n *int }
+
+func (c countHandler) HandleEvent(Event) { *c.n++ }
+
+// TestHeapPropertyAgainstSortOracle drives random interleaved push/pop
+// sequences — with many equal timestamps — against a sort-based oracle:
+// every pop must come out in exact (at, seq) order.
+func TestHeapPropertyAgainstSortOracle(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var q eventQueue
+		var oracle []item
+		seq := uint64(0)
+		popOracle := func() item {
+			sort.SliceStable(oracle, func(i, j int) bool { return before(&oracle[i], &oracle[j]) })
+			top := oracle[0]
+			oracle = oracle[1:]
+			return top
+		}
+		for op := 0; op < 4000; op++ {
+			if len(oracle) == 0 || r.Intn(3) > 0 {
+				// Coarse timestamp quantization forces frequent ties, the
+				// case where only the seq tiebreak keeps the order total.
+				it := item{at: time.Duration(r.Intn(50)), seq: seq}
+				seq++
+				q.push(it)
+				oracle = append(oracle, it)
+			} else {
+				got := q.pop()
+				want := popOracle()
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("seed %d op %d: popped (at=%v seq=%d), oracle (at=%v seq=%d)",
+						seed, op, got.at, got.seq, want.at, want.seq)
+				}
+			}
+		}
+		for len(oracle) > 0 {
+			got, want := q.pop(), popOracle()
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("seed %d drain: popped (at=%v seq=%d), oracle (at=%v seq=%d)",
+					seed, got.at, got.seq, want.at, want.seq)
+			}
+		}
+		if len(q.items) != 0 {
+			t.Fatalf("seed %d: queue not empty after drain", seed)
+		}
+	}
+}
+
+// FuzzQueueOrdering is the fuzzing form of the oracle test: the input
+// bytes script an interleaved push/pop sequence.
+func FuzzQueueOrdering(f *testing.F) {
+	f.Add([]byte{1, 7, 1, 7, 0, 1, 3, 0, 0})
+	f.Add([]byte{1, 0, 1, 0, 1, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var q eventQueue
+		var oracle []item
+		seq := uint64(0)
+		for i := 0; i < len(script); i++ {
+			if script[i]%2 == 1 && i+1 < len(script) {
+				it := item{at: time.Duration(script[i+1] % 16), seq: seq}
+				seq++
+				i++
+				q.push(it)
+				oracle = append(oracle, it)
+			} else if len(oracle) > 0 {
+				sort.SliceStable(oracle, func(a, b int) bool { return before(&oracle[a], &oracle[b]) })
+				want := oracle[0]
+				oracle = oracle[1:]
+				got := q.pop()
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("pop (at=%v seq=%d), oracle (at=%v seq=%d)",
+						got.at, got.seq, want.at, want.seq)
+				}
+			}
+		}
+	})
+}
+
+// TestRunUntilBoundaryExactlyOnce pins the deadline-boundary contract:
+// events scheduled exactly at the deadline execute during that RunUntil,
+// exactly once, and never again on subsequent runs.
+func TestRunUntilBoundaryExactlyOnce(t *testing.T) {
+	e := NewEngine()
+	execs := make(map[string]int)
+	deadline := 100 * time.Microsecond
+	e.At(deadline, func() { execs["at-boundary"]++ })
+	e.At(deadline, func() { execs["at-boundary-2"]++ })
+	e.At(deadline+1, func() { execs["after-boundary"]++ })
+	e.At(deadline-1, func() { execs["before-boundary"]++ })
+
+	if got := e.RunUntil(deadline); got != deadline {
+		t.Fatalf("RunUntil returned %v, want %v", got, deadline)
+	}
+	if execs["before-boundary"] != 1 || execs["at-boundary"] != 1 || execs["at-boundary-2"] != 1 {
+		t.Fatalf("boundary events not executed exactly once: %v", execs)
+	}
+	if execs["after-boundary"] != 0 {
+		t.Fatalf("event after deadline executed early: %v", execs)
+	}
+	// Re-running to the same deadline must be a no-op for them.
+	e.RunUntil(deadline)
+	if execs["at-boundary"] != 1 || execs["at-boundary-2"] != 1 {
+		t.Fatalf("boundary events re-executed: %v", execs)
+	}
+	e.Run()
+	if execs["after-boundary"] != 1 {
+		t.Fatalf("post-deadline event lost: %v", execs)
+	}
+}
+
+// TestRunWindowLeavesClockAtLastEvent pins the shard primitive: RunWindow
+// executes through the horizon inclusively but leaves the clock at the
+// last executed event, and NextAt/AdvanceTo behave as the coordinator
+// expects.
+func TestRunWindowLeavesClockAtLastEvent(t *testing.T) {
+	e := NewEngine()
+	var ran []time.Duration
+	for _, at := range []time.Duration{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	if at, ok := e.NextAt(); !ok || at != 5 {
+		t.Fatalf("NextAt = %v,%v, want 5,true", at, ok)
+	}
+	if n := e.RunWindow(15); n != 3 {
+		t.Fatalf("RunWindow executed %d events, want 3", n)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("clock at %v after window, want 15 (not the horizon)", e.Now())
+	}
+	if at, ok := e.NextAt(); !ok || at != 20 {
+		t.Fatalf("NextAt = %v,%v, want 20,true", at, ok)
+	}
+	e.AdvanceTo(17)
+	if e.Now() != 17 {
+		t.Fatalf("AdvanceTo(17) left clock at %v", e.Now())
+	}
+	e.AdvanceTo(3) // never backwards
+	if e.Now() != 17 {
+		t.Fatalf("AdvanceTo moved the clock backwards to %v", e.Now())
+	}
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatalf("ran %v, want all four events", ran)
+	}
+}

@@ -123,13 +123,41 @@ func (e *Engine) Run() time.Duration {
 // the clock to deadline (if it has not advanced further) and returns it.
 // Events scheduled after the deadline remain queued.
 func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
-	for len(e.queue.items) > 0 && e.queue.items[0].at <= deadline {
-		e.Step()
-	}
-	if e.now < deadline {
-		e.now = deadline
-	}
+	e.RunWindow(deadline)
+	e.AdvanceTo(deadline)
 	return e.now
+}
+
+// RunWindow executes every event with a timestamp not after horizon and
+// returns the number executed. Unlike RunUntil it does not advance the
+// clock to the horizon afterwards: the clock rests at the last executed
+// event. This is the execution primitive of the parallel shard engine —
+// a conservatively synchronized shard may run exactly up to the horizon
+// its neighbours have committed, and no further.
+func (e *Engine) RunWindow(horizon time.Duration) int {
+	n := 0
+	for len(e.queue.items) > 0 && e.queue.items[0].at <= horizon {
+		e.Step()
+		n++
+	}
+	return n
+}
+
+// NextAt returns the timestamp of the earliest queued event, or false if
+// the queue is empty.
+func (e *Engine) NextAt() (time.Duration, bool) {
+	if len(e.queue.items) == 0 {
+		return 0, false
+	}
+	return e.queue.items[0].at, true
+}
+
+// AdvanceTo moves the clock forward to t; it never moves it backwards.
+// Used by the shard coordinator to align engine clocks at barriers.
+func (e *Engine) AdvanceTo(t time.Duration) {
+	if t > e.now {
+		e.now = t
+	}
 }
 
 // Pending returns the number of queued events.
@@ -162,6 +190,10 @@ func (q *eventQueue) push(it item) {
 	q.siftUp(len(q.items) - 1)
 }
 
+// shrinkFloor is the backing-array capacity below which the queue never
+// shrinks: steady-state data-plane traffic reuses this much for free.
+const shrinkFloor = 1024
+
 func (q *eventQueue) pop() item {
 	items := q.items
 	top := items[0]
@@ -171,6 +203,20 @@ func (q *eventQueue) pop() item {
 	q.items = items[:n]
 	if n > 1 {
 		q.siftDown(0)
+	}
+	// Release capacity pinned by a past burst: a 100k-event batch must not
+	// hold its peak backing array — and a closure/handler reference slot
+	// per entry — for the engine's lifetime. Shrinking to 2×occupancy when
+	// occupancy falls under a quarter of capacity keeps the copy cost
+	// amortized (another shrink needs occupancy to halve again).
+	if c := cap(q.items); c > shrinkFloor && n < c/4 {
+		newCap := n * 2
+		if newCap < shrinkFloor {
+			newCap = shrinkFloor
+		}
+		shrunk := make([]item, n, newCap)
+		copy(shrunk, q.items)
+		q.items = shrunk
 	}
 	return top
 }

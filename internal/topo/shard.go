@@ -1,0 +1,244 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShardNodes partitions the topology's nodes across n simulation shards
+// for the parallel engine, returning a dense NodeID→shard assignment.
+// The goals, in order: (1) hosts land on the shard of their attached
+// switch, so host arrivals and deliveries are always shard-local; (2)
+// switch shards are contiguous regions (balanced BFS growth from
+// farthest-point seeds), so most forwarding hops stay inside one shard
+// and only region-border links carry cross-shard traffic; (3) shard
+// sizes stay balanced so barrier windows don't serialize on one
+// overloaded engine. The algorithm is deterministic: identical graphs
+// always produce identical assignments, which the engine's reproducible
+// (time, seq) ordering depends on.
+//
+// n is clamped to the number of switches; the returned shard count is
+// max over the assignment + 1.
+func ShardNodes(g *Graph, n int) ([]int32, int) {
+	switches := g.Switches()
+	if n > len(switches) {
+		n = len(switches)
+	}
+	if n < 1 {
+		n = 1
+	}
+	assign := make([]int32, g.NumNodes())
+	for i := range assign {
+		assign[i] = -1
+	}
+	if n == 1 {
+		for i := range assign {
+			assign[i] = 0
+		}
+		return assign, 1
+	}
+
+	// Seed selection: farthest-point traversal over hop distance. The
+	// first seed is the lowest switch ID; each next seed is the switch
+	// maximizing its minimum hop distance to the seeds chosen so far
+	// (lowest ID breaks ties). On a fat-tree this naturally lands seeds
+	// in distinct pods.
+	dist := make([]int, g.NumNodes())
+	minDist := make([]int, g.NumNodes())
+	const inf = int(^uint(0) >> 1)
+	for i := range minDist {
+		minDist[i] = inf
+	}
+	bfsHops := func(src NodeID) {
+		for i := range dist {
+			dist[i] = inf
+		}
+		dist[src] = 0
+		queue := []NodeID{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, nb := range g.Neighbors(u) {
+				if dist[nb.Peer] == inf {
+					dist[nb.Peer] = dist[u] + 1
+					queue = append(queue, nb.Peer)
+				}
+			}
+		}
+	}
+	seeds := make([]NodeID, 0, n)
+	seeds = append(seeds, switches[0])
+	for len(seeds) < n {
+		bfsHops(seeds[len(seeds)-1])
+		best, bestDist := NodeID(-1), -1
+		for _, sw := range switches {
+			if dist[sw] < minDist[sw] {
+				minDist[sw] = dist[sw]
+			}
+		}
+		for _, sw := range switches {
+			taken := false
+			for _, s := range seeds {
+				if s == sw {
+					taken = true
+					break
+				}
+			}
+			if !taken && minDist[sw] > bestDist {
+				best, bestDist = sw, minDist[sw]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		seeds = append(seeds, best)
+	}
+
+	// Balanced multi-source BFS growth: each round, the smallest region
+	// (lowest shard index on ties) claims its next unassigned frontier
+	// switch. Round-robin by size keeps regions within one node of each
+	// other while preserving contiguity where the topology allows it.
+	frontiers := make([][]NodeID, len(seeds))
+	sizes := make([]int, len(seeds))
+	for i, s := range seeds {
+		assign[s] = int32(i)
+		sizes[i] = 1
+		frontiers[i] = []NodeID{s}
+	}
+	remaining := len(switches) - len(seeds)
+	for remaining > 0 {
+		// Pick the smallest region that still has a reachable frontier.
+		shardOrder := make([]int, 0, len(seeds))
+		for i := range seeds {
+			shardOrder = append(shardOrder, i)
+		}
+		progressed := false
+		for pass := 0; pass < len(seeds) && remaining > 0; pass++ {
+			smallest := -1
+			for _, i := range shardOrder {
+				if i >= 0 && (smallest < 0 || sizes[i] < sizes[smallest]) {
+					smallest = i
+				}
+			}
+			if smallest < 0 {
+				break
+			}
+			// Remove from this round's order regardless of outcome.
+			for j, v := range shardOrder {
+				if v == smallest {
+					shardOrder[j] = -1
+				}
+			}
+			claimed := claimNextSwitch(g, assign, &frontiers[smallest], int32(smallest))
+			if claimed {
+				sizes[smallest]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Disconnected leftovers (no frontier reaches them): sweep
+			// them into the smallest region by ascending ID.
+			for _, sw := range switches {
+				if assign[sw] < 0 {
+					smallest := 0
+					for i := range sizes {
+						if sizes[i] < sizes[smallest] {
+							smallest = i
+						}
+					}
+					assign[sw] = int32(smallest)
+					sizes[smallest]++
+					remaining--
+				}
+			}
+		}
+	}
+
+	// Hosts follow their attached switch so arrivals are shard-local.
+	for _, h := range g.Hosts() {
+		if sw, err := g.AttachedSwitch(h); err == nil {
+			assign[h] = assign[sw]
+		} else {
+			assign[h] = 0
+		}
+	}
+	// Any stragglers (isolated nodes) land on shard 0.
+	for i := range assign {
+		if assign[i] < 0 {
+			assign[i] = 0
+		}
+	}
+	return assign, len(seeds)
+}
+
+// claimNextSwitch pops the region's BFS frontier until it claims one
+// unassigned switch (expanding the frontier as it goes) and reports
+// whether it succeeded. Neighbors are visited in port order, which is
+// deterministic construction order.
+func claimNextSwitch(g *Graph, assign []int32, frontier *[]NodeID, shard int32) bool {
+	queue := *frontier
+	for len(queue) > 0 {
+		u := queue[0]
+		for _, nb := range g.Neighbors(u) {
+			peer := nb.Peer
+			if node, err := g.Node(peer); err != nil || node.Kind != KindSwitch {
+				continue
+			}
+			if assign[peer] < 0 {
+				assign[peer] = shard
+				queue = append(queue, peer)
+				*frontier = queue
+				return true
+			}
+		}
+		queue = queue[1:]
+	}
+	*frontier = queue
+	return false
+}
+
+// MinCutLatency returns the minimum latency over links whose endpoints
+// live on different shards — the conservative lookahead of the parallel
+// engine: no cross-shard interaction can take effect sooner than this
+// after it is sent. Returns (0, false) if no link crosses a shard
+// boundary (single shard, or disconnected regions), in which case the
+// caller should fall back to serialized execution semantics.
+func MinCutLatency(g *Graph, assign []int32) (time.Duration, bool) {
+	var min time.Duration
+	found := false
+	for _, l := range g.Links() {
+		if assign[l.A] == assign[l.B] {
+			continue
+		}
+		if !found || l.Params.Latency < min {
+			min, found = l.Params.Latency, true
+		}
+	}
+	return min, found
+}
+
+// ValidateShardAssignment checks the invariants the data plane relies
+// on: every node assigned, shard indices in [0, n), and every host on
+// its attached switch's shard.
+func ValidateShardAssignment(g *Graph, assign []int32, n int) error {
+	if len(assign) != g.NumNodes() {
+		return fmt.Errorf("topo: assignment covers %d nodes, graph has %d", len(assign), g.NumNodes())
+	}
+	for id, s := range assign {
+		if s < 0 || int(s) >= n {
+			return fmt.Errorf("topo: node %d assigned to shard %d of %d", id, s, n)
+		}
+	}
+	for _, h := range g.Hosts() {
+		sw, err := g.AttachedSwitch(h)
+		if err != nil {
+			continue
+		}
+		if assign[h] != assign[sw] {
+			return fmt.Errorf("topo: host %d on shard %d but its switch %d is on shard %d",
+				h, assign[h], sw, assign[sw])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package topo
+
+import (
+	"testing"
+	"time"
+)
+
+func shardSizes(g *Graph, assign []int32, n int) []int {
+	sizes := make([]int, n)
+	for _, sw := range g.Switches() {
+		sizes[assign[sw]]++
+	}
+	return sizes
+}
+
+// TestShardNodesFatTreeBalancedAndHostLocal pins the partitioner's core
+// invariants on the benchmark topology: every node assigned, hosts on
+// their switch's shard, and switch counts balanced within one.
+func TestShardNodesFatTreeBalancedAndHostLocal(t *testing.T) {
+	g, err := FatTree(8, 8, 2, DefaultLinkParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		assign, got := ShardNodes(g, n)
+		if got != n {
+			t.Fatalf("ShardNodes(%d) produced %d shards", n, got)
+		}
+		if err := ValidateShardAssignment(g, assign, got); err != nil {
+			t.Fatalf("ShardNodes(%d): %v", n, err)
+		}
+		sizes := shardSizes(g, assign, got)
+		min, max := sizes[0], sizes[0]
+		for _, s := range sizes[1:] {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("ShardNodes(%d) imbalanced switch counts %v", n, sizes)
+		}
+	}
+}
+
+// TestShardNodesDeterministic pins reproducibility: the same graph shape
+// always yields the identical assignment (the parallel engine's
+// fixed-shard-count determinism depends on it).
+func TestShardNodesDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g, err := FatTree(4, 4, 2, DefaultLinkParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a1, n1 := ShardNodes(build(), 4)
+	a2, n2 := ShardNodes(build(), 4)
+	if n1 != n2 {
+		t.Fatalf("shard counts differ: %d vs %d", n1, n2)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("node %d assigned to %d then %d across identical builds", i, a1[i], a2[i])
+		}
+	}
+}
+
+// TestShardNodesClampsToSwitchCount pins the edge cases: more shards than
+// switches degrades gracefully, and n<=1 is one shard covering everything.
+func TestShardNodesClampsToSwitchCount(t *testing.T) {
+	g, err := Ring(3, DefaultLinkParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, n := ShardNodes(g, 16)
+	if n != 3 {
+		t.Fatalf("ShardNodes clamped to %d shards, want 3 (one per switch)", n)
+	}
+	if err := ValidateShardAssignment(g, assign, n); err != nil {
+		t.Fatal(err)
+	}
+	assign, n = ShardNodes(g, 0)
+	if n != 1 {
+		t.Fatalf("ShardNodes(0) produced %d shards, want 1", n)
+	}
+	for i, s := range assign {
+		if s != 0 {
+			t.Fatalf("single-shard assignment has node %d on shard %d", i, s)
+		}
+	}
+}
+
+// TestMinCutLatency pins the lookahead computation: the minimum latency
+// among cross-shard links, and false when nothing crosses.
+func TestMinCutLatency(t *testing.T) {
+	g, err := Ring(4, LinkParams{Latency: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shorten exactly one ring link; with a 2-shard split it may or may
+	// not be a border link, so force an assignment where it is: switches
+	// 0,1 on shard 0, switches 2,3 on shard 1. Links 1-2 and 3-0 cross.
+	sw := g.Switches()
+	l, ok := g.LinkBetween(sw[1], sw[2])
+	if !ok {
+		t.Fatal("ring link 1-2 missing")
+	}
+	l.Params.Latency = 30 * time.Microsecond
+	assign := make([]int32, g.NumNodes())
+	for _, s := range sw[:2] {
+		assign[s] = 0
+	}
+	for _, s := range sw[2:] {
+		assign[s] = 1
+	}
+	for _, h := range g.Hosts() {
+		swID, err := g.AttachedSwitch(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign[h] = assign[swID]
+	}
+	la, ok := MinCutLatency(g, assign)
+	if !ok || la != 30*time.Microsecond {
+		t.Fatalf("MinCutLatency = %v,%v, want 30µs,true", la, ok)
+	}
+	// All on one shard: no cut.
+	for i := range assign {
+		assign[i] = 0
+	}
+	if _, ok := MinCutLatency(g, assign); ok {
+		t.Fatal("MinCutLatency found a cut in a single-shard assignment")
+	}
+}
+
+// TestValidateShardAssignmentRejectsViolations covers the validator's
+// error paths.
+func TestValidateShardAssignmentRejectsViolations(t *testing.T) {
+	g, err := Ring(3, DefaultLinkParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, n := ShardNodes(g, 2)
+	if err := ValidateShardAssignment(g, assign[:2], n); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	bad := append([]int32(nil), assign...)
+	bad[0] = int32(n)
+	if err := ValidateShardAssignment(g, bad, n); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	host := g.Hosts()[0]
+	bad = append([]int32(nil), assign...)
+	bad[host] = (bad[host] + 1) % int32(n)
+	if err := ValidateShardAssignment(g, bad, n); err == nil {
+		t.Fatal("host split from its switch accepted")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sync/atomic"
 	"time"
 
 	"pleroma/internal/core"
@@ -42,6 +43,7 @@ import (
 	"pleroma/internal/netem"
 	"pleroma/internal/obs"
 	"pleroma/internal/sim"
+	"pleroma/internal/sim/shard"
 	"pleroma/internal/space"
 	"pleroma/internal/topo"
 )
@@ -110,6 +112,12 @@ type config struct {
 	inBandDelay   time.Duration
 	reindexEvery  time.Duration
 	reindexThresh float64
+	// shards selects the parallel simulation engine (see WithShards);
+	// values <= 1 keep the classic single-engine path.
+	shards int
+	// fatTree, when set, overrides topology with a custom pod fat-tree
+	// (see WithFatTree).
+	fatTree *fatTreeShape
 	// faults, when set, interposes a fault-injection layer between the
 	// controllers and the switches (see WithSouthboundFaults).
 	faults *netem.FaultConfig
@@ -153,6 +161,44 @@ func WithInBandSignalling(processingDelay time.Duration) Option {
 	return func(c *config) { c.inBandDelay = processingDelay }
 }
 
+type fatTreeShape struct{ pods, cores, hostsPerEdge int }
+
+// WithFatTree replaces the topology with a custom pod-based fat-tree:
+// pods pods of 2 aggregation + 2 edge switches, cores core switches, and
+// hostsPerEdge hosts per edge switch — the knob for the scale regimes the
+// fixed topologies cannot reach (e.g. WithFatTree(8, 8, 2): 40 switches,
+// 32 hosts). Takes precedence over WithTopology.
+func WithFatTree(pods, cores, hostsPerEdge int) Option {
+	return func(c *config) { c.fatTree = &fatTreeShape{pods, cores, hostsPerEdge} }
+}
+
+// WithShards runs the simulation on n parallel shard engines under
+// conservative lookahead synchronization: the topology is partitioned
+// into contiguous regions (hosts stay with their switch), each region
+// executes on its own engine/goroutine, and cross-region packet hops are
+// exchanged at barrier windows bounded by the minimum inter-region link
+// latency. Delivery multisets and counters match the single-engine run:
+// the protocol never reorders events within a shard and cross-shard hops
+// arrive at their exact simulated instants. When distinct packets contend
+// at the same simulated instant (a serialization slot on a shared link),
+// the tie may resolve in a different order than the single-engine
+// schedule — permuting timestamps among the tied packets but leaving
+// contents and totals unchanged; if such a tie races for the last place
+// in a bounded queue, which of the tied packets is dropped may differ as
+// well. For a fixed shard count, runs are bit-for-bit deterministic.
+//
+// n <= 1 (the default) keeps the classic single-engine path, and n is
+// clamped to the number of switches. With n > 1, subscription handlers
+// run on shard worker goroutines — at most one per host at a time, but
+// handlers for hosts on different shards run concurrently and must
+// synchronize shared state — and publishing is only legal between Run
+// calls, not from inside handlers. Incompatible with WithInBandSignalling
+// and WithAutoReindex, which schedule control work on the simulated
+// clock.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
 // Errors the public API can return.
 var (
 	// ErrNotAdvertised is returned when publishing without a prior
@@ -168,8 +214,10 @@ type System struct {
 	sch *Schema
 	g   *topo.Graph
 	eng *sim.Engine
-	dp  *netem.DataPlane
-	fab *interdomain.Fabric
+	// coord drives parallel shard execution; nil with WithShards(1).
+	coord *shard.Coordinator
+	dp    *netem.DataPlane
+	fab   *interdomain.Fabric
 	// faulty is the interposed fault-injection layer; nil without
 	// WithSouthboundFaults.
 	faulty *netem.FaultyProgrammer
@@ -187,9 +235,10 @@ type System struct {
 	reindexArmed  bool
 	reindexSeen   int
 	reindexRounds int
-	// delivery accounting for the FPR metric of Section 6.4.
-	deliveries     uint64
-	falsePositives uint64
+	// delivery accounting for the FPR metric of Section 6.4. Atomics:
+	// with shards enabled, dispatch runs concurrently on shard workers.
+	deliveries     atomic.Uint64
+	falsePositives atomic.Uint64
 
 	// Observability (nil without WithObservability; see observability.go).
 	reg    *obs.Registry
@@ -231,18 +280,24 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 		g   *topo.Graph
 		err error
 	)
-	switch cfg.topology {
-	case TopologyTestbedFatTree:
+	switch {
+	case cfg.fatTree != nil:
+		ft := cfg.fatTree
+		g, err = topo.FatTree(ft.pods, ft.cores, ft.hostsPerEdge, cfg.linkParams)
+		if err == nil && cfg.partitions > 1 {
+			err = topo.PartitionFatTree(g, cfg.partitions)
+		}
+	case cfg.topology == TopologyTestbedFatTree:
 		g, err = topo.TestbedFatTree(cfg.linkParams)
 		if err == nil && cfg.partitions > 1 {
 			err = fmt.Errorf("pleroma: testbed fat-tree supports a single partition")
 		}
-	case TopologyFatTree20:
+	case cfg.topology == TopologyFatTree20:
 		g, err = topo.FatTree(4, 4, 1, cfg.linkParams)
 		if err == nil && cfg.partitions > 1 {
 			err = topo.PartitionFatTree(g, cfg.partitions)
 		}
-	case TopologyRing20:
+	case cfg.topology == TopologyRing20:
 		g, err = topo.Ring(20, cfg.linkParams)
 		if err == nil {
 			err = topo.PartitionRing(g, cfg.partitions)
@@ -254,8 +309,37 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 		return nil, err
 	}
 
-	eng := sim.NewEngine()
+	// Parallel shard engine (WithShards). The coordinator owns one engine
+	// per shard; the data plane is built on shard 0's engine so single
+	// mode and shard 0 are the same code path.
+	var coord *shard.Coordinator
+	var eng *sim.Engine
+	var assign []int32
+	if cfg.shards > 1 {
+		if cfg.inBandDelay > 0 {
+			return nil, fmt.Errorf("pleroma: WithShards(>1) is incompatible with WithInBandSignalling (in-band control schedules work on the simulated clock from handler context)")
+		}
+		if cfg.reindexEvery > 0 {
+			return nil, fmt.Errorf("pleroma: WithShards(>1) is incompatible with WithAutoReindex (periodic re-indexing schedules control work on the simulated clock)")
+		}
+		var n int
+		assign, n = topo.ShardNodes(g, cfg.shards)
+		lookahead, _ := topo.MinCutLatency(g, assign)
+		coord, err = shard.New(n, lookahead)
+		if err != nil {
+			return nil, fmt.Errorf("pleroma: %w", err)
+		}
+		eng = coord.Engine(0)
+	} else {
+		eng = sim.NewEngine()
+	}
 	dp := netem.New(g, eng)
+	if coord != nil {
+		if err := dp.EnableSharding(coord, assign); err != nil {
+			coord.Close()
+			return nil, err
+		}
+	}
 	reg, tracer := cfg.initObservability()
 	var fabOpts []interdomain.Option
 	var faulty *netem.FaultyProgrammer
@@ -278,6 +362,7 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 		sch:    sch,
 		g:      g,
 		eng:    eng,
+		coord:  coord,
 		dp:     dp,
 		fab:    fab,
 		faulty: faulty,
@@ -289,6 +374,9 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 	}
 	if reg != nil {
 		dp.Instrument(reg)
+		if coord != nil {
+			coord.Instrument(reg)
+		}
 		if faulty != nil {
 			faulty.Instrument(reg)
 		}
@@ -337,14 +425,39 @@ func (s *System) Hosts() []HostID { return s.g.Hosts() }
 func (s *System) Schema() *Schema { return s.sch }
 
 // Now returns the current simulated time.
-func (s *System) Now() time.Duration { return s.eng.Now() }
+func (s *System) Now() time.Duration {
+	if s.coord != nil {
+		return s.coord.Now()
+	}
+	return s.eng.Now()
+}
 
-// Run drains all pending simulated work and returns the final time.
-func (s *System) Run() time.Duration { return s.eng.Run() }
+// Run drains all pending simulated work and returns the final time. With
+// shards enabled this is the coordinator's parallel barrier drain.
+func (s *System) Run() time.Duration { return s.dp.Run() }
 
 // RunFor advances the simulation by d.
 func (s *System) RunFor(d time.Duration) time.Duration {
-	return s.eng.RunUntil(s.eng.Now() + d)
+	return s.dp.RunUntil(s.Now() + d)
+}
+
+// Shards returns the number of parallel simulation shards (1 without
+// WithShards).
+func (s *System) Shards() int {
+	if s.coord == nil {
+		return 1
+	}
+	return s.coord.Shards()
+}
+
+// Close releases the shard worker goroutines of a WithShards(n>1)
+// system. The system must not be used afterwards. Optional — an
+// abandoned system is reaped by a finalizer — but deterministic cleanup
+// keeps goroutine-leak checkers quiet. Safe to call on any system.
+func (s *System) Close() {
+	if s.coord != nil {
+		s.coord.Close()
+	}
 }
 
 // dispatch routes a data-plane delivery to the matching subscriptions on
@@ -363,11 +476,11 @@ func (s *System) dispatch(host HostID, d netem.Delivery) {
 			continue
 		}
 		fp := !dz.RectContainsPoint(st.rect, d.Packet.Event.Values)
-		s.deliveries++
+		s.deliveries.Add(1)
 		s.obsDeliveries.Inc()
 		s.obsDeliveryLatency.Observe(d.At - d.Packet.SentAt)
 		if fp {
-			s.falsePositives++
+			s.falsePositives.Add(1)
 			s.obsFalsePositives.Inc()
 		}
 		if st.handler == nil {
@@ -641,8 +754,8 @@ func (s *System) Stats() Stats {
 		ControlMessages: fst.MessagesSent,
 		FlowMods:        s.dp.FlowModCount(),
 		LinkPackets:     s.dp.TotalLinkPackets(),
-		Deliveries:      s.deliveries,
-		FalsePositives:  s.falsePositives,
+		Deliveries:      s.deliveries.Load(),
+		FalsePositives:  s.falsePositives.Load(),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 )
@@ -65,6 +66,7 @@ func soakDrive(t *testing.T, opts []Option, seed int64, beforePublish func(sys *
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(sys.Close)
 	hosts := sys.Hosts()
 	r := rand.New(rand.NewSource(seed))
 
@@ -77,10 +79,13 @@ func soakDrive(t *testing.T, opts []Option, seed int64, beforePublish func(sys *
 		host   HostID
 	}
 	var (
-		pubs     = make(map[string]*pubState)
-		subs     = make(map[string]*subRec)
+		pubs   = make(map[string]*pubState)
+		subs   = make(map[string]*subRec)
+		nextID int
+		// received is appended from subscription handlers, which run on
+		// shard worker goroutines when the soak is driven with WithShards.
+		recvMu   sync.Mutex
 		received []soakDelivery
-		nextID   int
 	)
 	randRange := func() [2]uint32 {
 		a := uint32(r.Intn(1024))
@@ -116,10 +121,12 @@ func soakDrive(t *testing.T, opts []Option, seed int64, beforePublish func(sys *
 					t.Errorf("false positive at full precision: sub=%s event=%v",
 						d.SubscriptionID, d.Event.Values)
 				}
+				recvMu.Lock()
 				received = append(received, soakDelivery{
 					sub:   d.SubscriptionID,
 					event: [2]uint32{d.Event.Values[0], d.Event.Values[1]},
 				})
+				recvMu.Unlock()
 			}); err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +191,12 @@ func soakDrive(t *testing.T, opts []Option, seed int64, beforePublish func(sys *
 		}
 
 		// Publish a batch from every live publisher, inside its region.
+		// (The mutex is formally redundant here and below — Run() joins the
+		// shard workers before returning — but keeps the ownership story
+		// uniform.)
+		recvMu.Lock()
 		received = received[:0]
+		recvMu.Unlock()
 		type sent struct {
 			event [2]uint32
 		}
@@ -217,10 +229,13 @@ func soakDrive(t *testing.T, opts []Option, seed int64, beforePublish func(sys *
 				}
 			}
 		}
+		recvMu.Lock()
 		got := make(map[soakDelivery]int)
 		for _, d := range received {
 			got[d]++
 		}
+		log := append([]soakDelivery(nil), received...)
+		recvMu.Unlock()
 		for k, want := range expected {
 			if got[k] != want {
 				t.Fatalf("round %d: %v delivered %d times, want %d (pubs=%d subs=%d)",
@@ -234,7 +249,6 @@ func soakDrive(t *testing.T, opts []Option, seed int64, beforePublish func(sys *
 			}
 		}
 
-		log := append([]soakDelivery(nil), received...)
 		sort.Slice(log, func(i, j int) bool {
 			if log[i].sub != log[j].sub {
 				return log[i].sub < log[j].sub
