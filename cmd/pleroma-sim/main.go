@@ -1,5 +1,7 @@
 // Command pleroma-sim runs the experiments that regenerate the paper's
-// evaluation figures (Figure 7 panels a–h) and the ablation studies.
+// evaluation figures (Figure 7 panels a–h), the ablation studies, and the
+// extension studies (in-band activation latency, southbound fault
+// tolerance, controller failover).
 //
 // Usage:
 //

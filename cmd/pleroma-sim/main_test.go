@@ -14,6 +14,12 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 }
 
+func TestRunHAExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "ext-ha"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Error("missing -exp must fail")

@@ -6,19 +6,29 @@ import (
 	"pleroma/internal/topo"
 )
 
+// engineVariants runs a scenario against both the classic single-engine
+// System and a sharded one: failure handling must not depend on which
+// simulation engine drives the network.
+func engineVariants(t *testing.T, scenario func(t *testing.T, opts ...Option)) {
+	t.Helper()
+	t.Run("single", func(t *testing.T) { scenario(t) })
+	t.Run("shards4", func(t *testing.T) { scenario(t, WithShards(4)) })
+}
+
 // failoverFixture: a testbed fat-tree System with one publisher streaming
 // to one subscriber across pods, so the path crosses aggregation and core
 // switches with redundant alternatives.
-func failoverFixture(t *testing.T) (*System, *Publisher, *int) {
+func failoverFixture(t *testing.T, opts ...Option) (*System, *Publisher, *int) {
 	t.Helper()
 	sch, err := NewSchema(Attribute{Name: "v", Bits: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := NewSystem(sch)
+	sys, err := NewSystem(sch, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(sys.Close)
 	hosts := sys.Hosts()
 	pub, err := sys.NewPublisher("p", hosts[0])
 	if err != nil {
@@ -58,7 +68,11 @@ func usedSwitchLinks(t *testing.T, sys *System) []*topo.Link {
 }
 
 func TestFailLinkReroutesTraffic(t *testing.T) {
-	sys, pub, count := failoverFixture(t)
+	engineVariants(t, failLinkReroutesTraffic)
+}
+
+func failLinkReroutesTraffic(t *testing.T, opts ...Option) {
+	sys, pub, count := failoverFixture(t, opts...)
 
 	if err := pub.Publish(100); err != nil {
 		t.Fatal(err)
@@ -137,9 +151,13 @@ func TestFailAccessLinkDisconnectsSubscriber(t *testing.T) {
 }
 
 func TestFailLinkUnderChurn(t *testing.T) {
+	engineVariants(t, failLinkUnderChurn)
+}
+
+func failLinkUnderChurn(t *testing.T, opts ...Option) {
 	// The soak-style check: exact delivery continues across repeated
 	// fail/restore cycles of core links.
-	sys, pub, count := failoverFixture(t)
+	sys, pub, count := failoverFixture(t, opts...)
 	var coreLinks []*topo.Link
 	for _, l := range sys.g.Links() {
 		na, _ := sys.g.Node(l.A)
@@ -168,6 +186,10 @@ func TestFailLinkUnderChurn(t *testing.T) {
 }
 
 func TestBorderLinkFailureReroutesAroundRing(t *testing.T) {
+	engineVariants(t, borderLinkFailureReroutesAroundRing)
+}
+
+func borderLinkFailureReroutesAroundRing(t *testing.T, opts ...Option) {
 	// Four partitions in a ring: failing the border between the
 	// publisher's and the subscriber's partitions must push traffic the
 	// long way around.
@@ -175,10 +197,12 @@ func TestBorderLinkFailureReroutesAroundRing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := NewSystem(sch, WithTopology(TopologyRing20), WithPartitions(4))
+	opts = append([]Option{WithTopology(TopologyRing20), WithPartitions(4)}, opts...)
+	sys, err := NewSystem(sch, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(sys.Close)
 	hosts := sys.Hosts()
 	pub, err := sys.NewPublisher("p", hosts[0])
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"pleroma/internal/openflow"
 	"pleroma/internal/sortutil"
 	"pleroma/internal/topo"
+	"pleroma/internal/wire"
 )
 
 // Advertise processes an advertisement from a publisher host (Algorithm 1,
@@ -81,6 +82,9 @@ func (c *Controller) advertise(id string, ep endpoint, set dz.Set) (rep Reconfig
 	if err := c.refresh(touched, &rep); err != nil {
 		return rep, err
 	}
+	if err := c.journalOp(wire.OpAdvertise, id, ep, set); err != nil {
+		return rep, err
+	}
 	c.logOp("advertise", id, rep)
 	return rep, nil
 }
@@ -152,6 +156,9 @@ func (c *Controller) subscribe(id string, ep endpoint, set dz.Set) (rep Reconfig
 	if err := c.refresh(touched, &rep); err != nil {
 		return rep, err
 	}
+	if err := c.journalOp(wire.OpSubscribe, id, ep, set); err != nil {
+		return rep, err
+	}
 	c.logOp("subscribe", id, rep)
 	return rep, nil
 }
@@ -178,6 +185,9 @@ func (c *Controller) Unsubscribe(id string) (rep ReconfigReport, err error) {
 	}
 	delete(c.subs, id)
 	if err := c.refresh(touched, &rep); err != nil {
+		return rep, err
+	}
+	if err := c.journalOp(wire.OpUnsubscribe, id, endpoint{}, nil); err != nil {
 		return rep, err
 	}
 	c.logOp("unsubscribe", id, rep)
@@ -211,6 +221,9 @@ func (c *Controller) Unadvertise(id string) (rep ReconfigReport, err error) {
 	}
 	delete(c.pubs, id)
 	if err := c.refresh(touched, &rep); err != nil {
+		return rep, err
+	}
+	if err := c.journalOp(wire.OpUnadvertise, id, endpoint{}, nil); err != nil {
 		return rep, err
 	}
 	c.logOp("unadvertise", id, rep)
@@ -542,6 +555,9 @@ func (c *Controller) RebuildTrees() (rep ReconfigReport, err error) {
 		}
 	}
 	if err := c.refresh(touched, &rep); err != nil {
+		return rep, err
+	}
+	if err := c.journalOp(wire.OpReconfigure, "", endpoint{}, nil); err != nil {
 		return rep, err
 	}
 	c.logOp("rebuild-trees", "", rep)

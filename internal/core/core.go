@@ -273,6 +273,16 @@ type Controller struct {
 	degradedMu sync.Mutex
 	degraded   map[topo.NodeID]error
 
+	// journal, when set, receives a wire.Record for every successful
+	// control operation (see journal.go). epoch is the controller's
+	// incarnation number (bumped on failover), jseq the sequence of the
+	// last journaled or replayed op, and replaying suppresses re-appends
+	// while Replay drives operations from the journal itself.
+	journal   Journal
+	epoch     uint32
+	jseq      uint64
+	replaying bool
+
 	// inst holds the lifetime counters (always allocated; Stats reads
 	// them). tracer, when set, assigns spans to control operations; span
 	// is the operation currently in flight, parked here under c.mu before

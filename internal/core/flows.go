@@ -11,6 +11,7 @@ import (
 
 	"pleroma/internal/dz"
 	"pleroma/internal/openflow"
+	"pleroma/internal/sortutil"
 	"pleroma/internal/topo"
 )
 
@@ -195,6 +196,22 @@ func (c *Controller) addPathContributions(t *tree, pub *publisher, sub *subscrib
 // along the tree. Virtual endpoints sit on a border switch and extend the
 // route with the cross-partition exit port.
 func (c *Controller) routeHops(t *tree, from, to endpoint) ([]topo.Hop, error) {
+	if from.node == to.node && !from.virtual() && !to.virtual() {
+		// Publisher and subscriber share a host: the spanning-tree path
+		// degenerates to the host alone, but the packet still crosses the
+		// access link, so program the access switch to hairpin it back down
+		// the same port. Without this hop a colocated subscriber never
+		// receives anything.
+		sw, err := c.g.AttachedSwitch(from.node)
+		if err != nil {
+			return nil, fmt.Errorf("core: route on tree %d: %w", t.id, err)
+		}
+		port, ok := c.g.PortTowards(sw, from.node)
+		if !ok {
+			return nil, fmt.Errorf("core: no port from switch %d towards host %d", sw, from.node)
+		}
+		return []topo.Hop{{Switch: sw, OutPort: port}}, nil
+	}
 	path, err := t.span.PathBetween(from.node, to.node)
 	if err != nil {
 		return nil, fmt.Errorf("core: route on tree %d: %w", t.id, err)
@@ -342,11 +359,7 @@ func (c *Controller) refreshSwitch(sw topo.NodeID, changed map[dz.Expr]bool,
 		c.contribs.descendants(sw, e, affected)
 	}
 	memo := make(map[dz.Expr]portSet, len(affected))
-	exprs := make([]dz.Expr, 0, len(affected))
-	for e := range affected {
-		exprs = append(exprs, e)
-	}
-	sort.Slice(exprs, func(i, j int) bool { return exprs[i] < exprs[j] })
+	exprs := sortutil.Keys(affected)
 
 	ops := make([]openflow.FlowOp, 0, len(exprs))
 	metas := make([]opMeta, 0, len(exprs))
@@ -432,6 +445,15 @@ type ackedOp struct {
 func (c *Controller) flushOps(sw topo.NodeID, ops []openflow.FlowOp, metas []opMeta,
 	inst map[dz.Expr]installedFlow, rep *ReconfigReport) error {
 	if len(ops) == 0 {
+		return nil
+	}
+	if c.replaying {
+		// Journal replay rebuilds desired state only. The switches the
+		// standby inherits already executed the dead controller's FlowMods
+		// (with switch-assigned flow IDs this incarnation never saw), so
+		// replay ships nothing southbound and leaves the installed view
+		// stale; the takeover resync rebuilds it from the switches' actual
+		// flows, adopting their IDs.
 		return nil
 	}
 	acked := make([]ackedOp, 0, len(ops))
@@ -588,11 +610,7 @@ func (c *Controller) refresh(touched touchedSet, rep *ReconfigReport) error {
 	if len(touched) == 0 {
 		return nil
 	}
-	sws := make([]topo.NodeID, 0, len(touched))
-	for sw := range touched {
-		sws = append(sws, sw)
-	}
-	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
+	sws := sortutil.Keys(touched)
 
 	// Pre-create the per-switch installed maps serially: map writes on
 	// c.installed must not race with the fan-out below.
@@ -682,7 +700,7 @@ func (c *Controller) VerifyTables() error {
 	for sw := range c.contribs.refs {
 		seen[sw] = true
 	}
-	for sw := range seen {
+	for _, sw := range sortutil.Keys(seen) {
 		want := c.desiredTable(sw)
 		have := c.installed[sw]
 		if len(want) != len(have) {
@@ -742,10 +760,5 @@ func (c *Controller) InstalledFlowsOn(sw topo.NodeID) []dz.Expr {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	m := c.installed[sw]
-	out := make([]dz.Expr, 0, len(m))
-	for e := range m {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return sortutil.Keys(m)
 }

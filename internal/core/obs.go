@@ -59,6 +59,9 @@ type instruments struct {
 	treesCreated, treesMerged, storedSubs *obs.Counter
 	southboundCalls, retries, quarantines *obs.Counter
 	resyncs, repairedFlows                *obs.Counter
+	snapshots, journalRecords             *obs.Counter
+	journalReplayed                       *obs.Counter
+	snapshotBytes                         *obs.Gauge
 	latency                               *obs.HistogramVec // by op
 	swFlowMods, swRetries, swFailures     *obs.CounterVec   // by switch
 	treeDz                                *obs.GaugeVec     // by tree
@@ -79,6 +82,10 @@ func newInstruments(reg *obs.Registry) *instruments {
 		quarantines:     obs.NewCounter(),
 		resyncs:         obs.NewCounter(),
 		repairedFlows:   obs.NewCounter(),
+		snapshots:       obs.NewCounter(),
+		journalRecords:  obs.NewCounter(),
+		journalReplayed: obs.NewCounter(),
+		snapshotBytes:   obs.NewGauge(),
 		latency:         obs.NewHistogramVec(),
 		swFlowMods:      obs.NewCounterVec(),
 		swRetries:       obs.NewCounterVec(),
@@ -110,6 +117,10 @@ func newInstruments(reg *obs.Registry) *instruments {
 	reg.AttachCounter(obs.MQuarantines, "Switches quarantined after exhausting southbound retries.", "", "", i.quarantines)
 	reg.AttachCounter(obs.MResyncs, "Anti-entropy passes over single switches.", "", "", i.resyncs)
 	reg.AttachCounter(obs.MResyncRepaired, "Repair FlowMods issued by anti-entropy passes.", "", "", i.repairedFlows)
+	reg.AttachCounter(obs.MSnapshots, "Controller state snapshots encoded.", "", "", i.snapshots)
+	reg.AttachCounter(obs.MJournalRecords, "Control operations appended to the op journal.", "", "", i.journalRecords)
+	reg.AttachCounter(obs.MJournalReplayed, "Journal records replayed during standby promotion or restore.", "", "", i.journalReplayed)
+	reg.AttachGauge(obs.MSnapshotBytes, "Size of the last encoded controller snapshot in bytes.", "", "", i.snapshotBytes)
 	reg.AttachHistogramVec(obs.MReconfigDuration, "Wall-clock latency of control operations, by operation.", "op", i.latency)
 	reg.AttachCounterVec(obs.MSwitchFlowMods, "FlowMods acknowledged per switch.", "switch", i.swFlowMods)
 	reg.AttachCounterVec(obs.MSwitchRetries, "Southbound retries per switch.", "switch", i.swRetries)

@@ -10,6 +10,7 @@ import (
 	"pleroma/internal/dz"
 	"pleroma/internal/obs"
 	"pleroma/internal/openflow"
+	"pleroma/internal/sortutil"
 	"pleroma/internal/topo"
 )
 
@@ -236,11 +237,7 @@ func (c *Controller) ResyncAll() (ResyncReport, error) {
 		seen[sw] = true
 	}
 	c.degradedMu.Unlock()
-	sws := make([]topo.NodeID, 0, len(seen))
-	for sw := range seen {
-		sws = append(sws, sw)
-	}
-	sort.Slice(sws, func(i, j int) bool { return sws[i] < sws[j] })
+	sws := sortutil.Keys(seen)
 
 	sp, start := c.beginOp(opResync, func() string { return "all" })
 	var rr ResyncReport
@@ -329,11 +326,7 @@ func (c *Controller) resyncSwitch(sw topo.NodeID, rr *ResyncReport) error {
 	for e := range desired {
 		exprSet[e] = true
 	}
-	exprs := make([]dz.Expr, 0, len(exprSet))
-	for e := range exprSet {
-		exprs = append(exprs, e)
-	}
-	sort.Slice(exprs, func(i, j int) bool { return exprs[i] < exprs[j] })
+	exprs := sortutil.Keys(exprSet)
 
 	newInst := make(map[dz.Expr]installedFlow)
 	var ops []openflow.FlowOp

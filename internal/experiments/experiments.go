@@ -56,6 +56,7 @@ var registry = map[string]registration{
 	"abl-flows":      {RunAblationFlowBudget, "ablation: flow-table footprint vs. filtering precision"},
 	"ext-activation": {RunExtActivationLatency, "extension: in-band subscription activation latency (requirement 1)"},
 	"ext-faults":     {RunExtFaultChurn, "extension: southbound fault tolerance — retry/quarantine/resync under churn"},
+	"ext-ha":         {RunExtHAFailover, "extension: controller failover — snapshot cadence vs. takeover replay"},
 }
 
 // IDs returns all experiment identifiers, sorted.

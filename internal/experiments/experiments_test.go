@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -27,8 +28,8 @@ func parseFloat(t *testing.T, s string) float64 {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 {
-		t.Errorf("IDs=%v, want 15 experiments", ids)
+	if len(ids) != 16 {
+		t.Errorf("IDs=%v, want 16 experiments", ids)
 	}
 	for _, id := range ids {
 		if desc, ok := Describe(id); !ok || desc == "" {
@@ -402,6 +403,74 @@ func TestExtFaultChurnConverges(t *testing.T) {
 	}
 	if !sawInjection {
 		t.Error("no row injected any faults; the sweep exercised nothing")
+	}
+}
+
+func TestExtHAFailover(t *testing.T) {
+	tables, err := RunExtHAFailover(DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows=%d, want 3 cadences", len(tab.Rows))
+	}
+	replayed := make(map[string]float64)
+	for _, row := range tab.Rows {
+		cadence := row[0]
+		replayed[cadence] = parseFloat(t, row[5])
+		// Replay reconstructs the crashed controller's exact canonical
+		// state, so the takeover resync must find nothing to repair.
+		if repairs := parseFloat(t, row[6]); repairs != 0 {
+			t.Errorf("cadence=%s: takeover shipped %v repairs, want 0", cadence, repairs)
+		}
+		if row[7] != "true" {
+			t.Errorf("cadence=%s: promoted controller failed verification", cadence)
+		}
+		fromSnap := row[4] == "true"
+		if cadence == "never" && fromSnap {
+			t.Error("cadence=never must promote from the journal alone")
+		}
+		if cadence != "never" && !fromSnap {
+			t.Errorf("cadence=%s must promote from a snapshot", cadence)
+		}
+	}
+	// Tighter checkpointing must shrink the replayed suffix.
+	if !(replayed["fine"] < replayed["coarse"] && replayed["coarse"] < replayed["never"]) {
+		t.Errorf("replay must shrink with cadence: never=%v coarse=%v fine=%v",
+			replayed["never"], replayed["coarse"], replayed["fine"])
+	}
+	// Every cadence must converge on the same reconstructed state: the
+	// split between snapshot and journal is an implementation detail.
+	for _, row := range tab.Rows[1:] {
+		if row[8] != tab.Rows[0][8] {
+			t.Errorf("cadence=%s: state digest %s differs from %s", row[0], row[8], tab.Rows[0][8])
+		}
+	}
+}
+
+// TestExperimentSameSeedDeterministic pins the seeded-randomness audit:
+// an experiment run is a pure function of its Config. ext-ha drives the
+// full churn → journal → snapshot → failover pipeline single-threaded,
+// so its tables must be bit-identical across runs.
+func TestExperimentSameSeedDeterministic(t *testing.T) {
+	a, err := RunExtHAFailover(DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExtHAFailover(DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different tables:\n%+v\nvs\n%+v", a, b)
+	}
+	c, err := RunExtHAFailover(Config{Seed: 43, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical tables")
 	}
 }
 

@@ -1,0 +1,128 @@
+package interdomain
+
+import (
+	"fmt"
+	"strconv"
+
+	"pleroma/internal/core"
+	"pleroma/internal/netem"
+)
+
+// This file is the fabric's controller-HA surface: with WithHA every
+// partition controller journals its control operations to an in-memory
+// journal, SnapshotPartition takes (and compacts against) deterministic
+// state snapshots, and Failover simulates a controller crash by discarding
+// the live instance and promoting a warm standby from snapshot + journal.
+
+// WithHA gives every partition controller an op journal, enabling
+// SnapshotPartition, RestorePartition, and Failover.
+func WithHA() Option {
+	return func(f *Fabric) { f.ha = true }
+}
+
+// controllerOpts builds the option set of one partition's controller — the
+// same set for the initial instance and for every standby promoted later,
+// so a promoted controller is configured identically to the one it
+// replaces.
+func (f *Fabric) controllerOpts(partition int, journal *core.MemJournal) []core.Option {
+	opts := append([]core.Option{
+		core.WithHostAddr(netem.HostAddr),
+		core.WithPartition(partition),
+	}, f.ctlOpts...)
+	if journal != nil {
+		opts = append(opts, core.WithJournal(journal))
+	}
+	return opts
+}
+
+// Journal returns the op journal of one partition (nil without WithHA).
+func (f *Fabric) Journal(partition int) (*core.MemJournal, error) {
+	s, ok := f.parts[partition]
+	if !ok {
+		return nil, fmt.Errorf("interdomain: unknown partition %d", partition)
+	}
+	return s.journal, nil
+}
+
+// SnapshotPartition encodes the partition controller's state, retains the
+// snapshot for the partition's warm standby, and compacts the journal:
+// records the snapshot covers are truncated. It returns the snapshot.
+func (f *Fabric) SnapshotPartition(partition int) ([]byte, error) {
+	s, ok := f.parts[partition]
+	if !ok {
+		return nil, fmt.Errorf("interdomain: unknown partition %d", partition)
+	}
+	if s.journal == nil {
+		return nil, fmt.Errorf("interdomain: partition %d has no journal (fabric built without WithHA)", partition)
+	}
+	snap, err := s.ctl.EncodeSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("interdomain: snapshot partition %d: %w", partition, err)
+	}
+	s.lastSnap = append([]byte(nil), snap...)
+	s.journal.Truncate(s.ctl.JournalSeq())
+	return snap, nil
+}
+
+// RestorePartition replaces the partition's controller with one
+// reconstructed from the snapshot, reattaches the journal, and resyncs the
+// partition's switches against the restored canonical state.
+func (f *Fabric) RestorePartition(partition int, snap []byte) error {
+	s, ok := f.parts[partition]
+	if !ok {
+		return fmt.Errorf("interdomain: unknown partition %d", partition)
+	}
+	if s.journal == nil {
+		return fmt.Errorf("interdomain: partition %d has no journal (fabric built without WithHA)", partition)
+	}
+	ctl, err := core.RestoreController(f.g, f.prog, snap, f.controllerOpts(partition, s.journal)...)
+	if err != nil {
+		return fmt.Errorf("interdomain: restore partition %d: %w", partition, err)
+	}
+	if _, err := ctl.ResyncAll(); err != nil {
+		return fmt.Errorf("interdomain: restore partition %d: resync: %w", partition, err)
+	}
+	s.ctl = ctl
+	return nil
+}
+
+// FailoverReport summarises one partition takeover.
+type FailoverReport struct {
+	Partition int
+	core.PromoteReport
+}
+
+// Failover simulates a crash of the partition's active controller and
+// promotes a warm standby in its place: the live instance is discarded
+// unread (its in-memory state is lost, exactly as a process crash would
+// lose it), and the standby rebuilds from the last snapshot plus the
+// journal suffix, bumps the epoch, and anti-entropy-resyncs the inherited
+// switches. The fabric's own forwarding state (virtual replicas, covering
+// indexes) lives outside the controller and survives; replayed virtual
+// client registrations reconstruct the same ids, so the replica maps stay
+// valid.
+func (f *Fabric) Failover(partition int) (FailoverReport, error) {
+	rep := FailoverReport{Partition: partition}
+	s, ok := f.parts[partition]
+	if !ok {
+		return rep, fmt.Errorf("interdomain: unknown partition %d", partition)
+	}
+	if s.journal == nil {
+		return rep, fmt.Errorf("interdomain: partition %d has no journal (fabric built without WithHA)", partition)
+	}
+	standby := core.NewStandby(f.g, f.prog, s.journal, f.controllerOpts(partition, nil)...)
+	if s.lastSnap != nil {
+		if err := standby.ObserveSnapshot(s.lastSnap); err != nil {
+			return rep, fmt.Errorf("interdomain: failover partition %d: %w", partition, err)
+		}
+	}
+	ctl, prep, err := standby.Promote()
+	if err != nil {
+		return rep, fmt.Errorf("interdomain: failover partition %d: %w", partition, err)
+	}
+	s.ctl = ctl
+	rep.PromoteReport = prep
+	f.obsFailovers.With(strconv.Itoa(partition)).Inc()
+	f.obsEpoch.With(strconv.Itoa(partition)).Set(int64(prep.Epoch))
+	return rep, nil
+}

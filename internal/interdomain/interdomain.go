@@ -121,6 +121,12 @@ type partitionState struct {
 	// virtual client counters for unique ids.
 	vseq int
 	load ControllerLoad
+	// journal receives the partition controller's control ops when the
+	// fabric runs with HA (WithHA); lastSnap holds the latest snapshot
+	// taken through SnapshotPartition — together they are what a warm
+	// standby promotes from (see ha.go).
+	journal  *core.MemJournal
+	lastSnap []byte
 }
 
 // Option configures a Fabric.
@@ -155,6 +161,10 @@ func WithObservability(reg *obs.Registry, tracer *obs.Tracer) Option {
 		if reg != nil {
 			f.obsMessages = reg.Counter(obs.MInterdomainMessages, "Controller-to-controller messages sent between partitions.")
 			f.obsSuppressed = reg.Counter(obs.MInterdomainSuppressed, "Inter-partition forwardings suppressed by covering (Section 4.2).")
+			f.obsFailovers = obs.NewCounterVec()
+			f.obsEpoch = obs.NewGaugeVec()
+			reg.AttachCounterVec(obs.MFailovers, "Warm-standby controller takeovers, by partition.", "partition", f.obsFailovers)
+			reg.AttachGaugeVec(obs.MControllerEpoch, "Controller incarnation number, by partition.", "partition", f.obsEpoch)
 		}
 	}
 }
@@ -180,6 +190,7 @@ type Fabric struct {
 	order           []int
 	covering        bool
 	staticDiscovery bool
+	ha              bool
 	ctlOpts         []core.Option
 
 	messagesSent uint64
@@ -188,6 +199,10 @@ type Fabric struct {
 	// exported registry when WithObservability is used; nil otherwise.
 	obsMessages   *obs.Counter
 	obsSuppressed *obs.Counter
+	// obsFailovers/obsEpoch export warm-standby takeovers and controller
+	// incarnations per partition when observability is attached.
+	obsFailovers  *obs.CounterVec
+	obsEpoch      *obs.GaugeVec
 	signalDelay   time.Duration
 	signalStats   SignalStats
 	inBandEnabled bool
@@ -230,17 +245,18 @@ func NewFabric(g *topo.Graph, dp *netem.DataPlane, opts ...Option) (*Fabric, err
 		f.prog = dp
 	}
 	for _, p := range g.Partitions() {
-		opts := append([]core.Option{
-			core.WithHostAddr(netem.HostAddr),
-			core.WithPartition(p),
-		}, f.ctlOpts...)
-		ctl, err := core.NewController(g, f.prog, opts...)
+		var journal *core.MemJournal
+		if f.ha {
+			journal = core.NewMemJournal()
+		}
+		ctl, err := core.NewController(g, f.prog, f.controllerOpts(p, journal)...)
 		if err != nil {
 			return nil, fmt.Errorf("interdomain: controller for partition %d: %w", p, err)
 		}
 		f.parts[p] = &partitionState{
 			part:           p,
 			ctl:            ctl,
+			journal:        journal,
 			borders:        make(map[int][]BorderPort),
 			rcvdAdv:        make(map[string]dz.Set),
 			rcvdSub:        make(map[string]dz.Set),
@@ -274,8 +290,8 @@ func NewFabric(g *topo.Graph, dp *netem.DataPlane, opts ...Option) (*Fabric, err
 // rules out the backtracking case — so every event crosses each partition
 // at most once.
 func (f *Fabric) buildPartitionTree() {
-	for _, s := range f.parts {
-		s.treeNbs = make(map[int]bool)
+	for _, p := range f.order {
+		f.parts[p].treeNbs = make(map[int]bool)
 	}
 	if len(f.order) == 0 {
 		return

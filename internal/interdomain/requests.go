@@ -108,7 +108,8 @@ func (f *Fabric) Unadvertise(id string) error {
 		}
 	}
 	delete(f.advReplicas, id)
-	for _, ps := range f.parts {
+	for _, p := range f.order {
+		ps := f.parts[p]
 		delete(ps.rcvdAdv, id)
 		kept := ps.extAdvs[:0]
 		for _, ea := range ps.extAdvs {
@@ -117,7 +118,7 @@ func (f *Fabric) Unadvertise(id string) error {
 			}
 		}
 		ps.extAdvs = kept
-		for nb := range ps.fwdAdvByOrigin {
+		for _, nb := range sortutil.Keys(ps.fwdAdvByOrigin) {
 			delete(ps.fwdAdvByOrigin[nb], id)
 			// The removed origin's subspaces leave the forwarded region, so
 			// the suppression index is rebuilt from the surviving origins.
@@ -131,8 +132,8 @@ func (f *Fabric) Unadvertise(id string) error {
 // re-runs the inter-partition forwarding of all surviving subscriptions in
 // their original arrival order.
 func (f *Fabric) rebuildSubPropagation() error {
-	for origin, reps := range f.subReplicas {
-		for _, r := range reps {
+	for _, origin := range sortutil.Keys(f.subReplicas) {
+		for _, r := range f.subReplicas[origin] {
 			rs := f.parts[r.part]
 			rs.load.External++
 			f.messagesSent++
@@ -143,7 +144,8 @@ func (f *Fabric) rebuildSubPropagation() error {
 		}
 		delete(f.subReplicas, origin)
 	}
-	for _, ps := range f.parts {
+	for _, p := range f.order {
+		ps := f.parts[p]
 		ps.rcvdSub = make(map[string]dz.Set)
 		ps.fwdSubByOrigin = make(map[int]map[string]dz.Set)
 		ps.fwdSubCover = make(map[int]*coverIndex)

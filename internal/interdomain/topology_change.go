@@ -48,7 +48,8 @@ func (f *Fabric) HandleTopologyChange() error {
 	}
 
 	// 2. Reset inter-domain bookkeeping; local clients stay registered.
-	for _, ps := range f.parts {
+	for _, p := range f.order {
+		ps := f.parts[p]
 		ps.borders = make(map[int][]BorderPort)
 		ps.extAdvs = nil
 		ps.rcvdAdv = make(map[string]dz.Set)

@@ -987,11 +987,17 @@ func (c *shardCtx) lookupAndForward(sw topo.NodeID, inPort openflow.PortID, slot
 		return
 	}
 	for _, action := range flow.Actions {
-		if action.OutPort == inPort {
-			continue // never forward out the ingress port
-		}
 		d := p.dirFor(action.OutPort)
 		if d == nil {
+			continue
+		}
+		if action.OutPort == inPort && !d.toHost {
+			// Split horizon on trunk ports: flow entries union the out-ports
+			// of every established path, so the ingress trunk can appear in
+			// the action set and bouncing the packet back would duplicate
+			// deliveries or loop. Host-facing ports are exempt — a hairpin
+			// out the ingress port is how a subscriber colocated with the
+			// publisher receives the event.
 			continue
 		}
 		out := pkt

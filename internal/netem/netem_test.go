@@ -241,29 +241,49 @@ func TestMulticastFanout(t *testing.T) {
 }
 
 func TestIngressPortSuppression(t *testing.T) {
-	// The flow lists the ingress port among its out ports; the packet must
-	// not bounce back.
+	// Split horizon applies to trunk ports only: a flow listing the ingress
+	// trunk must not bounce the packet back towards its upstream switch,
+	// but a flow listing the ingress *host* port hairpins — that is how a
+	// subscriber colocated with the publisher receives the event.
 	g := topo.NewGraph()
-	sw := g.AddSwitch("R1")
+	sw1 := g.AddSwitch("R1")
+	sw2 := g.AddSwitch("R2")
 	pub := g.AddHost("p")
 	subHost := g.AddHost("s")
-	if _, _, err := g.Connect(pub, sw, topo.DefaultLinkParams); err != nil {
+	if _, _, err := g.Connect(pub, sw1, topo.DefaultLinkParams); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := g.Connect(subHost, sw, topo.DefaultLinkParams); err != nil {
+	if _, _, err := g.Connect(sw1, sw2, topo.DefaultLinkParams); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Connect(subHost, sw2, topo.DefaultLinkParams); err != nil {
 		t.Fatal(err)
 	}
 	eng := sim.NewEngine()
 	dp := New(g, eng)
-	inPort, _ := g.PortTowards(sw, pub)
-	outPort, _ := g.PortTowards(sw, subHost)
-	f, err := openflow.NewFlow("1", 1,
-		openflow.Action{OutPort: inPort}, openflow.Action{OutPort: outPort})
+
+	// sw1: hairpin back to the publisher's own port plus the trunk onward.
+	hairpin, _ := g.PortTowards(sw1, pub)
+	trunkOut, _ := g.PortTowards(sw1, sw2)
+	f1, err := openflow.NewFlow("1", 1,
+		openflow.Action{OutPort: hairpin}, openflow.Action{OutPort: trunkOut})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, _ := dp.Table(sw)
-	tab.Add(f)
+	tab1, _ := dp.Table(sw1)
+	tab1.Add(f1)
+
+	// sw2: the ingress trunk appears among the out ports (unioned entry);
+	// the packet must not bounce back towards sw1.
+	trunkIn, _ := g.PortTowards(sw2, sw1)
+	outPort, _ := g.PortTowards(sw2, subHost)
+	f2, err := openflow.NewFlow("1", 1,
+		openflow.Action{OutPort: trunkIn}, openflow.Action{OutPort: outPort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2, _ := dp.Table(sw2)
+	tab2.Add(f2)
 
 	sch, _ := space.UniformSchema(2)
 	ev, _ := sch.NewEvent(1, 1)
@@ -271,11 +291,16 @@ func TestIngressPortSuppression(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng.Run()
-	if dp.HostReceived(pub) != 0 {
-		t.Error("publisher must not receive its own event via ingress port")
+	if dp.HostReceived(pub) != 1 {
+		t.Errorf("publisher host hairpin: received %d, want 1", dp.HostReceived(pub))
 	}
 	if dp.HostReceived(subHost) != 1 {
-		t.Error("subscriber must receive the event")
+		t.Errorf("subscriber received %d, want 1", dp.HostReceived(subHost))
+	}
+	// The trunk bounce at sw2 was suppressed: had it fired, the packet
+	// would have re-entered sw1 and hairpinned to the publisher again.
+	if got := dp.SwitchStatsFor(sw2).Forwarded; got != 1 {
+		t.Errorf("sw2 forwarded %d, want 1 (split horizon on trunk)", got)
 	}
 }
 

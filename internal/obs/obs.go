@@ -116,6 +116,18 @@ const (
 	// MShardCrossMessages counts packets that hopped between shards
 	// through the mailbox exchange.
 	MShardCrossMessages = "pleroma_shard_cross_messages_total"
+	// MSnapshots counts controller state snapshots encoded; MSnapshotBytes
+	// gauges the size of the last one.
+	MSnapshots     = "pleroma_controller_snapshots_total"
+	MSnapshotBytes = "pleroma_controller_snapshot_bytes"
+	// MJournalRecords counts control ops appended to the op journal;
+	// MJournalReplayed counts records replayed during standby promotion.
+	MJournalRecords  = "pleroma_journal_records_total"
+	MJournalReplayed = "pleroma_journal_replayed_total"
+	// MFailovers counts warm-standby takeovers per partition, and
+	// MControllerEpoch gauges each partition's controller incarnation.
+	MFailovers       = "pleroma_controller_failovers_total"
+	MControllerEpoch = "pleroma_controller_epoch"
 )
 
 // DefaultLatencyBuckets spans the µs-to-seconds range control and delivery

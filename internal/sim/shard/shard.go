@@ -46,6 +46,10 @@ type Coordinator struct {
 	// running is observable by clients (e.g. the data plane's injection
 	// guard): true while a Run/RunUntil drain is in flight.
 	running atomic.Bool
+	// lifeMu guards started/closed: Close must be idempotent and safe to
+	// race with another Close (e.g. an explicit System.Close racing the
+	// finalizer path) or with the lazy worker start.
+	lifeMu  sync.Mutex
 	started bool
 	closed  bool
 
@@ -145,9 +149,15 @@ func (c *Coordinator) Instrument(reg *obs.Registry) {
 	}
 }
 
-// ensureWorkers starts the worker goroutines on first use.
+// ensureWorkers starts the worker goroutines on first use. A closed
+// coordinator stays closed: no workers are started after Close.
 func (c *Coordinator) ensureWorkers() {
-	if c.started || len(c.engines) == 1 {
+	if len(c.engines) == 1 {
+		return
+	}
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	if c.started || c.closed {
 		return
 	}
 	c.started = true
@@ -157,8 +167,11 @@ func (c *Coordinator) ensureWorkers() {
 }
 
 // Close stops the worker goroutines. The coordinator must not be used
-// afterwards. Safe to call more than once; also installed as a finalizer.
+// afterwards. Idempotent and safe to call concurrently (an explicit close
+// can race the finalizer-driven one); also installed as a finalizer.
 func (c *Coordinator) Close() {
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
 	if c.closed {
 		return
 	}

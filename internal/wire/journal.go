@@ -1,0 +1,214 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pleroma/internal/dz"
+)
+
+// This file extends the wire codec with the control-op journal record: the
+// unit of the controller's append-only log. A record captures one applied
+// control operation together with its epoch (incremented at every
+// failover) and sequence number (monotone within the journal), so a warm
+// standby can replay snapshot + journal to the exact pre-crash state.
+
+// Journal op names. The first four match the signalling ops; reconfigure
+// records a RebuildTrees pass (topology change), which has no client id.
+const (
+	OpAdvertise   = "advertise"
+	OpSubscribe   = "subscribe"
+	OpUnsubscribe = "unsubscribe"
+	OpUnadvertise = "unadvertise"
+	OpReconfigure = "reconfigure"
+)
+
+// opReconfigure extends the signalling op codes; it is only valid in
+// journal records, never in IP_vir signals.
+const opReconfigure byte = 5
+
+// Record is one journaled control operation.
+type Record struct {
+	// Epoch identifies the controller incarnation that applied the op.
+	Epoch uint32
+	// Seq is the record's position in the journal (monotone, 1-based).
+	Seq uint64
+	// Op is one of the Op* journal op names.
+	Op string
+	// ID is the client identifier; empty for reconfigure records.
+	ID string
+	// Node locates the client endpoint (host, or border switch for
+	// virtual clients); zero for unsubscribe/unadvertise/reconfigure.
+	Node uint32
+	// ViaPort is the border exit port of a virtual client; zero for
+	// regular clients.
+	ViaPort uint32
+	// Set is the operation's DZ set; nil for removals and reconfigure.
+	Set dz.Set
+}
+
+func recOpCode(op string) (byte, error) {
+	if op == OpReconfigure {
+		return opReconfigure, nil
+	}
+	return opCode(op)
+}
+
+func recOpName(code byte) (string, error) {
+	if code == opReconfigure {
+		return OpReconfigure, nil
+	}
+	return opName(code)
+}
+
+// EncodeRecord renders a journal record:
+//
+//	[version u8][op u8][epoch u32][seq u64][idLen u8][id]
+//	[node u32][viaPort u32][count u16][expr]×count
+func EncodeRecord(r Record) ([]byte, error) {
+	code, err := recOpCode(r.Op)
+	if err != nil {
+		return nil, err
+	}
+	if r.Op == OpReconfigure {
+		if r.ID != "" {
+			return nil, fmt.Errorf("wire: reconfigure record carries id %q", r.ID)
+		}
+	} else if len(r.ID) == 0 || len(r.ID) > MaxIDLen {
+		return nil, fmt.Errorf("wire: record id length %d out of range 1..%d", len(r.ID), MaxIDLen)
+	}
+	if len(r.Set) > MaxSetMembers || len(r.Set) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: record DZ set of %d members exceeds %d", len(r.Set), MaxSetMembers)
+	}
+	buf := make([]byte, 0, 24+len(r.ID)+4*len(r.Set))
+	buf = append(buf, Version, code)
+	buf = binary.BigEndian.AppendUint32(buf, r.Epoch)
+	buf = binary.BigEndian.AppendUint64(buf, r.Seq)
+	buf = append(buf, byte(len(r.ID)))
+	buf = append(buf, r.ID...)
+	buf = binary.BigEndian.AppendUint32(buf, r.Node)
+	buf = binary.BigEndian.AppendUint32(buf, r.ViaPort)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Set)))
+	for _, e := range r.Set {
+		buf, err = packExpr(buf, e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeRecord parses a journal record.
+func DecodeRecord(b []byte) (Record, error) {
+	if len(b) < 15 {
+		return Record{}, fmt.Errorf("wire: record too short (%d bytes)", len(b))
+	}
+	if b[0] != Version {
+		return Record{}, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	op, err := recOpName(b[1])
+	if err != nil {
+		return Record{}, err
+	}
+	r := Record{
+		Op:    op,
+		Epoch: binary.BigEndian.Uint32(b[2:]),
+		Seq:   binary.BigEndian.Uint64(b[6:]),
+	}
+	idLen := int(b[14])
+	rest := b[15:]
+	if len(rest) < idLen+10 {
+		return Record{}, fmt.Errorf("wire: truncated record id/header")
+	}
+	if op == OpReconfigure && idLen != 0 {
+		return Record{}, fmt.Errorf("wire: reconfigure record carries an id")
+	}
+	if op != OpReconfigure && idLen == 0 {
+		return Record{}, fmt.Errorf("wire: %s record without id", op)
+	}
+	r.ID = string(rest[:idLen])
+	rest = rest[idLen:]
+	r.Node = binary.BigEndian.Uint32(rest)
+	r.ViaPort = binary.BigEndian.Uint32(rest[4:])
+	count := int(binary.BigEndian.Uint16(rest[8:]))
+	rest = rest[10:]
+	if count > MaxSetMembers {
+		return Record{}, fmt.Errorf("wire: record DZ set of %d members exceeds %d", count, MaxSetMembers)
+	}
+	exprs := make([]dz.Expr, 0, count)
+	for i := 0; i < count; i++ {
+		var e dz.Expr
+		e, rest, err = unpackExpr(rest)
+		if err != nil {
+			return Record{}, err
+		}
+		exprs = append(exprs, e)
+	}
+	if len(rest) != 0 {
+		return Record{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	if count > 0 {
+		r.Set = dz.NewSet(exprs...)
+	}
+	return r, nil
+}
+
+// AppendExpr appends one dz-expression in packed wire form
+// ([len u8][bits MSB-first]); the snapshot codec shares this encoding.
+func AppendExpr(buf []byte, e dz.Expr) ([]byte, error) {
+	return packExpr(buf, e)
+}
+
+// ReadExpr decodes one packed expression, returning it and the remainder.
+func ReadExpr(b []byte) (dz.Expr, []byte, error) {
+	return unpackExpr(b)
+}
+
+// AppendSet appends a DZ set as [count u16][expr]×count. Members are
+// written in the set's (canonical, sorted) order, so equal sets encode to
+// equal bytes.
+func AppendSet(buf []byte, s dz.Set) ([]byte, error) {
+	if len(s) > MaxSetMembers || len(s) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: DZ set of %d members exceeds %d", len(s), MaxSetMembers)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	var err error
+	for _, e := range s {
+		buf, err = packExpr(buf, e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// ReadSet decodes a DZ set written by AppendSet, returning it and the
+// remainder. An empty count yields a nil set, so encode(decode(b)) is
+// byte-identical.
+func ReadSet(b []byte) (dz.Set, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("wire: truncated DZ set header")
+	}
+	count := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if count > MaxSetMembers {
+		return nil, nil, fmt.Errorf("wire: DZ set of %d members exceeds %d", count, MaxSetMembers)
+	}
+	if count == 0 {
+		return nil, b, nil
+	}
+	exprs := make([]dz.Expr, 0, count)
+	for i := 0; i < count; i++ {
+		var (
+			e   dz.Expr
+			err error
+		)
+		e, b, err = unpackExpr(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		exprs = append(exprs, e)
+	}
+	return dz.NewSet(exprs...), b, nil
+}

@@ -2,6 +2,8 @@ package workload
 
 import (
 	"errors"
+	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -107,6 +109,76 @@ func TestRunChurnConsistent(t *testing.T) {
 	}
 	if st.Subscribes == 0 || st.Unsubscribes == 0 {
 		t.Errorf("degenerate mix: %+v", st)
+	}
+}
+
+// TestRunChurnSameSeedDeterministic pins the seeding contract RunChurn
+// documents and the HA journal replay relies on: the sequence of requests
+// each worker makes is a pure function of the seed, independent of
+// scheduling. With a single worker the total operation order is
+// deterministic too (the mode the ext-ha experiment uses).
+func TestRunChurnSameSeedDeterministic(t *testing.T) {
+	sch := schema(t, 2)
+	record := func(workers int) map[string][]string {
+		streams := make(map[string][]string)
+		var mu sync.Mutex
+		log := func(op, id string, rect dz.Rect) error {
+			w, _, _ := strings.Cut(id, "-")
+			mu.Lock()
+			streams[w] = append(streams[w], fmt.Sprintf("%s %s %v", op, id, rect))
+			mu.Unlock()
+			return nil
+		}
+		_, err := RunChurn(sch, ChurnConfig{
+			Workers:      workers,
+			OpsPerWorker: 80,
+			Seed:         4242,
+		}, ChurnOps{
+			Subscribe:   func(id string, r dz.Rect) error { return log("sub", id, r) },
+			Unsubscribe: func(id string) error { return log("unsub", id, dz.Rect{}) },
+			Advertise:   func(id string, r dz.Rect) error { return log("adv", id, r) },
+			Unadvertise: func(id string) error { return log("unadv", id, dz.Rect{}) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return streams
+	}
+
+	for _, workers := range []int{1, 3} {
+		a, b := record(workers), record(workers)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("workers=%d: per-worker op streams differ between identical seeds", workers)
+		}
+		if len(a) != workers {
+			t.Errorf("workers=%d: saw streams for %d workers", workers, len(a))
+		}
+	}
+
+	// Different seeds must actually diverge, or the test pins nothing.
+	one := record(1)
+	var mu sync.Mutex
+	other := make(map[string][]string)
+	_, err := RunChurn(sch, ChurnConfig{Workers: 1, OpsPerWorker: 80, Seed: 4243},
+		ChurnOps{
+			Subscribe: func(id string, r dz.Rect) error {
+				mu.Lock()
+				other["w0"] = append(other["w0"], fmt.Sprintf("sub %s %v", id, r))
+				mu.Unlock()
+				return nil
+			},
+			Unsubscribe: func(id string) error {
+				mu.Lock()
+				other["w0"] = append(other["w0"], "unsub "+id)
+				mu.Unlock()
+				return nil
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(one, other) {
+		t.Error("different seeds produced identical op streams")
 	}
 }
 

@@ -123,6 +123,9 @@ type config struct {
 	faults *netem.FaultConfig
 	// retry, when set, overrides the controllers' southbound retry policy.
 	retry *core.RetryPolicy
+	// journal enables controller HA: per-partition op journals plus the
+	// Snapshot/Restore/Failover surface (see WithJournal in ha.go).
+	journal bool
 	// obsEnabled/obsTraceCap/obsTraceSink configure the observability
 	// layer (see WithObservability in observability.go).
 	obsEnabled   bool
@@ -353,6 +356,9 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 	if reg != nil {
 		fabOpts = append(fabOpts, interdomain.WithObservability(reg, tracer))
 	}
+	if cfg.journal {
+		fabOpts = append(fabOpts, interdomain.WithHA())
+	}
 	fab, err := interdomain.NewFabric(g, dp, fabOpts...)
 	if err != nil {
 		return nil, err
@@ -453,7 +459,9 @@ func (s *System) Shards() int {
 // Close releases the shard worker goroutines of a WithShards(n>1)
 // system. The system must not be used afterwards. Optional — an
 // abandoned system is reaped by a finalizer — but deterministic cleanup
-// keeps goroutine-leak checkers quiet. Safe to call on any system.
+// keeps goroutine-leak checkers quiet. Safe to call on any system,
+// idempotent, and safe to call concurrently (e.g. racing the finalizer
+// path or a deferred double-Close).
 func (s *System) Close() {
 	if s.coord != nil {
 		s.coord.Close()

@@ -91,6 +91,60 @@ func TestPublishWithoutAdvertise(t *testing.T) {
 	}
 }
 
+// TestSameHostDelivery pins the access-switch hairpin: a subscriber on
+// the publisher's own host receives matching events (via a flow whose out
+// port is the ingress port), while a colocated non-matching subscription
+// stays silent.
+func TestSameHostDelivery(t *testing.T) {
+	sys := newSys(t)
+	hosts := sys.Hosts()
+	pub, err := sys.NewPublisher("p", hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Advertise(NewFilter().Range("price", 0, 511)); err != nil {
+		t.Fatal(err)
+	}
+	var same, other, miss int
+	if err := sys.Subscribe("same", hosts[0], NewFilter().Range("price", 0, 255),
+		func(Delivery) { same++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Subscribe("other", hosts[7], NewFilter().Range("price", 0, 255),
+		func(Delivery) { other++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Subscribe("miss", hosts[0], NewFilter().Range("price", 600, 700),
+		func(Delivery) { miss++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if same != 1 || other != 1 {
+		t.Errorf("same-host=%d other-host=%d, want 1/1", same, other)
+	}
+	if miss != 0 {
+		t.Errorf("non-matching colocated subscription received %d events", miss)
+	}
+	if err := sys.VerifyTables(); err != nil {
+		t.Errorf("tables inconsistent: %v", err)
+	}
+	// Hairpin flows tear down like any other: unsubscribing the colocated
+	// subscriber stops its delivery without disturbing the remote one.
+	if err := sys.Unsubscribe("same"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(11, 1); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if same != 1 || other != 2 {
+		t.Errorf("after unsubscribe: same-host=%d other-host=%d, want 1/2", same, other)
+	}
+}
+
 func TestUnsubscribeStopsDelivery(t *testing.T) {
 	sys := newSys(t)
 	hosts := sys.Hosts()
