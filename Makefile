@@ -2,9 +2,9 @@ GO ?= go
 
 # Packages with dedicated concurrency stress coverage; raced separately so
 # `make check` stays fast while still catching locking regressions.
-RACE_PKGS := ./internal/core/... ./internal/netem/... ./internal/openflow/... ./internal/workload/... ./internal/obs/... ./internal/metrics/... ./internal/sim/... ./internal/interdomain/... ./internal/wire/...
+RACE_PKGS := ./internal/core/... ./internal/netem/... ./internal/openflow/... ./internal/workload/... ./internal/obs/... ./internal/metrics/... ./internal/sim/... ./internal/interdomain/... ./internal/wire/... ./internal/transport/...
 
-.PHONY: check vet build test race soak bench bench-obs bench-dataplane bench-parallel obs-demo
+.PHONY: check vet build test race soak bench bench-obs bench-dataplane bench-parallel obs-demo daemon-demo
 
 check: vet build test race
 
@@ -19,7 +19,7 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -run 'Fault|Resync|Sharded|WithShards|Failover|Snapshot|Journal|Close' -count=1 .
+	$(GO) test -race -run 'Fault|Resync|Sharded|WithShards|Failover|Snapshot|Journal|Close|Loopback|Network|Restart' -count=1 .
 
 # Long-running churn soaks against the public API, raced: exact-delivery
 # ground truth plus fault-injection convergence (resync heals every round).
@@ -62,6 +62,31 @@ bench-obs:
 bench-parallel:
 	mkdir -p benchmarks
 	$(GO) test -run XXX -bench 'BenchmarkSystemPublishDeliverFatTree8' -benchtime 50x -count 1 -cpu 1,2,4,8 -benchmem . | tee -a benchmarks/parallel.txt
+
+# Networked deployment smoke test: boot pleroma-d on loopback, attach a
+# subscriber process and a publisher process, and check the delivery
+# lands — the README quickstart, end to end.
+daemon-demo:
+	@set -e; \
+	$(GO) build -o /tmp/pleroma-d ./cmd/pleroma-d; \
+	$(GO) build -o /tmp/pleroma-pub ./cmd/pleroma-pub; \
+	$(GO) build -o /tmp/pleroma-sub ./cmd/pleroma-sub; \
+	/tmp/pleroma-d -listen 127.0.0.1:9478 > /tmp/pleroma-d.log & pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 1 20); do \
+		grep -q 'listening on' /tmp/pleroma-d.log 2>/dev/null && break; sleep 0.5; \
+	done; \
+	echo "--- daemon"; cat /tmp/pleroma-d.log; \
+	/tmp/pleroma-sub -addr 127.0.0.1:9478 -id alerts -filter "price:0-99" -n 1 -for 30s > /tmp/pleroma-sub.log & spid=$$!; \
+	for i in $$(seq 1 20); do \
+		grep -q 'subscribed' /tmp/pleroma-sub.log 2>/dev/null && break; sleep 0.5; \
+	done; \
+	echo "--- publisher"; /tmp/pleroma-pub -addr 127.0.0.1:9478 -id ticker -events "42,1000;500,17"; \
+	wait $$spid; \
+	echo "--- subscriber"; cat /tmp/pleroma-sub.log; \
+	grep -q 'received 1 deliveries' /tmp/pleroma-sub.log; \
+	kill -TERM $$pid; wait $$pid || true; \
+	echo "daemon-demo: OK"
 
 # Boot an instrumented demo deployment, probe its operational endpoints,
 # and shut it down — a smoke test for the /metrics and /healthz surface.

@@ -1,0 +1,113 @@
+// Command pleroma-pub is a publisher process for a running pleroma-d
+// daemon: it advertises a region of the event space, publishes a burst
+// of (optionally random) events, asks the daemon to run the simulated
+// network, and exits.
+//
+// Usage:
+//
+//	pleroma-pub -addr 127.0.0.1:7466 -id pub1 -filter "" -count 100
+//	pleroma-pub -addr 127.0.0.1:7466 -id pub1 -events "3,4;100,200"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pleroma"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pleroma-pub:", err)
+		os.Exit(1)
+	}
+}
+
+// parseEvents parses "v,v;v,v" into explicit event tuples.
+func parseEvents(s string) ([][]uint32, error) {
+	var tuples [][]uint32
+	for _, ev := range strings.Split(s, ";") {
+		var vals []uint32
+		for _, v := range strings.Split(ev, ",") {
+			n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("event %q: %w", ev, err)
+			}
+			vals = append(vals, uint32(n))
+		}
+		tuples = append(tuples, vals)
+	}
+	return tuples, nil
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pleroma-pub", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", "127.0.0.1:7466", "daemon address")
+		id     = fs.String("id", "pub", "publisher id (reconnects must reuse it)")
+		host   = fs.Int("host", 0, "index into the daemon's host list to publish from")
+		filter = fs.String("filter", "", "advertised region as attr:lo-hi,... (empty = whole space)")
+		events = fs.String("events", "", "explicit events to publish, v,v;v,v (overrides -count)")
+		count  = fs.Int("count", 10, "number of random events to publish")
+		max    = fs.Int("max", 1024, "exclusive upper bound for random attribute values")
+		dims   = fs.Int("dims", 2, "attributes per random event (match the daemon's schema)")
+		seed   = fs.Int64("seed", 1, "random seed for -count mode")
+		doRun  = fs.Bool("run", true, "drive the simulated network after publishing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f, err := pleroma.ParseFilter(*filter)
+	if err != nil {
+		return err
+	}
+	c, err := pleroma.Dial(*addr, pleroma.WithDialID("pleroma-pub/"+*id))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	hosts := c.Hosts()
+	if *host < 0 || *host >= len(hosts) {
+		return fmt.Errorf("-host %d out of range (daemon has %d hosts)", *host, len(hosts))
+	}
+	if err := c.Advertise(*id, hosts[*host], f); err != nil {
+		return err
+	}
+
+	var tuples [][]uint32
+	if *events != "" {
+		if tuples, err = parseEvents(*events); err != nil {
+			return err
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *count; i++ {
+			vals := make([]uint32, *dims)
+			for d := range vals {
+				vals[d] = uint32(rng.Intn(*max))
+			}
+			tuples = append(tuples, vals)
+		}
+	}
+	if err := c.PublishBatch(*id, tuples...); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "published %d events as %q from host %d\n", len(tuples), *id, hosts[*host])
+
+	if *doRun {
+		now, err := c.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "network ran to t=%v\n", now.Round(time.Microsecond))
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pleroma"
+)
+
+func TestParseEvents(t *testing.T) {
+	tuples, err := parseEvents("1,2;3,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 || tuples[0][0] != 1 || tuples[1][1] != 4 {
+		t.Fatalf("parsed %v", tuples)
+	}
+	if _, err := parseEvents("1,x"); err == nil {
+		t.Error("parseEvents accepted a non-numeric value")
+	}
+}
+
+func TestPublishAgainstDaemon(t *testing.T) {
+	sch, err := pleroma.NewSchema(
+		pleroma.Attribute{Name: "price", Bits: 10},
+		pleroma.Attribute{Name: "volume", Bits: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := pleroma.NewSystem(sch, pleroma.WithListener("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", sys.ListenAddr(),
+		"-id", "p1",
+		"-events", "100,200;300,400",
+	}, &out)
+	if err != nil {
+		t.Fatalf("pleroma-pub: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "published 2 events") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "network ran to") {
+		t.Fatalf("publish did not drive the network:\n%s", out.String())
+	}
+}

@@ -1,0 +1,97 @@
+// Command pleroma-sub is a subscriber process for a running pleroma-d
+// daemon: it registers a content subscription and prints every event the
+// network delivers to it, one line each, until the wait budget expires
+// or the expected count arrives.
+//
+// Usage:
+//
+//	pleroma-sub -addr 127.0.0.1:7466 -id sub1 -filter "price:0-511"
+//	pleroma-sub -addr 127.0.0.1:7466 -id sub1 -filter "price:0-511" -n 5 -for 30s
+//
+// The subscription persists on the daemon across disconnects: a restarted
+// pleroma-sub with the same -id and -filter rebinds to it and resumes
+// receiving.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pleroma"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pleroma-sub:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pleroma-sub", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", "127.0.0.1:7466", "daemon address")
+		id     = fs.String("id", "sub", "subscription id (reconnects must reuse it)")
+		host   = fs.Int("host", 1, "index into the daemon's host list to subscribe on")
+		filter = fs.String("filter", "", "subscribed region as attr:lo-hi,... (empty = everything)")
+		n      = fs.Int("n", 0, "exit after this many deliveries (0 = wait out -for)")
+		wait   = fs.Duration("for", 10*time.Second, "how long to wait for deliveries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f, err := pleroma.ParseFilter(*filter)
+	if err != nil {
+		return err
+	}
+	c, err := pleroma.Dial(*addr, pleroma.WithDialID("pleroma-sub/"+*id))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	hosts := c.Hosts()
+	if *host < 0 || *host >= len(hosts) {
+		return fmt.Errorf("-host %d out of range (daemon has %d hosts)", *host, len(hosts))
+	}
+
+	type line struct{ text string }
+	deliveries := make(chan line, 1024)
+	handler := func(d pleroma.Delivery) {
+		fp := ""
+		if d.FalsePositive {
+			fp = " (false positive)"
+		}
+		select {
+		case deliveries <- line{fmt.Sprintf("t=%v latency=%v event=%v%s",
+			d.At.Round(time.Microsecond), d.Latency.Round(time.Microsecond), d.Event.Values, fp)}:
+		default: // never block the network reader
+		}
+	}
+	if err := c.Subscribe(*id, hosts[*host], f, handler); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "subscribed %q on host %d, waiting %v\n", *id, hosts[*host], *wait)
+
+	deadline := time.NewTimer(*wait)
+	defer deadline.Stop()
+	got := 0
+	for {
+		select {
+		case l := <-deliveries:
+			got++
+			fmt.Fprintf(w, "[%d] %s\n", got, l.text)
+			if *n > 0 && got >= *n {
+				fmt.Fprintf(w, "received %d deliveries\n", got)
+				return nil
+			}
+		case <-deadline.C:
+			fmt.Fprintf(w, "received %d deliveries\n", got)
+			return nil
+		}
+	}
+}

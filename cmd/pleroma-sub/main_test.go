@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pleroma"
+)
+
+// syncBuffer lets the test poll output written by the subscriber
+// goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestSubscribeReceivesDeliveries(t *testing.T) {
+	sch, err := pleroma.NewSchema(
+		pleroma.Attribute{Name: "price", Bits: 10},
+		pleroma.Attribute{Name: "volume", Bits: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := pleroma.NewSystem(sch, pleroma.WithListener("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", sys.ListenAddr(),
+			"-id", "s1",
+			"-filter", "price:0-511",
+			"-n", "1",
+			"-for", "20s",
+		}, &out)
+	}()
+
+	// Wait until the subscription is registered, then publish into it.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "subscribed") {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber never registered; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	pub, err := pleroma.Dial(sys.ListenAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Advertise("p1", pub.Hosts()[0], pleroma.NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("p1", 100, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("pleroma-sub: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "received 1 deliveries") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}

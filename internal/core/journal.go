@@ -86,8 +86,9 @@ func (j *MemJournal) Records(afterSeq uint64) ([]wire.Record, error) {
 
 // Truncate drops every record with Seq <= upToSeq — the compaction step
 // after a snapshot covering that prefix was taken. The sequence counter is
-// unaffected, so later appends continue the numbering.
-func (j *MemJournal) Truncate(upToSeq uint64) {
+// unaffected, so later appends continue the numbering. The error return
+// exists to satisfy CompactableJournal; the in-memory form cannot fail.
+func (j *MemJournal) Truncate(upToSeq uint64) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	kept := j.recs[:0]
@@ -102,6 +103,7 @@ func (j *MemJournal) Truncate(upToSeq uint64) {
 		j.recs[i] = nil
 	}
 	j.recs = kept
+	return nil
 }
 
 // Len returns the number of live (non-truncated) records.

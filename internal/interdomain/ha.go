@@ -20,11 +20,22 @@ func WithHA() Option {
 	return func(f *Fabric) { f.ha = true }
 }
 
+// WithHAJournal enables HA with journals supplied by open — one per
+// partition. The networked daemon uses it to hand every partition a
+// file-backed core.FileJournal so controller state survives a process
+// restart; tests can inject failing or instrumented journals the same way.
+func WithHAJournal(open func(partition int) (core.CompactableJournal, error)) Option {
+	return func(f *Fabric) {
+		f.ha = true
+		f.journalOpen = open
+	}
+}
+
 // controllerOpts builds the option set of one partition's controller — the
 // same set for the initial instance and for every standby promoted later,
 // so a promoted controller is configured identically to the one it
 // replaces.
-func (f *Fabric) controllerOpts(partition int, journal *core.MemJournal) []core.Option {
+func (f *Fabric) controllerOpts(partition int, journal core.CompactableJournal) []core.Option {
 	opts := append([]core.Option{
 		core.WithHostAddr(netem.HostAddr),
 		core.WithPartition(partition),
@@ -36,7 +47,7 @@ func (f *Fabric) controllerOpts(partition int, journal *core.MemJournal) []core.
 }
 
 // Journal returns the op journal of one partition (nil without WithHA).
-func (f *Fabric) Journal(partition int) (*core.MemJournal, error) {
+func (f *Fabric) Journal(partition int) (core.CompactableJournal, error) {
 	s, ok := f.parts[partition]
 	if !ok {
 		return nil, fmt.Errorf("interdomain: unknown partition %d", partition)
@@ -60,8 +71,63 @@ func (f *Fabric) SnapshotPartition(partition int) ([]byte, error) {
 		return nil, fmt.Errorf("interdomain: snapshot partition %d: %w", partition, err)
 	}
 	s.lastSnap = append([]byte(nil), snap...)
-	s.journal.Truncate(s.ctl.JournalSeq())
+	if err := s.journal.Truncate(s.ctl.JournalSeq()); err != nil {
+		return nil, fmt.Errorf("interdomain: compact journal of partition %d: %w", partition, err)
+	}
 	return snap, nil
+}
+
+// DigestPartition returns the deterministic digest of the partition
+// controller's canonical state (core.SnapshotDigest over a fresh
+// EncodeSnapshot). Unlike SnapshotPartition it works without WithHA and has
+// no compaction side effects, so two systems can compare control-plane
+// state byte-for-byte — the loopback equivalence test's backbone.
+func (f *Fabric) DigestPartition(partition int) ([]byte, error) {
+	s, ok := f.parts[partition]
+	if !ok {
+		return nil, fmt.Errorf("interdomain: unknown partition %d", partition)
+	}
+	snap, err := s.ctl.EncodeSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("interdomain: digest partition %d: %w", partition, err)
+	}
+	d, err := core.SnapshotDigest(snap)
+	if err != nil {
+		return nil, fmt.Errorf("interdomain: digest partition %d: %w", partition, err)
+	}
+	return d[:], nil
+}
+
+// RecoverPartition rebuilds the partition's controller from an externally
+// persisted snapshot (possibly nil for journal-only recovery) plus the
+// partition journal's suffix — the daemon's restart-with-state path. It is
+// Failover driven by on-disk state instead of the retained lastSnap: the
+// standby replays, bumps the epoch, and resyncs switch ground truth.
+func (f *Fabric) RecoverPartition(partition int, snap []byte) (FailoverReport, error) {
+	rep := FailoverReport{Partition: partition}
+	s, ok := f.parts[partition]
+	if !ok {
+		return rep, fmt.Errorf("interdomain: unknown partition %d", partition)
+	}
+	if s.journal == nil {
+		return rep, fmt.Errorf("interdomain: partition %d has no journal (fabric built without WithHA)", partition)
+	}
+	standby := core.NewStandby(f.g, f.prog, s.journal, f.controllerOpts(partition, nil)...)
+	if snap != nil {
+		if err := standby.ObserveSnapshot(snap); err != nil {
+			return rep, fmt.Errorf("interdomain: recover partition %d: %w", partition, err)
+		}
+		s.lastSnap = append([]byte(nil), snap...)
+	}
+	ctl, prep, err := standby.Promote()
+	if err != nil {
+		return rep, fmt.Errorf("interdomain: recover partition %d: %w", partition, err)
+	}
+	s.ctl = ctl
+	rep.PromoteReport = prep
+	f.obsFailovers.With(strconv.Itoa(partition)).Inc()
+	f.obsEpoch.With(strconv.Itoa(partition)).Set(int64(prep.Epoch))
+	return rep, nil
 }
 
 // RestorePartition replaces the partition's controller with one

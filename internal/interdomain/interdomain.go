@@ -124,8 +124,9 @@ type partitionState struct {
 	// journal receives the partition controller's control ops when the
 	// fabric runs with HA (WithHA); lastSnap holds the latest snapshot
 	// taken through SnapshotPartition — together they are what a warm
-	// standby promotes from (see ha.go).
-	journal  *core.MemJournal
+	// standby promotes from (see ha.go). In-memory by default, file-backed
+	// under WithHAJournal (the networked daemon's restart-with-state path).
+	journal  core.CompactableJournal
 	lastSnap []byte
 }
 
@@ -191,6 +192,7 @@ type Fabric struct {
 	covering        bool
 	staticDiscovery bool
 	ha              bool
+	journalOpen     func(partition int) (core.CompactableJournal, error)
 	ctlOpts         []core.Option
 
 	messagesSent uint64
@@ -245,9 +247,16 @@ func NewFabric(g *topo.Graph, dp *netem.DataPlane, opts ...Option) (*Fabric, err
 		f.prog = dp
 	}
 	for _, p := range g.Partitions() {
-		var journal *core.MemJournal
+		var journal core.CompactableJournal
 		if f.ha {
-			journal = core.NewMemJournal()
+			if f.journalOpen != nil {
+				var err error
+				if journal, err = f.journalOpen(p); err != nil {
+					return nil, fmt.Errorf("interdomain: open journal for partition %d: %w", p, err)
+				}
+			} else {
+				journal = core.NewMemJournal()
+			}
 		}
 		ctl, err := core.NewController(g, f.prog, f.controllerOpts(p, journal)...)
 		if err != nil {

@@ -128,6 +128,18 @@ const (
 	// MControllerEpoch gauges each partition's controller incarnation.
 	MFailovers       = "pleroma_controller_failovers_total"
 	MControllerEpoch = "pleroma_controller_epoch"
+	// MTransportFramesSent / MTransportFramesRecv and the byte twins count
+	// framed messages crossing the TCP transport boundary (both roles).
+	MTransportFramesSent = "pleroma_transport_frames_sent_total"
+	MTransportFramesRecv = "pleroma_transport_frames_recv_total"
+	MTransportBytesSent  = "pleroma_transport_bytes_sent_total"
+	MTransportBytesRecv  = "pleroma_transport_bytes_recv_total"
+	// MTransportReconnects counts client redials after a lost connection;
+	// MTransportConns gauges the server's live connections and
+	// MTransportInflight the requests currently being served.
+	MTransportReconnects = "pleroma_transport_reconnects_total"
+	MTransportConns      = "pleroma_transport_connections"
+	MTransportInflight   = "pleroma_transport_inflight_requests"
 )
 
 // DefaultLatencyBuckets spans the µs-to-seconds range control and delivery

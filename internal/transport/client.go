@@ -1,0 +1,600 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pleroma/internal/core"
+	"pleroma/internal/obs"
+	"pleroma/internal/openflow"
+	"pleroma/internal/space"
+	"pleroma/internal/topo"
+	"pleroma/internal/wire"
+)
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientID names the client in its Hello (diagnostics only).
+func WithClientID(id string) ClientOption {
+	return func(c *Client) { c.id = id }
+}
+
+// WithClientRetry sets the reconnect/backoff policy. The zero default is
+// core.DefaultRetryPolicy: a handful of attempts under capped exponential
+// backoff, with OpDeadline bounding each request's wait.
+func WithClientRetry(p core.RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithClientObservability attaches the client's transport counters to reg.
+func WithClientObservability(reg *obs.Registry) ClientOption {
+	return func(c *Client) {
+		if reg == nil {
+			return
+		}
+		c.m = connMetrics{
+			framesSent: reg.Counter(obs.MTransportFramesSent, "Frames written to transport connections."),
+			framesRecv: reg.Counter(obs.MTransportFramesRecv, "Frames read from transport connections."),
+			bytesSent:  reg.Counter(obs.MTransportBytesSent, "Bytes written to transport connections."),
+			bytesRecv:  reg.Counter(obs.MTransportBytesRecv, "Bytes read from transport connections."),
+		}
+		c.obsReconnects = reg.Counter(obs.MTransportReconnects, "Client redials after a lost transport connection.")
+	}
+}
+
+// advReg / subReg record a client's registrations in arrival order, so a
+// reconnect can replay them: the server treats identical re-registration
+// as an idempotent rebind, leaving journal and digest untouched.
+type advReg struct {
+	id     string
+	host   uint32
+	ranges []wire.Range
+}
+
+type subReg struct {
+	id      string
+	host    uint32
+	ranges  []wire.Range
+	handler func(wire.Delivery)
+}
+
+// Client is one process's connection to a pleroma-d daemon. All exported
+// methods are safe for concurrent use; requests are correlated by id, so
+// several may be in flight at once. A lost connection is redialed under
+// the retry policy and every advertisement and subscription re-registered
+// before the failed request is retried.
+type Client struct {
+	addr  string
+	id    string
+	retry core.RetryPolicy
+	m     connMetrics
+
+	obsReconnects *obs.Counter
+
+	mu       sync.Mutex
+	fc       *frameConn
+	corr     uint64
+	pending  map[uint64]chan wire.Frame
+	advs     []advReg
+	subs     []subReg
+	handlers map[string]func(wire.Delivery)
+	info     Info
+	closed   bool
+	// gen counts established connections; reconnect attempts pass the gen
+	// they observed so only one caller redials a given dead connection.
+	gen int
+}
+
+// Dial connects to a daemon and performs the Hello handshake.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	c := &Client{
+		addr:     addr,
+		id:       "client",
+		retry:    core.DefaultRetryPolicy,
+		pending:  make(map[uint64]chan wire.Frame),
+		handlers: make(map[string]func(wire.Delivery)),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connectLocked dials, handshakes, and replays registrations, all
+// synchronously on the fresh connection (its reader goroutine starts only
+// afterwards, so the round-trips below own the socket). Callers hold c.mu.
+func (c *Client) connectLocked() error {
+	raw, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReader(raw)
+	rt := func(f wire.Frame) (wire.Frame, error) {
+		b, err := wire.AppendFrame(nil, f)
+		if err != nil {
+			return wire.Frame{}, err
+		}
+		if c.retry.OpDeadline > 0 {
+			raw.SetDeadline(time.Now().Add(c.retry.OpDeadline))
+		}
+		if _, err := raw.Write(b); err != nil {
+			return wire.Frame{}, err
+		}
+		for {
+			resp, err := readFrame(br, c.m)
+			if err != nil {
+				return wire.Frame{}, err
+			}
+			if resp.Kind == wire.KindDeliver {
+				c.dispatchDelivery(resp)
+				continue
+			}
+			return resp, nil
+		}
+	}
+
+	hb, err := wire.EncodeHello(wire.Hello{ID: c.id})
+	if err != nil {
+		raw.Close()
+		return err
+	}
+	resp, err := rt(wire.Frame{Kind: wire.KindHello, Corr: 1, Payload: hb})
+	if err != nil {
+		raw.Close()
+		return fmt.Errorf("transport: hello: %w", err)
+	}
+	if resp.Kind != wire.KindHelloOK {
+		raw.Close()
+		return fmt.Errorf("transport: hello rejected: %s", respError(resp))
+	}
+	hello, err := wire.DecodeHelloOK(resp.Payload)
+	if err != nil {
+		raw.Close()
+		return err
+	}
+	c.info = Info{Hosts: hello.Hosts, Partitions: hello.Partitions}
+
+	// Replay registrations in arrival order. On the server these are
+	// idempotent rebinds: control state, journal, and digests are
+	// untouched when the parameters match what it already holds.
+	corr := uint64(1)
+	replay := func(op, id string, host uint32, ranges []wire.Range) error {
+		corr++
+		b, err := wire.EncodeControlReq(wire.ControlReq{Op: op, ID: id, Host: host, Ranges: ranges})
+		if err != nil {
+			return err
+		}
+		resp, err := rt(wire.Frame{Kind: wire.KindControl, Corr: corr, Payload: b})
+		if err != nil {
+			return err
+		}
+		if resp.Kind != wire.KindOK {
+			return fmt.Errorf("transport: replay %s %q: %s", op, id, respError(resp))
+		}
+		return nil
+	}
+	for _, a := range c.advs {
+		if err := replay("advertise", a.id, a.host, a.ranges); err != nil {
+			raw.Close()
+			return err
+		}
+	}
+	for _, s := range c.subs {
+		if err := replay("subscribe", s.id, s.host, s.ranges); err != nil {
+			raw.Close()
+			return err
+		}
+	}
+
+	raw.SetDeadline(time.Time{})
+	c.fc = newFrameConn(raw, c.retry.OpDeadline, c.m)
+	c.corr = corr
+	c.gen++
+	go c.readLoop(c.fc, br, c.gen)
+	return nil
+}
+
+// readLoop dispatches incoming frames: deliveries to their subscription
+// handlers, responses to their waiting callers. On a read error every
+// pending call fails fast, and the next request redials.
+func (c *Client) readLoop(fc *frameConn, br *bufio.Reader, gen int) {
+	for {
+		f, err := readFrame(br, c.m)
+		if err != nil {
+			c.connLost(fc, gen)
+			return
+		}
+		switch f.Kind {
+		case wire.KindDeliver:
+			c.dispatchDelivery(f)
+		case wire.KindGoodbye:
+			c.connLost(fc, gen)
+			return
+		default:
+			c.mu.Lock()
+			ch := c.pending[f.Corr]
+			delete(c.pending, f.Corr)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- f
+			}
+		}
+	}
+}
+
+func (c *Client) dispatchDelivery(f wire.Frame) {
+	d, err := wire.DecodeDelivery(f.Payload)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	h := c.handlers[d.SubscriptionID]
+	c.mu.Unlock()
+	if h != nil {
+		h(d)
+	}
+}
+
+// connLost tears down the given connection generation and fails its
+// pending calls so they can retry on a fresh dial.
+func (c *Client) connLost(fc *frameConn, gen int) {
+	c.mu.Lock()
+	if c.fc != fc || c.gen != gen {
+		c.mu.Unlock()
+		return
+	}
+	c.fc = nil
+	pend := c.pending
+	c.pending = make(map[uint64]chan wire.Frame)
+	c.mu.Unlock()
+	fc.abort()
+	for _, ch := range pend {
+		ch <- wire.Frame{Kind: wire.KindError, Payload: []byte("transport: connection lost")}
+	}
+}
+
+// respError extracts the server error message from an Error frame.
+func respError(f wire.Frame) string {
+	if f.Kind == wire.KindError {
+		return string(f.Payload)
+	}
+	return fmt.Sprintf("unexpected response kind %v", f.Kind)
+}
+
+// call performs one correlated request/response, redialing (with the
+// retry policy's backoff) when the connection is down or lost mid-call.
+func (c *Client) call(kind wire.Kind, payload []byte) (wire.Frame, error) {
+	pol := c.retry
+	var lastErr error
+	sleep := pol.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	attempts := pol.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			backoff := pol.BaseBackoff << uint(attempt-1)
+			if pol.MaxBackoff > 0 && backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+			if backoff > 0 {
+				sleep(backoff)
+			}
+		}
+		resp, err := c.attempt(kind, payload, attempt > 0)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return wire.Frame{}, fmt.Errorf("transport: %d attempts exhausted: %w", attempts, lastErr)
+}
+
+func (c *Client) attempt(kind wire.Kind, payload []byte, isRetry bool) (wire.Frame, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wire.Frame{}, fmt.Errorf("transport: client closed")
+	}
+	if c.fc == nil {
+		if isRetry {
+			c.obsReconnects.Inc()
+		}
+		if err := c.connectLocked(); err != nil {
+			c.mu.Unlock()
+			return wire.Frame{}, err
+		}
+	}
+	fc := c.fc
+	c.corr++
+	corr := c.corr
+	ch := make(chan wire.Frame, 1)
+	c.pending[corr] = ch
+	c.mu.Unlock()
+
+	if err := fc.send(wire.Frame{Kind: kind, Corr: corr, Payload: payload}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, corr)
+		c.mu.Unlock()
+		return wire.Frame{}, err
+	}
+
+	var timeout <-chan time.Time
+	if c.retry.OpDeadline > 0 {
+		t := time.NewTimer(c.retry.OpDeadline)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case resp := <-ch:
+		if resp.Kind == wire.KindError {
+			return resp, fmt.Errorf("%s", string(resp.Payload))
+		}
+		return resp, nil
+	case <-timeout:
+		c.mu.Lock()
+		delete(c.pending, corr)
+		c.mu.Unlock()
+		return wire.Frame{}, fmt.Errorf("transport: request timed out")
+	}
+}
+
+// Info returns the deployment description from the Hello handshake.
+func (c *Client) Info() Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.info
+}
+
+func (c *Client) control(op, id string, host uint32, ranges []wire.Range) error {
+	b, err := wire.EncodeControlReq(wire.ControlReq{Op: op, ID: id, Host: host, Ranges: ranges})
+	if err != nil {
+		return err
+	}
+	resp, err := c.call(wire.KindControl, b)
+	if err != nil {
+		return err
+	}
+	if resp.Kind != wire.KindOK {
+		return fmt.Errorf("transport: %s %q: %s", op, id, respError(resp))
+	}
+	return nil
+}
+
+// Advertise announces a publisher's region (attribute ranges) on a host.
+func (c *Client) Advertise(id string, host uint32, ranges []wire.Range) error {
+	if err := c.control("advertise", id, host, ranges); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.advs = append(c.advs, advReg{id: id, host: host, ranges: ranges})
+	c.mu.Unlock()
+	return nil
+}
+
+// Unadvertise withdraws an advertisement.
+func (c *Client) Unadvertise(id string) error {
+	if err := c.control("unadvertise", id, 0, nil); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.advs = removeAdv(c.advs, id)
+	c.mu.Unlock()
+	return nil
+}
+
+// Subscribe registers a subscription; handler fires on the client's reader
+// goroutine for every delivered event.
+func (c *Client) Subscribe(id string, host uint32, ranges []wire.Range, handler func(wire.Delivery)) error {
+	c.mu.Lock()
+	c.handlers[id] = handler
+	c.mu.Unlock()
+	if err := c.control("subscribe", id, host, ranges); err != nil {
+		c.mu.Lock()
+		delete(c.handlers, id)
+		c.mu.Unlock()
+		return err
+	}
+	c.mu.Lock()
+	c.subs = append(c.subs, subReg{id: id, host: host, ranges: ranges, handler: handler})
+	c.mu.Unlock()
+	return nil
+}
+
+// Unsubscribe withdraws a subscription.
+func (c *Client) Unsubscribe(id string) error {
+	if err := c.control("unsubscribe", id, 0, nil); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.handlers, id)
+	c.subs = removeSub(c.subs, id)
+	c.mu.Unlock()
+	return nil
+}
+
+// Publish injects events from the advertised publisher id.
+func (c *Client) Publish(id string, events []space.Event) error {
+	b, err := wire.EncodePublish(wire.PublishReq{ID: id, Events: events})
+	if err != nil {
+		return err
+	}
+	resp, err := c.call(wire.KindPublish, b)
+	if err != nil {
+		return err
+	}
+	if resp.Kind != wire.KindOK {
+		return fmt.Errorf("transport: publish %q: %s", id, respError(resp))
+	}
+	return nil
+}
+
+// Run drains the daemon's pending simulated work and returns the final
+// simulated time — the remote form of System.Run.
+func (c *Client) Run() (time.Duration, error) {
+	resp, err := c.call(wire.KindRun, nil)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Kind != wire.KindRunDone || len(resp.Payload) != 8 {
+		return 0, fmt.Errorf("transport: run: %s", respError(resp))
+	}
+	return time.Duration(binary.BigEndian.Uint64(resp.Payload)), nil
+}
+
+// Sync waits until every delivery the daemon enqueued for this client
+// before the Sync has been received and dispatched: the OK response rides
+// the same FIFO behind them.
+func (c *Client) Sync() error {
+	resp, err := c.call(wire.KindSync, nil)
+	if err != nil {
+		return err
+	}
+	if resp.Kind != wire.KindOK {
+		return fmt.Errorf("transport: sync: %s", respError(resp))
+	}
+	return nil
+}
+
+// Digest returns the daemon's control-plane state digest.
+func (c *Client) Digest() ([]byte, error) {
+	resp, err := c.call(wire.KindDigest, nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != wire.KindDigestResult {
+		return nil, fmt.Errorf("transport: digest: %s", respError(resp))
+	}
+	return resp.Payload, nil
+}
+
+// Close sends a Goodbye and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	fc := c.fc
+	c.fc = nil
+	c.mu.Unlock()
+	if fc != nil {
+		fc.send(wire.Frame{Kind: wire.KindGoodbye})
+		fc.close()
+	}
+	return nil
+}
+
+func removeAdv(s []advReg, id string) []advReg {
+	out := s[:0]
+	for _, a := range s {
+		if a.id != id {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func removeSub(s []subReg, id string) []subReg {
+	out := s[:0]
+	for _, x := range s {
+		if x.id != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// RemoteProgrammer is the southbound interface over the transport: a
+// core.BatchFlowProgrammer/FlowReader whose switches live behind a TCP
+// connection. It is what lets a core.Controller run in a different process
+// from the data plane — the controller programs and reads real switch
+// tables through FlowBatch/FlowRead round-trips.
+type RemoteProgrammer struct {
+	c *Client
+}
+
+// NewRemoteProgrammer wraps a connected client.
+func NewRemoteProgrammer(c *Client) *RemoteProgrammer { return &RemoteProgrammer{c: c} }
+
+var (
+	_ core.BatchFlowProgrammer = (*RemoteProgrammer)(nil)
+	_ core.FlowReader          = (*RemoteProgrammer)(nil)
+)
+
+// ApplyBatch ships one FlowMod bundle for a switch across the wire.
+func (r *RemoteProgrammer) ApplyBatch(sw topo.NodeID, ops []openflow.FlowOp) ([]openflow.FlowID, error) {
+	b, err := wire.EncodeFlowBatch(wire.FlowBatch{Switch: uint32(sw), Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.c.call(wire.KindFlowBatch, b)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != wire.KindFlowResult {
+		return nil, fmt.Errorf("transport: flow batch: %s", respError(resp))
+	}
+	res, err := wire.DecodeFlowResult(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != "" {
+		return res.IDs, fmt.Errorf("%s", res.Err)
+	}
+	return res.IDs, nil
+}
+
+// AddFlow programs one flow (single-op batch).
+func (r *RemoteProgrammer) AddFlow(sw topo.NodeID, f openflow.Flow) (openflow.FlowID, error) {
+	ids, err := r.ApplyBatch(sw, []openflow.FlowOp{openflow.AddOp(f)})
+	if err != nil {
+		return 0, err
+	}
+	if len(ids) != 1 {
+		return 0, fmt.Errorf("transport: add flow: %d ids returned", len(ids))
+	}
+	return ids[0], nil
+}
+
+// DeleteFlow removes one flow (single-op batch).
+func (r *RemoteProgrammer) DeleteFlow(sw topo.NodeID, id openflow.FlowID) error {
+	_, err := r.ApplyBatch(sw, []openflow.FlowOp{openflow.DeleteOp(id)})
+	return err
+}
+
+// ModifyFlow rewrites one flow's priority and instruction set.
+func (r *RemoteProgrammer) ModifyFlow(sw topo.NodeID, id openflow.FlowID, priority int, actions []openflow.Action) error {
+	_, err := r.ApplyBatch(sw, []openflow.FlowOp{openflow.ModifyOp(id, priority, actions)})
+	return err
+}
+
+// Flows reads the installed table of one switch across the wire.
+func (r *RemoteProgrammer) Flows(sw topo.NodeID) ([]openflow.Flow, error) {
+	resp, err := r.c.call(wire.KindFlowRead, wire.EncodeU32(uint32(sw)))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != wire.KindFlowList {
+		return nil, fmt.Errorf("transport: flow read: %s", respError(resp))
+	}
+	l, err := wire.DecodeFlowList(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return l.Flows, nil
+}

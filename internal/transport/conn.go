@@ -1,0 +1,173 @@
+// Package transport carries PLEROMA's control and data messages across a
+// real process boundary: length-prefixed wire.Frame messages over stdlib
+// TCP, with request/response correlation, per-connection write batching,
+// and client-side reconnect under core.RetryPolicy semantics. The server
+// side (Server) exposes a Backend — the same control-op and southbound
+// surfaces the in-process facade drives directly — and the client side
+// (Client, RemoteProgrammer) lets publisher/subscriber processes and even
+// a remote controller speak to it. The emulator never appears here: both
+// ends exchange only wire types, which is what lets the same core and
+// facade code run in one process or several.
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pleroma/internal/obs"
+	"pleroma/internal/wire"
+)
+
+// connMetrics holds the transport instruments shared by both roles. All
+// fields may be nil (obs instruments are nil-safe).
+type connMetrics struct {
+	framesSent *obs.Counter
+	framesRecv *obs.Counter
+	bytesSent  *obs.Counter
+	bytesRecv  *obs.Counter
+}
+
+// frameConn wraps a net.Conn with an unbounded FIFO write queue drained by
+// a single writer goroutine. Senders never block on the network: send
+// enqueues the encoded frame and returns, and the writer flushes every
+// frame queued at the moment it wakes in one buffered write — the
+// per-connection write batching. The FIFO order doubles as the protocol's
+// barrier: a response enqueued after a set of deliveries reaches the peer
+// after them.
+type frameConn struct {
+	c  net.Conn
+	bw *bufio.Writer
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+	werr   error
+	done   chan struct{}
+
+	writeTimeout time.Duration
+	m            connMetrics
+}
+
+func newFrameConn(c net.Conn, writeTimeout time.Duration, m connMetrics) *frameConn {
+	fc := &frameConn{
+		c:            c,
+		bw:           bufio.NewWriter(c),
+		done:         make(chan struct{}),
+		writeTimeout: writeTimeout,
+		m:            m,
+	}
+	fc.cond = sync.NewCond(&fc.mu)
+	go fc.writeLoop()
+	return fc
+}
+
+// send enqueues one frame for transmission. It returns an error only if
+// the connection is already closed or a previous write failed; the write
+// itself is asynchronous.
+func (fc *frameConn) send(f wire.Frame) error {
+	b, err := wire.AppendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if fc.werr != nil {
+		return fc.werr
+	}
+	if fc.closed {
+		return fmt.Errorf("transport: connection closed")
+	}
+	fc.queue = append(fc.queue, b)
+	fc.cond.Signal()
+	return nil
+}
+
+// writeLoop drains the queue: every wakeup takes the whole backlog, writes
+// it through the buffered writer, and flushes once.
+func (fc *frameConn) writeLoop() {
+	defer close(fc.done)
+	for {
+		fc.mu.Lock()
+		for len(fc.queue) == 0 && !fc.closed && fc.werr == nil {
+			fc.cond.Wait()
+		}
+		if fc.werr != nil || (fc.closed && len(fc.queue) == 0) {
+			fc.mu.Unlock()
+			return
+		}
+		batch := fc.queue
+		fc.queue = nil
+		fc.mu.Unlock()
+
+		if fc.writeTimeout > 0 {
+			fc.c.SetWriteDeadline(time.Now().Add(fc.writeTimeout))
+		}
+		var n int
+		var err error
+		for _, b := range batch {
+			if _, err = fc.bw.Write(b); err != nil {
+				break
+			}
+			n += len(b)
+		}
+		if err == nil {
+			err = fc.bw.Flush()
+		}
+		if err != nil {
+			fc.mu.Lock()
+			fc.werr = err
+			fc.queue = nil
+			fc.mu.Unlock()
+			fc.c.Close()
+			return
+		}
+		fc.m.framesSent.Add(uint64(len(batch)))
+		fc.m.bytesSent.Add(uint64(n))
+	}
+}
+
+// close shuts the connection down gracefully: queued frames are flushed
+// before the socket closes. Idempotent.
+func (fc *frameConn) close() {
+	fc.mu.Lock()
+	if fc.closed {
+		fc.mu.Unlock()
+		<-fc.done
+		return
+	}
+	fc.closed = true
+	fc.cond.Signal()
+	fc.mu.Unlock()
+	<-fc.done
+	fc.c.Close()
+}
+
+// abort tears the connection down immediately, discarding queued frames —
+// the crash-simulation path (Server.DropConnections).
+func (fc *frameConn) abort() {
+	fc.mu.Lock()
+	if fc.werr == nil {
+		fc.werr = fmt.Errorf("transport: connection dropped")
+	}
+	fc.closed = true
+	fc.queue = nil
+	fc.cond.Signal()
+	fc.mu.Unlock()
+	fc.c.Close()
+	<-fc.done
+}
+
+// readFrame reads one frame from r, counting it against m.
+func readFrame(r *bufio.Reader, m connMetrics) (wire.Frame, error) {
+	f, err := wire.ReadFrame(r)
+	if err != nil {
+		return f, err
+	}
+	m.framesRecv.Inc()
+	m.bytesRecv.Add(uint64(wire.FrameHeaderLen + len(f.Payload)))
+	return f, nil
+}

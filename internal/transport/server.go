@@ -1,0 +1,343 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pleroma/internal/obs"
+	"pleroma/internal/openflow"
+	"pleroma/internal/wire"
+)
+
+// Info describes the served deployment to a connecting client.
+type Info struct {
+	Hosts      []uint32
+	Partitions []int32
+}
+
+// Backend is the surface a Server exposes over TCP — the same control-op
+// and southbound operations the in-process facade drives directly. A
+// Backend is NOT required to be safe for concurrent use: the server
+// serializes every call. Delivery callbacks registered through Control may
+// fire from any goroutine while a Run call is in progress (e.g. shard
+// workers), so the `deliver` sink handed in is always safe to call
+// concurrently and never blocks.
+type Backend interface {
+	// Info reports the deployment's hosts and partitions.
+	Info() Info
+	// Control applies one control op ("advertise", "subscribe",
+	// "unsubscribe", "unadvertise"). For subscribe ops deliver is non-nil
+	// and becomes (or replaces — reconnect semantics) the subscription's
+	// event sink. Re-registering an identical advertisement or
+	// subscription must be idempotent.
+	Control(req wire.ControlReq, deliver func(wire.Delivery)) error
+	// Publish injects events from an advertised publisher.
+	Publish(req wire.PublishReq) error
+	// Run drains pending simulated work and returns the final sim time.
+	Run() (time.Duration, error)
+	// Digest returns the deterministic digest of the control-plane state
+	// across all partitions.
+	Digest() ([]byte, error)
+	// ApplyFlowBatch applies a southbound FlowMod batch to one switch.
+	ApplyFlowBatch(sw uint32, ops []openflow.FlowOp) ([]openflow.FlowID, error)
+	// Flows reads the installed table of one switch.
+	Flows(sw uint32) ([]openflow.Flow, error)
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerTimeout bounds each connection's buffered write flushes.
+func WithServerTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
+// WithServerObservability attaches the server's transport counters to reg.
+func WithServerObservability(reg *obs.Registry) ServerOption {
+	return func(s *Server) {
+		if reg == nil {
+			return
+		}
+		s.m = connMetrics{
+			framesSent: reg.Counter(obs.MTransportFramesSent, "Frames written to transport connections."),
+			framesRecv: reg.Counter(obs.MTransportFramesRecv, "Frames read from transport connections."),
+			bytesSent:  reg.Counter(obs.MTransportBytesSent, "Bytes written to transport connections."),
+			bytesRecv:  reg.Counter(obs.MTransportBytesRecv, "Bytes read from transport connections."),
+		}
+		s.obsConns = reg.Gauge(obs.MTransportConns, "Live transport connections.")
+		s.obsInflight = reg.Gauge(obs.MTransportInflight, "Transport requests currently being served.")
+	}
+}
+
+// Server accepts transport connections and dispatches their requests to a
+// Backend, one at a time. Responses and deliveries ride each connection's
+// FIFO write queue, so a response enqueued after a burst of deliveries
+// acts as a receive barrier for them (the Sync protocol).
+type Server struct {
+	backend Backend
+
+	// mu serializes Backend calls: the facade System is single-threaded by
+	// contract.
+	mu sync.Mutex
+
+	writeTimeout time.Duration
+	m            connMetrics
+	obsConns     *obs.Gauge
+	obsInflight  *obs.Gauge
+
+	connMu   sync.Mutex
+	ln       net.Listener
+	conns    map[*frameConn]struct{}
+	stopping bool
+
+	readers  sync.WaitGroup // one per live connection
+	inflight sync.WaitGroup // requests being served (drained on Stop)
+}
+
+// NewServer wraps a backend.
+func NewServer(b Backend, opts ...ServerOption) *Server {
+	s := &Server{backend: b, conns: make(map[*frameConn]struct{})}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the bound
+// address. Serving happens on background goroutines; use Stop to shut
+// down.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.connMu.Lock()
+	if s.stopping {
+		s.connMu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("transport: server stopped")
+	}
+	s.ln = ln
+	s.connMu.Unlock()
+	s.readers.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.readers.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Stop
+		}
+		fc := newFrameConn(c, s.writeTimeout, s.m)
+		s.connMu.Lock()
+		if s.stopping {
+			s.connMu.Unlock()
+			fc.abort()
+			continue
+		}
+		s.conns[fc] = struct{}{}
+		s.connMu.Unlock()
+		s.obsConns.Add(1)
+		s.readers.Add(1)
+		go s.serveConn(fc, c)
+	}
+}
+
+// Stop shuts the server down gracefully: no new connections are accepted,
+// requests already being served finish (their responses and any deliveries
+// flush), every connection receives a Goodbye frame, and the sockets
+// close.
+func (s *Server) Stop() {
+	s.connMu.Lock()
+	if s.stopping {
+		s.connMu.Unlock()
+		return
+	}
+	s.stopping = true
+	ln := s.ln
+	s.connMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.inflight.Wait() // drain in-flight requests
+	s.connMu.Lock()
+	conns := make([]*frameConn, 0, len(s.conns))
+	for fc := range s.conns {
+		conns = append(conns, fc)
+	}
+	s.connMu.Unlock()
+	for _, fc := range conns {
+		fc.send(wire.Frame{Kind: wire.KindGoodbye})
+		fc.close()
+	}
+	s.readers.Wait()
+}
+
+// DropConnections abruptly severs every live connection without touching
+// the listener or the backend — a network partition / daemon-crash
+// simulation for the reconnect tests. Queued frames are discarded.
+func (s *Server) DropConnections() {
+	s.connMu.Lock()
+	conns := make([]*frameConn, 0, len(s.conns))
+	for fc := range s.conns {
+		conns = append(conns, fc)
+	}
+	s.connMu.Unlock()
+	for _, fc := range conns {
+		fc.abort()
+	}
+}
+
+func (s *Server) serveConn(fc *frameConn, c net.Conn) {
+	defer s.readers.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, fc)
+		s.connMu.Unlock()
+		s.obsConns.Add(-1)
+		fc.close()
+	}()
+	br := bufio.NewReader(c)
+	for {
+		f, err := readFrame(br, s.m)
+		if err != nil {
+			return
+		}
+		if f.Kind == wire.KindGoodbye {
+			return
+		}
+		// The stopping check and the inflight Add share the lock Stop sets
+		// stopping under, so a request either lands before Stop's drain or
+		// is refused — never added to a WaitGroup already being waited on.
+		s.connMu.Lock()
+		if s.stopping {
+			s.connMu.Unlock()
+			return
+		}
+		s.inflight.Add(1)
+		s.connMu.Unlock()
+		s.obsInflight.Add(1)
+		resp := s.handle(fc, f)
+		resp.Corr = f.Corr
+		err = fc.send(resp)
+		s.obsInflight.Add(-1)
+		s.inflight.Done()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handle serves one request frame, serialized against all other backend
+// work.
+func (s *Server) handle(fc *frameConn, f wire.Frame) wire.Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch f.Kind {
+	case wire.KindHello:
+		if _, err := wire.DecodeHello(f.Payload); err != nil {
+			return errFrame(err)
+		}
+		info := s.backend.Info()
+		b, err := wire.EncodeHelloOK(wire.HelloOK{Hosts: info.Hosts, Partitions: info.Partitions})
+		if err != nil {
+			return errFrame(err)
+		}
+		return wire.Frame{Kind: wire.KindHelloOK, Payload: b}
+
+	case wire.KindControl:
+		req, err := wire.DecodeControlReq(f.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		var deliver func(wire.Delivery)
+		if req.Op == "subscribe" {
+			deliver = func(d wire.Delivery) {
+				b, err := wire.EncodeDelivery(d)
+				if err != nil {
+					return
+				}
+				// Best effort: a severed connection drops deliveries, the
+				// subscription state itself survives for the reconnect.
+				fc.send(wire.Frame{Kind: wire.KindDeliver, Payload: b})
+			}
+		}
+		if err := s.backend.Control(req, deliver); err != nil {
+			return errFrame(err)
+		}
+		return wire.Frame{Kind: wire.KindOK}
+
+	case wire.KindPublish:
+		req, err := wire.DecodePublish(f.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		if err := s.backend.Publish(req); err != nil {
+			return errFrame(err)
+		}
+		return wire.Frame{Kind: wire.KindOK}
+
+	case wire.KindRun:
+		now, err := s.backend.Run()
+		if err != nil {
+			return errFrame(err)
+		}
+		return wire.Frame{Kind: wire.KindRunDone, Payload: wire.EncodeU64(uint64(now))}
+
+	case wire.KindSync:
+		// The OK rides the write queue behind every delivery enqueued
+		// before it: receiving it means those deliveries arrived.
+		return wire.Frame{Kind: wire.KindOK}
+
+	case wire.KindDigest:
+		d, err := s.backend.Digest()
+		if err != nil {
+			return errFrame(err)
+		}
+		return wire.Frame{Kind: wire.KindDigestResult, Payload: d}
+
+	case wire.KindFlowBatch:
+		fb, err := wire.DecodeFlowBatch(f.Payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		ids, err := s.backend.ApplyFlowBatch(fb.Switch, fb.Ops)
+		res := wire.FlowResult{IDs: ids}
+		if err != nil {
+			res.Err = err.Error()
+		}
+		b, encErr := wire.EncodeFlowResult(res)
+		if encErr != nil {
+			return errFrame(encErr)
+		}
+		return wire.Frame{Kind: wire.KindFlowResult, Payload: b}
+
+	case wire.KindFlowRead:
+		if len(f.Payload) != 4 {
+			return errFrame(fmt.Errorf("transport: flow read payload must be a switch id"))
+		}
+		flows, err := s.backend.Flows(binary.BigEndian.Uint32(f.Payload))
+		if err != nil {
+			return errFrame(err)
+		}
+		b, err := wire.EncodeFlowList(wire.FlowList{Flows: flows})
+		if err != nil {
+			return errFrame(err)
+		}
+		return wire.Frame{Kind: wire.KindFlowList, Payload: b}
+
+	default:
+		return errFrame(fmt.Errorf("transport: unexpected request kind %v", f.Kind))
+	}
+}
+
+func errFrame(err error) wire.Frame {
+	return wire.Frame{Kind: wire.KindError, Payload: []byte(err.Error())}
+}

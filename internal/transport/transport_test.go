@@ -1,0 +1,405 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pleroma/internal/core"
+	"pleroma/internal/dz"
+	"pleroma/internal/netem"
+	"pleroma/internal/obs"
+	"pleroma/internal/openflow"
+	"pleroma/internal/sim"
+	"pleroma/internal/space"
+	"pleroma/internal/topo"
+	"pleroma/internal/wire"
+)
+
+// fakeBackend is a scriptable in-memory Backend recording every call.
+type fakeBackend struct {
+	mu       sync.Mutex
+	controls []wire.ControlReq
+	pubs     []wire.PublishReq
+	runs     int
+	sinks    map[string]func(wire.Delivery)
+	failOp   string // control op to fail, if any
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{sinks: make(map[string]func(wire.Delivery))}
+}
+
+func (b *fakeBackend) Info() Info {
+	return Info{Hosts: []uint32{10, 11}, Partitions: []int32{0}}
+}
+
+func (b *fakeBackend) Control(req wire.ControlReq, deliver func(wire.Delivery)) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if req.Op == b.failOp {
+		return fmt.Errorf("scripted failure for %s", req.Op)
+	}
+	b.controls = append(b.controls, req)
+	if req.Op == "subscribe" {
+		b.sinks[req.ID] = deliver
+	}
+	return nil
+}
+
+func (b *fakeBackend) Publish(req wire.PublishReq) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pubs = append(b.pubs, req)
+	return nil
+}
+
+func (b *fakeBackend) Run() (time.Duration, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.runs++
+	// Deliver one event to every sink, as a real Run would.
+	for id, sink := range b.sinks {
+		sink(wire.Delivery{SubscriptionID: id, Event: space.Event{Values: []uint32{7, 8}}, At: 42, Latency: 5})
+	}
+	return time.Duration(b.runs) * time.Millisecond, nil
+}
+
+func (b *fakeBackend) Digest() ([]byte, error) { return []byte{0xde, 0xad}, nil }
+
+func (b *fakeBackend) ApplyFlowBatch(sw uint32, ops []openflow.FlowOp) ([]openflow.FlowID, error) {
+	ids := make([]openflow.FlowID, len(ops))
+	for i := range ops {
+		ids[i] = openflow.FlowID(uint64(sw)*100 + uint64(i) + 1)
+	}
+	return ids, nil
+}
+
+func (b *fakeBackend) Flows(sw uint32) ([]openflow.Flow, error) {
+	f, err := openflow.NewFlow(dz.Expr("0101"), 4, openflow.Action{OutPort: openflow.PortID(sw)})
+	if err != nil {
+		return nil, err
+	}
+	f.ID = 9
+	return []openflow.Flow{f}, nil
+}
+
+func startServer(t *testing.T, b Backend, opts ...ServerOption) (*Server, string) {
+	t.Helper()
+	srv := NewServer(b, opts...)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	return srv, addr.String()
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	b := newFakeBackend()
+	reg := obs.NewRegistry()
+	_, addr := startServer(t, b, WithServerObservability(reg))
+	c, err := Dial(addr, WithClientID("t1"), WithClientObservability(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	info := c.Info()
+	if len(info.Hosts) != 2 || info.Hosts[0] != 10 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	var got []wire.Delivery
+	var gotMu sync.Mutex
+	ranges := []wire.Range{{Attr: "x", Lo: 0, Hi: 99}}
+	if err := c.Advertise("p1", 10, ranges); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe("s1", 11, ranges, func(d wire.Delivery) {
+		gotMu.Lock()
+		got = append(got, d)
+		gotMu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish("p1", []space.Event{{Values: []uint32{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	now, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now != time.Millisecond {
+		t.Fatalf("run returned %v, want 1ms", now)
+	}
+	// Sync flushes the delivery enqueued during Run.
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	gotMu.Lock()
+	n := len(got)
+	gotMu.Unlock()
+	if n != 1 || got[0].SubscriptionID != "s1" || got[0].At != 42 {
+		t.Fatalf("deliveries after sync: %+v", got)
+	}
+
+	d, err := c.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || d[0] != 0xde {
+		t.Fatalf("digest = %x", d)
+	}
+
+	if err := c.Unsubscribe("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unadvertise("p1"); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	ops := make([]string, 0, len(b.controls))
+	for _, r := range b.controls {
+		ops = append(ops, r.Op)
+	}
+	b.mu.Unlock()
+	want := []string{"advertise", "subscribe", "unsubscribe", "unadvertise"}
+	if len(ops) != len(want) {
+		t.Fatalf("backend saw %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("backend saw %v, want %v", ops, want)
+		}
+	}
+	var framesSent float64
+	for _, fam := range reg.Snapshot().Families {
+		if fam.Name == obs.MTransportFramesSent {
+			for _, s := range fam.Samples {
+				framesSent += s.Value
+			}
+		}
+	}
+	if framesSent == 0 {
+		t.Fatal("transport frame counters not incremented")
+	}
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	b := newFakeBackend()
+	b.failOp = "advertise"
+	_, addr := startServer(t, b)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Advertise("p1", 10, nil)
+	if err == nil {
+		t.Fatal("scripted backend failure did not propagate")
+	}
+	// The failed advertise must NOT be recorded for reconnect replay.
+	c.mu.Lock()
+	n := len(c.advs)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("failed advertise recorded in replay registry (%d entries)", n)
+	}
+}
+
+func TestClientReconnectReplaysRegistrations(t *testing.T) {
+	b := newFakeBackend()
+	srv, addr := startServer(t, b)
+	c, err := Dial(addr, WithClientRetry(core.RetryPolicy{
+		MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond,
+		OpDeadline: time.Second,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ranges := []wire.Range{{Attr: "x", Lo: 1, Hi: 9}}
+	if err := c.Advertise("p1", 10, ranges); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	var nMu sync.Mutex
+	if err := c.Subscribe("s1", 11, ranges, func(wire.Delivery) {
+		nMu.Lock()
+		n++
+		nMu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever the connection: the next call must redial, replay the
+	// advertise and subscribe, then serve the request.
+	srv.DropConnections()
+	if err := c.Publish("p1", []space.Event{{Values: []uint32{3, 4}}}); err != nil {
+		t.Fatalf("publish after drop: %v", err)
+	}
+	b.mu.Lock()
+	ops := make([]string, 0, len(b.controls))
+	for _, r := range b.controls {
+		ops = append(ops, r.Op+":"+r.ID)
+	}
+	pubs := len(b.pubs)
+	b.mu.Unlock()
+	want := []string{"advertise:p1", "subscribe:s1", "advertise:p1", "subscribe:s1"}
+	if len(ops) != len(want) {
+		t.Fatalf("control ops %v, want %v (original + replay)", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("control ops %v, want %v", ops, want)
+		}
+	}
+	if pubs != 1 {
+		t.Fatalf("%d publishes reached the backend, want 1", pubs)
+	}
+	// Deliveries still flow to the rebound sink after reconnect.
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	nMu.Lock()
+	defer nMu.Unlock()
+	if n != 1 {
+		t.Fatalf("deliveries after reconnect = %d, want 1", n)
+	}
+}
+
+func TestClientRetryExhaustion(t *testing.T) {
+	b := newFakeBackend()
+	srv, addr := startServer(t, b)
+	c, err := Dial(addr, WithClientRetry(core.RetryPolicy{
+		MaxAttempts: 2, BaseBackoff: time.Millisecond, OpDeadline: 100 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Stop() // server gone for good: no listener to redial
+	if err := c.Advertise("p", 10, nil); err == nil {
+		t.Fatal("calls against a dead server must fail after retries")
+	}
+}
+
+func TestGracefulStopDrainsInflight(t *testing.T) {
+	b := newFakeBackend()
+	srv, addr := startServer(t, b)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Advertise("p1", 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Stop with no requests in flight: the client sees a Goodbye; further
+	// calls fail after retry exhaustion rather than hanging.
+	srv.Stop()
+	if err := c.Sync(); err == nil {
+		t.Fatal("sync against a stopped server must fail")
+	}
+}
+
+// TestControllerOverRemoteSouthbound is the process-split proof at the
+// southbound boundary: a core.Controller whose FlowProgrammer is a
+// RemoteProgrammer (every FlowMod batch and table read crosses TCP)
+// produces switch tables identical to a controller wired directly to the
+// same emulated data plane.
+func TestControllerOverRemoteSouthbound(t *testing.T) {
+	build := func(t *testing.T) (*topo.Graph, *netem.DataPlane) {
+		g, err := topo.TestbedFatTree(topo.DefaultLinkParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, netem.New(g, sim.NewEngine())
+	}
+	drive := func(t *testing.T, g *topo.Graph, ctl *core.Controller) {
+		hosts := g.Hosts()
+		if _, err := ctl.Advertise("p1", hosts[0], dz.NewSet(dz.Expr("01"))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctl.Subscribe("s1", hosts[5], dz.NewSet(dz.Expr("0101"))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctl.Subscribe("s2", hosts[2], dz.NewSet(dz.Expr("011"))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ctl.Unsubscribe("s2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Direct: controller and data plane share the process.
+	gd, dpd := build(t)
+	direct, err := core.NewController(gd, dpd, core.WithHostAddr(netem.HostAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, gd, direct)
+
+	// Remote: same drive, but every southbound call crosses the wire.
+	gr, dpr := build(t)
+	_, addr := startServer(t, &dataPlaneBackend{dp: dpr})
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	remote, err := core.NewController(gr, NewRemoteProgrammer(cli), core.WithHostAddr(netem.HostAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, gr, remote)
+	if err := remote.VerifyTables(); err != nil {
+		t.Fatalf("remote-programmed tables inconsistent: %v", err)
+	}
+
+	for _, sw := range gd.Switches() {
+		df, err := dpd.Flows(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := dpr.Flows(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(df) != len(rf) {
+			t.Fatalf("switch %d: %d flows direct vs %d remote", sw, len(df), len(rf))
+		}
+		for i := range df {
+			if df[i].Expr != rf[i].Expr || df[i].Priority != rf[i].Priority ||
+				len(df[i].Actions) != len(rf[i].Actions) {
+				t.Fatalf("switch %d flow %d differs: %+v vs %+v", sw, i, df[i], rf[i])
+			}
+		}
+	}
+}
+
+// dataPlaneBackend adapts a bare netem.DataPlane as a transport Backend —
+// only the southbound surface is live.
+type dataPlaneBackend struct {
+	dp *netem.DataPlane
+}
+
+func (b *dataPlaneBackend) Info() Info { return Info{} }
+func (b *dataPlaneBackend) Control(wire.ControlReq, func(wire.Delivery)) error {
+	return fmt.Errorf("control not supported")
+}
+func (b *dataPlaneBackend) Publish(wire.PublishReq) error { return fmt.Errorf("publish not supported") }
+func (b *dataPlaneBackend) Run() (time.Duration, error)   { return 0, fmt.Errorf("run not supported") }
+func (b *dataPlaneBackend) Digest() ([]byte, error)       { return nil, fmt.Errorf("digest not supported") }
+func (b *dataPlaneBackend) ApplyFlowBatch(sw uint32, ops []openflow.FlowOp) ([]openflow.FlowID, error) {
+	return b.dp.ApplyBatch(topo.NodeID(sw), ops)
+}
+func (b *dataPlaneBackend) Flows(sw uint32) ([]openflow.Flow, error) {
+	return b.dp.Flows(topo.NodeID(sw))
+}

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/openflow"
+	"pleroma/internal/space"
+)
+
+// TestGenFuzzCorpus regenerates the seed corpora under testdata/fuzz when
+// PLEROMA_GEN_CORPUS=1. Normally a no-op.
+func TestGenFuzzCorpus(t *testing.T) {
+	if os.Getenv("PLEROMA_GEN_CORPUS") == "" {
+		t.Skip("set PLEROMA_GEN_CORPUS=1 to regenerate")
+	}
+	write := func(fuzzName, seedName string, b []byte) {
+		dir := filepath.Join("testdata", "fuzz", fuzzName)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, seedName), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustFlow := func(expr string, prio int, port int) openflow.Flow {
+		fl, err := openflow.NewFlow(dz.Expr(expr), prio, openflow.Action{OutPort: openflow.PortID(port)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fl
+	}
+
+	// FuzzDecodeFrame
+	fr, _ := AppendFrame(nil, Frame{Kind: KindControl, Corr: 7, Payload: []byte{1, 2, 3}})
+	write("FuzzDecodeFrame", "seed-control", fr)
+	fr2, _ := AppendFrame(nil, Frame{Kind: KindRun, Corr: 1})
+	write("FuzzDecodeFrame", "seed-empty-payload", fr2)
+	write("FuzzDecodeFrame", "seed-truncated", fr[:len(fr)-2])
+	write("FuzzDecodeFrame", "seed-oversize-len", []byte{0xff, 0xff, 0xff, 0xff, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	// FuzzDecodeControlReq
+	cr, _ := EncodeControlReq(ControlReq{Op: "subscribe", ID: "s1", Host: 3,
+		Ranges: []Range{{Attr: "x", Lo: 0, Hi: 99}, {Attr: "y", Lo: 1, Hi: 5}}})
+	write("FuzzDecodeControlReq", "seed-subscribe", cr)
+	cr2, _ := EncodeControlReq(ControlReq{Op: "unadvertise", ID: "p", Host: 0})
+	write("FuzzDecodeControlReq", "seed-norange", cr2)
+	write("FuzzDecodeControlReq", "seed-garbage", append(append([]byte{}, cr2...), 0xee))
+
+	// FuzzDecodePublish
+	pb, _ := EncodePublish(PublishReq{ID: "p1", Events: []space.Event{
+		{Values: []uint32{1, 2}}, {Values: []uint32{3, 4}},
+	}})
+	write("FuzzDecodePublish", "seed-two-events", pb)
+	write("FuzzDecodePublish", "seed-truncated", pb[:len(pb)-3])
+
+	// FuzzDecodeDelivery
+	dv, _ := EncodeDelivery(Delivery{SubscriptionID: "s", Event: space.Event{Values: []uint32{9, 10}},
+		At: 5, Latency: 2, FalsePositive: true})
+	write("FuzzDecodeDelivery", "seed-fp", dv)
+
+	// FuzzDecodeFlowBatch
+	fl := mustFlow("0101", 4, 2)
+	fl.ID = 11
+	fb, _ := EncodeFlowBatch(FlowBatch{Switch: 3, Ops: []openflow.FlowOp{
+		openflow.AddOp(fl), openflow.DeleteOp(7),
+		openflow.ModifyOp(7, 2, []openflow.Action{{OutPort: 4}}),
+	}})
+	write("FuzzDecodeFlowBatch", "seed-mixed-ops", fb)
+	write("FuzzDecodeFlowBatch", "seed-truncated", fb[:len(fb)/2])
+
+	// FuzzDecodeFlowList
+	fl2 := mustFlow("011", 3, 1)
+	fl2.ID = 5
+	lst, _ := EncodeFlowList(FlowList{Flows: []openflow.Flow{fl2}})
+	write("FuzzDecodeFlowList", "seed-one-flow", lst)
+
+	// FuzzFrameStream
+	var stream []byte
+	for i, k := range []Kind{KindRun, KindRunDone, KindSync} {
+		pl := []byte(nil)
+		if k == KindRunDone {
+			pl = EncodeU64(12345)
+		}
+		stream, _ = AppendFrame(stream, Frame{Kind: k, Corr: uint64(i + 1), Payload: pl})
+	}
+	write("FuzzFrameStream", "seed-three-frames", stream)
+	write("FuzzFrameStream", "seed-split-frame", stream[:len(stream)-5])
+	fmt.Println("corpus regenerated")
+}

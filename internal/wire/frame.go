@@ -1,0 +1,956 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"pleroma/internal/openflow"
+	"pleroma/internal/space"
+)
+
+// This file defines the transport framing and the request/response payload
+// codecs of the networked deployment mode (internal/transport): every
+// message between a pleroma-d daemon and its clients — control requests,
+// publications, deliveries, FlowMod batches for the remote southbound, and
+// state-digest queries — travels as one length-prefixed frame carrying a
+// kind byte and a request/response correlation id. Like the rest of the
+// package, every decoder is total: truncation, oversize headers, and
+// trailing garbage are errors, never panics.
+
+// Kind discriminates the frame types of the transport protocol.
+type Kind uint8
+
+// Frame kinds. Request kinds expect a response frame bearing the same
+// correlation id; KindDeliver and KindGoodbye are server pushes with
+// correlation id zero.
+const (
+	// KindHello opens a session (payload: Hello). Response: KindHelloOK.
+	KindHello Kind = iota + 1
+	// KindHelloOK acknowledges a Hello (payload: HelloOK).
+	KindHelloOK
+	// KindOK is the empty success response.
+	KindOK
+	// KindError is the failure response (payload: UTF-8 message).
+	KindError
+	// KindControl carries a control request (payload: ControlReq).
+	// Response: KindOK or KindError.
+	KindControl
+	// KindPublish injects events (payload: PublishReq). Response: KindOK
+	// or KindError.
+	KindPublish
+	// KindRun drains the daemon's simulated network (empty payload).
+	// Response: KindRunDone.
+	KindRun
+	// KindRunDone reports the simulated clock after a drain (payload:
+	// now u64 nanoseconds).
+	KindRunDone
+	// KindSync is an ordering barrier (empty payload): its KindOK response
+	// is queued behind every delivery enqueued before the barrier was
+	// processed, so a client that received the response has received every
+	// prior delivery.
+	KindSync
+	// KindDeliver pushes one event delivery to a subscriber (payload:
+	// Delivery). No response.
+	KindDeliver
+	// KindFlowBatch applies a FlowMod batch to one switch (payload:
+	// FlowBatch). Response: KindFlowResult.
+	KindFlowBatch
+	// KindFlowResult reports the applied prefix of a batch (payload:
+	// FlowResult).
+	KindFlowResult
+	// KindFlowRead reads a switch's installed flows (payload: sw u32).
+	// Response: KindFlowList or KindError.
+	KindFlowRead
+	// KindFlowList returns installed flows (payload: FlowList).
+	KindFlowList
+	// KindDigest requests a partition state digest (payload: partition
+	// u32). Response: KindDigestResult or KindError.
+	KindDigest
+	// KindDigestResult returns a partition state digest (payload: 32
+	// bytes).
+	KindDigestResult
+	// KindGoodbye announces a graceful server shutdown (empty payload).
+	// No response; the server closes the connection after flushing it.
+	KindGoodbye
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindHelloOK:
+		return "hello-ok"
+	case KindOK:
+		return "ok"
+	case KindError:
+		return "error"
+	case KindControl:
+		return "control"
+	case KindPublish:
+		return "publish"
+	case KindRun:
+		return "run"
+	case KindRunDone:
+		return "run-done"
+	case KindSync:
+		return "sync"
+	case KindDeliver:
+		return "deliver"
+	case KindFlowBatch:
+		return "flow-batch"
+	case KindFlowResult:
+		return "flow-result"
+	case KindFlowRead:
+		return "flow-read"
+	case KindFlowList:
+		return "flow-list"
+	case KindDigest:
+		return "digest"
+	case KindDigestResult:
+		return "digest-result"
+	case KindGoodbye:
+		return "goodbye"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// valid reports whether k is a defined frame kind.
+func (k Kind) valid() bool { return k >= KindHello && k <= KindGoodbye }
+
+// Framing limits.
+const (
+	// MaxFramePayload bounds one frame's payload.
+	MaxFramePayload = 1 << 20
+	// FrameHeaderLen is the fixed prefix: [length u32][kind u8][corr u64].
+	FrameHeaderLen = 4 + 1 + 8
+	// MaxFlowOps bounds the operations of one FlowMod batch.
+	MaxFlowOps = 4096
+	// MaxEvents bounds the events of one publish request.
+	MaxEvents = 4096
+	// MaxActions bounds a flow's instruction set on the wire.
+	MaxActions = 255
+)
+
+// Frame is one transport message: a kind, a request/response correlation
+// id (zero for unsolicited pushes), and an opaque payload whose format the
+// kind selects.
+type Frame struct {
+	Kind    Kind
+	Corr    uint64
+	Payload []byte
+}
+
+// AppendFrame appends the encoded frame:
+//
+//	[length u32][kind u8][corr u64][payload]
+//
+// where length counts kind+corr+payload (i.e. FrameHeaderLen-4+len(payload)).
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if !f.Kind.valid() {
+		return nil, fmt.Errorf("wire: invalid frame kind %d", uint8(f.Kind))
+	}
+	if len(f.Payload) > MaxFramePayload {
+		return nil, fmt.Errorf("wire: frame payload of %d bytes exceeds %d", len(f.Payload), MaxFramePayload)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(9+len(f.Payload)))
+	dst = append(dst, byte(f.Kind))
+	dst = binary.BigEndian.AppendUint64(dst, f.Corr)
+	return append(dst, f.Payload...), nil
+}
+
+// DecodeFrame parses one frame from the front of b, returning it and the
+// remainder. io.ErrUnexpectedEOF signals an incomplete frame (more bytes
+// needed); every other error is a protocol violation.
+func DecodeFrame(b []byte) (Frame, []byte, error) {
+	if len(b) < FrameHeaderLen {
+		return Frame{}, b, io.ErrUnexpectedEOF
+	}
+	length := binary.BigEndian.Uint32(b)
+	if length < 9 || length > 9+MaxFramePayload {
+		return Frame{}, b, fmt.Errorf("wire: frame length %d out of range", length)
+	}
+	kind := Kind(b[4])
+	if !kind.valid() {
+		return Frame{}, b, fmt.Errorf("wire: invalid frame kind %d", b[4])
+	}
+	if len(b) < 4+int(length) {
+		return Frame{}, b, io.ErrUnexpectedEOF
+	}
+	f := Frame{
+		Kind:    kind,
+		Corr:    binary.BigEndian.Uint64(b[5:]),
+		Payload: b[FrameHeaderLen : 4+length],
+	}
+	return f, b[4+length:], nil
+}
+
+// ReadFrame reads one frame from r. The payload is freshly allocated.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [FrameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:])
+	if length < 9 || length > 9+MaxFramePayload {
+		return Frame{}, fmt.Errorf("wire: frame length %d out of range", length)
+	}
+	kind := Kind(hdr[4])
+	if !kind.valid() {
+		return Frame{}, fmt.Errorf("wire: invalid frame kind %d", hdr[4])
+	}
+	payload := make([]byte, length-9)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return Frame{Kind: kind, Corr: binary.BigEndian.Uint64(hdr[5:]), Payload: payload}, nil
+}
+
+// appendString appends [len u8][bytes]; ids and attribute names share it.
+func appendString(dst []byte, s string, what string) ([]byte, error) {
+	if len(s) > MaxIDLen {
+		return nil, fmt.Errorf("wire: %s length %d exceeds %d", what, len(s), MaxIDLen)
+	}
+	dst = append(dst, byte(len(s)))
+	return append(dst, s...), nil
+}
+
+// readString reads one [len u8][bytes] string, returning the remainder.
+func readString(b []byte, what string) (string, []byte, error) {
+	if len(b) < 1 {
+		return "", nil, fmt.Errorf("wire: truncated %s header", what)
+	}
+	n := int(b[0])
+	if len(b) < 1+n {
+		return "", nil, fmt.Errorf("wire: truncated %s body", what)
+	}
+	return string(b[1 : 1+n]), b[1+n:], nil
+}
+
+// Hello opens a client session.
+type Hello struct {
+	// ID names the client (for diagnostics; uniqueness is not required).
+	ID string
+}
+
+// EncodeHello renders a session-open request:
+//
+//	[version u8][idLen u8][id]
+func EncodeHello(h Hello) ([]byte, error) {
+	if len(h.ID) == 0 {
+		return nil, fmt.Errorf("wire: hello requires a client id")
+	}
+	buf := make([]byte, 0, 2+len(h.ID))
+	buf = append(buf, Version)
+	return appendString(buf, h.ID, "hello id")
+}
+
+// DecodeHello parses a session-open request.
+func DecodeHello(b []byte) (Hello, error) {
+	if len(b) < 1 {
+		return Hello{}, fmt.Errorf("wire: hello too short")
+	}
+	if b[0] != Version {
+		return Hello{}, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	id, rest, err := readString(b[1:], "hello id")
+	if err != nil {
+		return Hello{}, err
+	}
+	if len(id) == 0 {
+		return Hello{}, fmt.Errorf("wire: hello without client id")
+	}
+	if len(rest) != 0 {
+		return Hello{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	return Hello{ID: id}, nil
+}
+
+// HelloOK is the server's session acknowledgement: the deployment's host
+// nodes and partition ids, so thin clients need no out-of-band topology
+// knowledge.
+type HelloOK struct {
+	Hosts      []uint32
+	Partitions []int32
+}
+
+// EncodeHelloOK renders a session acknowledgement:
+//
+//	[version u8][nhosts u16][host u32]×[nparts u16][part u32]×
+func EncodeHelloOK(h HelloOK) ([]byte, error) {
+	if len(h.Hosts) > 0xffff || len(h.Partitions) > 0xffff {
+		return nil, fmt.Errorf("wire: hello-ok with %d hosts / %d partitions", len(h.Hosts), len(h.Partitions))
+	}
+	buf := make([]byte, 0, 5+4*len(h.Hosts)+4*len(h.Partitions))
+	buf = append(buf, Version)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Hosts)))
+	for _, hh := range h.Hosts {
+		buf = binary.BigEndian.AppendUint32(buf, hh)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Partitions)))
+	for _, p := range h.Partitions {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
+	}
+	return buf, nil
+}
+
+// DecodeHelloOK parses a session acknowledgement.
+func DecodeHelloOK(b []byte) (HelloOK, error) {
+	if len(b) < 3 {
+		return HelloOK{}, fmt.Errorf("wire: hello-ok too short")
+	}
+	if b[0] != Version {
+		return HelloOK{}, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	nh := int(binary.BigEndian.Uint16(b[1:]))
+	rest := b[3:]
+	if len(rest) < 4*nh+2 {
+		return HelloOK{}, fmt.Errorf("wire: truncated hello-ok hosts")
+	}
+	var out HelloOK
+	for i := 0; i < nh; i++ {
+		out.Hosts = append(out.Hosts, binary.BigEndian.Uint32(rest[4*i:]))
+	}
+	rest = rest[4*nh:]
+	np := int(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	if len(rest) != 4*np {
+		return HelloOK{}, fmt.Errorf("wire: hello-ok partition section has %d bytes, want %d", len(rest), 4*np)
+	}
+	for i := 0; i < np; i++ {
+		out.Partitions = append(out.Partitions, int32(binary.BigEndian.Uint32(rest[4*i:])))
+	}
+	return out, nil
+}
+
+// Range is one attribute constraint of a remote control request. Remote
+// clients express subscriptions and advertisements as attribute ranges —
+// the dz decomposition happens at the daemon, which owns the schema and
+// the active dimension selection.
+type Range struct {
+	Attr   string
+	Lo, Hi uint32
+}
+
+// ControlReq is a remote control request: one of the four signalling ops,
+// expressed content-side (attribute ranges) rather than dz-side.
+type ControlReq struct {
+	Op   string // "advertise" | "subscribe" | "unsubscribe" | "unadvertise"
+	ID   string
+	Host uint32
+	// Ranges constrains attributes; empty means the whole event space.
+	// Encoding sorts by attribute name, so equal filters encode equally.
+	Ranges []Range
+}
+
+// EncodeControlReq renders a remote control request:
+//
+//	[version u8][op u8][idLen u8][id][host u32]
+//	[nranges u8]([attrLen u8][attr][lo u32][hi u32])×
+func EncodeControlReq(req ControlReq) ([]byte, error) {
+	code, err := opCode(req.Op)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.ID) == 0 || len(req.ID) > MaxIDLen {
+		return nil, fmt.Errorf("wire: id length %d out of range 1..%d", len(req.ID), MaxIDLen)
+	}
+	if len(req.Ranges) > MaxDims {
+		return nil, fmt.Errorf("wire: %d range constraints exceed %d", len(req.Ranges), MaxDims)
+	}
+	ranges := append([]Range(nil), req.Ranges...)
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].Attr < ranges[j].Attr })
+	buf := make([]byte, 0, 16+len(req.ID)+12*len(ranges))
+	buf = append(buf, Version, code)
+	buf, err = appendString(buf, req.ID, "control id")
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint32(buf, req.Host)
+	buf = append(buf, byte(len(ranges)))
+	for _, r := range ranges {
+		if len(r.Attr) == 0 {
+			return nil, fmt.Errorf("wire: range constraint without attribute name")
+		}
+		buf, err = appendString(buf, r.Attr, "attribute name")
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint32(buf, r.Lo)
+		buf = binary.BigEndian.AppendUint32(buf, r.Hi)
+	}
+	return buf, nil
+}
+
+// DecodeControlReq parses a remote control request.
+func DecodeControlReq(b []byte) (ControlReq, error) {
+	if len(b) < 2 {
+		return ControlReq{}, fmt.Errorf("wire: control request too short")
+	}
+	if b[0] != Version {
+		return ControlReq{}, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	op, err := opName(b[1])
+	if err != nil {
+		return ControlReq{}, err
+	}
+	id, rest, err := readString(b[2:], "control id")
+	if err != nil {
+		return ControlReq{}, err
+	}
+	if len(id) == 0 {
+		return ControlReq{}, fmt.Errorf("wire: control request without id")
+	}
+	if len(rest) < 5 {
+		return ControlReq{}, fmt.Errorf("wire: truncated control header")
+	}
+	req := ControlReq{Op: op, ID: id, Host: binary.BigEndian.Uint32(rest)}
+	n := int(rest[4])
+	rest = rest[5:]
+	if n > MaxDims {
+		return ControlReq{}, fmt.Errorf("wire: %d range constraints exceed %d", n, MaxDims)
+	}
+	prev := ""
+	for i := 0; i < n; i++ {
+		var attr string
+		attr, rest, err = readString(rest, "attribute name")
+		if err != nil {
+			return ControlReq{}, err
+		}
+		if len(attr) == 0 {
+			return ControlReq{}, fmt.Errorf("wire: range constraint without attribute name")
+		}
+		if i > 0 && attr <= prev {
+			return ControlReq{}, fmt.Errorf("wire: range constraints not sorted (%q after %q)", attr, prev)
+		}
+		prev = attr
+		if len(rest) < 8 {
+			return ControlReq{}, fmt.Errorf("wire: truncated range constraint")
+		}
+		req.Ranges = append(req.Ranges, Range{
+			Attr: attr,
+			Lo:   binary.BigEndian.Uint32(rest),
+			Hi:   binary.BigEndian.Uint32(rest[4:]),
+		})
+		rest = rest[8:]
+	}
+	if len(rest) != 0 {
+		return ControlReq{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	return req, nil
+}
+
+// PublishReq injects events through a registered publisher.
+type PublishReq struct {
+	ID     string
+	Events []space.Event
+}
+
+// EncodePublish renders a publish request:
+//
+//	[version u8][idLen u8][id][count u16][event]×
+//
+// where each event is an EncodeEvent payload (self-delimiting via its dims
+// byte).
+func EncodePublish(req PublishReq) ([]byte, error) {
+	if len(req.ID) == 0 {
+		return nil, fmt.Errorf("wire: publish without publisher id")
+	}
+	if len(req.Events) == 0 || len(req.Events) > MaxEvents {
+		return nil, fmt.Errorf("wire: publish with %d events, want 1..%d", len(req.Events), MaxEvents)
+	}
+	buf := make([]byte, 0, 8+len(req.ID)+len(req.Events)*6)
+	buf = append(buf, Version)
+	var err error
+	buf, err = appendString(buf, req.ID, "publisher id")
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(req.Events)))
+	for _, ev := range req.Events {
+		evb, err := EncodeEvent(ev)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, evb...)
+	}
+	return buf, nil
+}
+
+// readEvent decodes one embedded EncodeEvent payload, returning the rest.
+func readEvent(b []byte) (space.Event, []byte, error) {
+	if len(b) < 2 {
+		return space.Event{}, nil, fmt.Errorf("wire: truncated event")
+	}
+	n := 2 + 4*int(b[1])
+	if len(b) < n {
+		return space.Event{}, nil, fmt.Errorf("wire: truncated event body")
+	}
+	ev, err := DecodeEvent(b[:n])
+	if err != nil {
+		return space.Event{}, nil, err
+	}
+	return ev, b[n:], nil
+}
+
+// DecodePublish parses a publish request.
+func DecodePublish(b []byte) (PublishReq, error) {
+	if len(b) < 1 {
+		return PublishReq{}, fmt.Errorf("wire: publish too short")
+	}
+	if b[0] != Version {
+		return PublishReq{}, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	id, rest, err := readString(b[1:], "publisher id")
+	if err != nil {
+		return PublishReq{}, err
+	}
+	if len(id) == 0 {
+		return PublishReq{}, fmt.Errorf("wire: publish without publisher id")
+	}
+	if len(rest) < 2 {
+		return PublishReq{}, fmt.Errorf("wire: truncated publish header")
+	}
+	count := int(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	if count == 0 || count > MaxEvents {
+		return PublishReq{}, fmt.Errorf("wire: publish with %d events, want 1..%d", count, MaxEvents)
+	}
+	req := PublishReq{ID: id, Events: make([]space.Event, 0, count)}
+	for i := 0; i < count; i++ {
+		var ev space.Event
+		ev, rest, err = readEvent(rest)
+		if err != nil {
+			return PublishReq{}, err
+		}
+		req.Events = append(req.Events, ev)
+	}
+	if len(rest) != 0 {
+		return PublishReq{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	return req, nil
+}
+
+// Delivery is one event handed to a remote subscriber.
+type Delivery struct {
+	SubscriptionID string
+	Event          space.Event
+	At             time.Duration
+	Latency        time.Duration
+	FalsePositive  bool
+}
+
+// EncodeDelivery renders a delivery push:
+//
+//	[version u8][idLen u8][id][at u64][latency u64][fp u8][event]
+func EncodeDelivery(d Delivery) ([]byte, error) {
+	if len(d.SubscriptionID) == 0 {
+		return nil, fmt.Errorf("wire: delivery without subscription id")
+	}
+	evb, err := EncodeEvent(d.Event)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 20+len(d.SubscriptionID)+len(evb))
+	buf = append(buf, Version)
+	buf, err = appendString(buf, d.SubscriptionID, "subscription id")
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(d.At))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(d.Latency))
+	if d.FalsePositive {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return append(buf, evb...), nil
+}
+
+// DecodeDelivery parses a delivery push.
+func DecodeDelivery(b []byte) (Delivery, error) {
+	if len(b) < 1 {
+		return Delivery{}, fmt.Errorf("wire: delivery too short")
+	}
+	if b[0] != Version {
+		return Delivery{}, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	id, rest, err := readString(b[1:], "subscription id")
+	if err != nil {
+		return Delivery{}, err
+	}
+	if len(id) == 0 {
+		return Delivery{}, fmt.Errorf("wire: delivery without subscription id")
+	}
+	if len(rest) < 17 {
+		return Delivery{}, fmt.Errorf("wire: truncated delivery header")
+	}
+	if rest[16] > 1 {
+		return Delivery{}, fmt.Errorf("wire: delivery false-positive flag %d", rest[16])
+	}
+	d := Delivery{
+		SubscriptionID: id,
+		At:             time.Duration(binary.BigEndian.Uint64(rest)),
+		Latency:        time.Duration(binary.BigEndian.Uint64(rest[8:])),
+		FalsePositive:  rest[16] == 1,
+	}
+	ev, rest, err := readEvent(rest[17:])
+	if err != nil {
+		return Delivery{}, err
+	}
+	if len(rest) != 0 {
+		return Delivery{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	d.Event = ev
+	return d, nil
+}
+
+// appendActions appends [nact u8]([port u32][addrKind u8][addr]...)×.
+func appendActions(buf []byte, actions []openflow.Action) ([]byte, error) {
+	if len(actions) > MaxActions {
+		return nil, fmt.Errorf("wire: %d actions exceed %d", len(actions), MaxActions)
+	}
+	buf = append(buf, byte(len(actions)))
+	for _, a := range actions {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(a.OutPort))
+		switch {
+		case !a.SetDest.IsValid():
+			buf = append(buf, 0)
+		case a.SetDest.Is4():
+			buf = append(buf, 4)
+			v4 := a.SetDest.As4()
+			buf = append(buf, v4[:]...)
+		default:
+			buf = append(buf, 6)
+			v6 := a.SetDest.As16()
+			buf = append(buf, v6[:]...)
+		}
+	}
+	return buf, nil
+}
+
+// readActions decodes an instruction set written by appendActions.
+func readActions(b []byte) ([]openflow.Action, []byte, error) {
+	if len(b) < 1 {
+		return nil, nil, fmt.Errorf("wire: truncated action count")
+	}
+	n := int(b[0])
+	b = b[1:]
+	actions := make([]openflow.Action, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 5 {
+			return nil, nil, fmt.Errorf("wire: truncated action")
+		}
+		a := openflow.Action{OutPort: openflow.PortID(binary.BigEndian.Uint32(b))}
+		kind := b[4]
+		b = b[5:]
+		switch kind {
+		case 0:
+		case 4:
+			if len(b) < 4 {
+				return nil, nil, fmt.Errorf("wire: truncated IPv4 rewrite address")
+			}
+			a.SetDest = netip.AddrFrom4([4]byte(b[:4]))
+			b = b[4:]
+		case 6:
+			if len(b) < 16 {
+				return nil, nil, fmt.Errorf("wire: truncated IPv6 rewrite address")
+			}
+			a.SetDest = netip.AddrFrom16([16]byte(b[:16]))
+			b = b[16:]
+		default:
+			return nil, nil, fmt.Errorf("wire: unknown rewrite address kind %d", kind)
+		}
+		actions = append(actions, a)
+	}
+	return actions, b, nil
+}
+
+// appendFlow appends [id u64][priority u32][expr][actions].
+func appendFlow(buf []byte, f openflow.Flow) ([]byte, error) {
+	if f.Priority < 0 {
+		return nil, fmt.Errorf("wire: negative flow priority %d", f.Priority)
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(f.ID))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.Priority))
+	var err error
+	buf, err = packExpr(buf, f.Expr)
+	if err != nil {
+		return nil, err
+	}
+	return appendActions(buf, f.Actions)
+}
+
+// readFlow decodes one flow. The CIDR match field is rederived from the
+// dz-expression (openflow.NewFlow), so decoded flows carry a consistent
+// Match even though it never travels.
+func readFlow(b []byte) (openflow.Flow, []byte, error) {
+	if len(b) < 12 {
+		return openflow.Flow{}, nil, fmt.Errorf("wire: truncated flow header")
+	}
+	id := openflow.FlowID(binary.BigEndian.Uint64(b))
+	prio := int(binary.BigEndian.Uint32(b[8:]))
+	expr, rest, err := unpackExpr(b[12:])
+	if err != nil {
+		return openflow.Flow{}, nil, err
+	}
+	actions, rest, err := readActions(rest)
+	if err != nil {
+		return openflow.Flow{}, nil, err
+	}
+	f, err := openflow.NewFlow(expr, prio, actions...)
+	if err != nil {
+		return openflow.Flow{}, nil, err
+	}
+	f.ID = id
+	return f, rest, nil
+}
+
+// FlowBatch is one southbound bundle: FlowMods for a single switch.
+type FlowBatch struct {
+	Switch uint32
+	Ops    []openflow.FlowOp
+}
+
+// EncodeFlowBatch renders a southbound batch:
+//
+//	[version u8][sw u32][count u16][op]×
+//
+// where op is [kind u8] followed by the add flow, the delete id, or the
+// modify id+priority+actions.
+func EncodeFlowBatch(fb FlowBatch) ([]byte, error) {
+	if len(fb.Ops) == 0 || len(fb.Ops) > MaxFlowOps {
+		return nil, fmt.Errorf("wire: flow batch with %d ops, want 1..%d", len(fb.Ops), MaxFlowOps)
+	}
+	buf := make([]byte, 0, 8+len(fb.Ops)*24)
+	buf = append(buf, Version)
+	buf = binary.BigEndian.AppendUint32(buf, fb.Switch)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(fb.Ops)))
+	var err error
+	for _, op := range fb.Ops {
+		buf = append(buf, byte(op.Kind))
+		switch op.Kind {
+		case openflow.OpAdd:
+			buf, err = appendFlow(buf, op.Flow)
+		case openflow.OpDelete:
+			buf = binary.BigEndian.AppendUint64(buf, uint64(op.ID))
+		case openflow.OpModify:
+			if op.Priority < 0 {
+				return nil, fmt.Errorf("wire: negative flow priority %d", op.Priority)
+			}
+			buf = binary.BigEndian.AppendUint64(buf, uint64(op.ID))
+			buf = binary.BigEndian.AppendUint32(buf, uint32(op.Priority))
+			buf, err = appendActions(buf, op.Actions)
+		default:
+			return nil, fmt.Errorf("wire: unknown flow op kind %d", uint8(op.Kind))
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeFlowBatch parses a southbound batch.
+func DecodeFlowBatch(b []byte) (FlowBatch, error) {
+	if len(b) < 7 {
+		return FlowBatch{}, fmt.Errorf("wire: flow batch too short")
+	}
+	if b[0] != Version {
+		return FlowBatch{}, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	fb := FlowBatch{Switch: binary.BigEndian.Uint32(b[1:])}
+	count := int(binary.BigEndian.Uint16(b[5:]))
+	rest := b[7:]
+	if count == 0 || count > MaxFlowOps {
+		return FlowBatch{}, fmt.Errorf("wire: flow batch with %d ops, want 1..%d", count, MaxFlowOps)
+	}
+	var err error
+	for i := 0; i < count; i++ {
+		if len(rest) < 1 {
+			return FlowBatch{}, fmt.Errorf("wire: truncated flow op")
+		}
+		kind := openflow.OpKind(rest[0])
+		rest = rest[1:]
+		var op openflow.FlowOp
+		switch kind {
+		case openflow.OpAdd:
+			var f openflow.Flow
+			f, rest, err = readFlow(rest)
+			if err != nil {
+				return FlowBatch{}, err
+			}
+			op = openflow.AddOp(f)
+			op.Flow.ID = f.ID
+		case openflow.OpDelete:
+			if len(rest) < 8 {
+				return FlowBatch{}, fmt.Errorf("wire: truncated delete op")
+			}
+			op = openflow.DeleteOp(openflow.FlowID(binary.BigEndian.Uint64(rest)))
+			rest = rest[8:]
+		case openflow.OpModify:
+			if len(rest) < 12 {
+				return FlowBatch{}, fmt.Errorf("wire: truncated modify op")
+			}
+			id := openflow.FlowID(binary.BigEndian.Uint64(rest))
+			prio := int(binary.BigEndian.Uint32(rest[8:]))
+			var actions []openflow.Action
+			actions, rest, err = readActions(rest[12:])
+			if err != nil {
+				return FlowBatch{}, err
+			}
+			op = openflow.ModifyOp(id, prio, actions)
+		default:
+			return FlowBatch{}, fmt.Errorf("wire: unknown flow op kind %d", uint8(kind))
+		}
+		fb.Ops = append(fb.Ops, op)
+	}
+	if len(rest) != 0 {
+		return FlowBatch{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	return fb, nil
+}
+
+// FlowResult reports the applied prefix of a southbound batch: one FlowID
+// per applied op plus the error message that stopped it, if any.
+type FlowResult struct {
+	IDs []openflow.FlowID
+	Err string
+}
+
+// EncodeFlowResult renders a batch result:
+//
+//	[version u8][count u16][id u64]×[errLen u16][err]
+func EncodeFlowResult(r FlowResult) ([]byte, error) {
+	if len(r.IDs) > MaxFlowOps {
+		return nil, fmt.Errorf("wire: flow result with %d ids exceeds %d", len(r.IDs), MaxFlowOps)
+	}
+	if len(r.Err) > 0xffff {
+		return nil, fmt.Errorf("wire: flow result error of %d bytes", len(r.Err))
+	}
+	buf := make([]byte, 0, 5+8*len(r.IDs)+len(r.Err))
+	buf = append(buf, Version)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.IDs)))
+	for _, id := range r.IDs {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(id))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.Err)))
+	return append(buf, r.Err...), nil
+}
+
+// DecodeFlowResult parses a batch result.
+func DecodeFlowResult(b []byte) (FlowResult, error) {
+	if len(b) < 3 {
+		return FlowResult{}, fmt.Errorf("wire: flow result too short")
+	}
+	if b[0] != Version {
+		return FlowResult{}, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	count := int(binary.BigEndian.Uint16(b[1:]))
+	rest := b[3:]
+	if count > MaxFlowOps {
+		return FlowResult{}, fmt.Errorf("wire: flow result with %d ids exceeds %d", count, MaxFlowOps)
+	}
+	if len(rest) < 8*count+2 {
+		return FlowResult{}, fmt.Errorf("wire: truncated flow result ids")
+	}
+	var r FlowResult
+	for i := 0; i < count; i++ {
+		r.IDs = append(r.IDs, openflow.FlowID(binary.BigEndian.Uint64(rest[8*i:])))
+	}
+	rest = rest[8*count:]
+	errLen := int(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	if len(rest) != errLen {
+		return FlowResult{}, fmt.Errorf("wire: flow result error section has %d bytes, want %d", len(rest), errLen)
+	}
+	r.Err = string(rest)
+	return r, nil
+}
+
+// FlowList is the installed-flow report of one switch.
+type FlowList struct {
+	Flows []openflow.Flow
+}
+
+// EncodeFlowList renders a flow report:
+//
+//	[version u8][count u16][flow]×
+func EncodeFlowList(l FlowList) ([]byte, error) {
+	if len(l.Flows) > MaxFlowOps {
+		return nil, fmt.Errorf("wire: flow list with %d flows exceeds %d", len(l.Flows), MaxFlowOps)
+	}
+	buf := make([]byte, 0, 3+len(l.Flows)*24)
+	buf = append(buf, Version)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(l.Flows)))
+	var err error
+	for _, f := range l.Flows {
+		buf, err = appendFlow(buf, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeFlowList parses a flow report.
+func DecodeFlowList(b []byte) (FlowList, error) {
+	if len(b) < 3 {
+		return FlowList{}, fmt.Errorf("wire: flow list too short")
+	}
+	if b[0] != Version {
+		return FlowList{}, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	count := int(binary.BigEndian.Uint16(b[1:]))
+	rest := b[3:]
+	if count > MaxFlowOps {
+		return FlowList{}, fmt.Errorf("wire: flow list with %d flows exceeds %d", count, MaxFlowOps)
+	}
+	var l FlowList
+	var err error
+	for i := 0; i < count; i++ {
+		var f openflow.Flow
+		f, rest, err = readFlow(rest)
+		if err != nil {
+			return FlowList{}, err
+		}
+		l.Flows = append(l.Flows, f)
+	}
+	if len(rest) != 0 {
+		return FlowList{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	return l, nil
+}
+
+// EncodeU32 renders a bare u32 payload (switch ids, partition ids).
+func EncodeU32(v uint32) []byte {
+	return binary.BigEndian.AppendUint32(nil, v)
+}
+
+// DecodeU32 parses a bare u32 payload.
+func DecodeU32(b []byte) (uint32, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("wire: u32 payload of %d bytes", len(b))
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// EncodeU64 renders a bare u64 payload (simulated clock readings).
+func EncodeU64(v uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, v)
+}
+
+// DecodeU64 parses a bare u64 payload.
+func DecodeU64(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("wire: u64 payload of %d bytes", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}

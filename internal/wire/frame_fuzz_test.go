@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/openflow"
+	"pleroma/internal/space"
+)
+
+// The codec fuzzers feed raw bytes to every transport decoder: none may
+// panic, and any input a decoder accepts must re-encode to the exact same
+// bytes (the decoders reject trailing garbage and non-canonical forms, so
+// encode∘decode is the identity on accepted inputs). Seed corpora live
+// under testdata/fuzz/<FuzzName>/ like the dz trie fuzzers'.
+
+func fuzzFlow(f *testing.F, expr string, prio int, port int) openflow.Flow {
+	fl, err := openflow.NewFlow(dz.Expr(expr), prio, openflow.Action{OutPort: openflow.PortID(port)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return fl
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	seed, _ := AppendFrame(nil, Frame{Kind: KindControl, Corr: 7, Payload: []byte{1, 2, 3}})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 9, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, rest, err := DecodeFrame(b)
+		if err != nil {
+			return
+		}
+		reenc, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, b[:len(b)-len(rest)]) {
+			t.Fatalf("frame re-encoding drifted")
+		}
+		// The io path must agree with the slice path.
+		fr2, err := ReadFrame(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("ReadFrame rejected what DecodeFrame accepted: %v", err)
+		}
+		if fr2.Kind != fr.Kind || fr2.Corr != fr.Corr || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("ReadFrame and DecodeFrame disagree")
+		}
+	})
+}
+
+func FuzzDecodeControlReq(f *testing.F) {
+	seed, _ := EncodeControlReq(ControlReq{
+		Op: "subscribe", ID: "s1", Host: 3,
+		Ranges: []Range{{Attr: "x", Lo: 0, Hi: 99}, {Attr: "y", Lo: 1, Hi: 5}},
+	})
+	f.Add(seed)
+	seed2, _ := EncodeControlReq(ControlReq{Op: "unadvertise", ID: "p", Host: 0})
+	f.Add(seed2)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := DecodeControlReq(b)
+		if err != nil {
+			return
+		}
+		reenc, err := EncodeControlReq(req)
+		if err != nil {
+			t.Fatalf("decoded control request does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, b) {
+			t.Fatalf("control request re-encoding drifted:\n in  %x\n out %x", b, reenc)
+		}
+	})
+}
+
+func FuzzDecodePublish(f *testing.F) {
+	good, _ := EncodePublish(PublishReq{ID: "p1", Events: []space.Event{
+		{Values: []uint32{1, 2}},
+		{Values: []uint32{3, 4}},
+	}})
+	f.Add(good)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		req, err := DecodePublish(b)
+		if err != nil {
+			return
+		}
+		reenc, err := EncodePublish(req)
+		if err != nil {
+			t.Fatalf("decoded publish does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, b) {
+			t.Fatalf("publish re-encoding drifted")
+		}
+	})
+}
+
+func FuzzDecodeDelivery(f *testing.F) {
+	good, _ := EncodeDelivery(Delivery{
+		SubscriptionID: "s",
+		Event:          space.Event{Values: []uint32{9, 10}},
+		At:             5, Latency: 2, FalsePositive: true,
+	})
+	f.Add(good)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := DecodeDelivery(b)
+		if err != nil {
+			return
+		}
+		reenc, err := EncodeDelivery(d)
+		if err != nil {
+			t.Fatalf("decoded delivery does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, b) {
+			t.Fatalf("delivery re-encoding drifted")
+		}
+	})
+}
+
+func FuzzDecodeFlowBatch(f *testing.F) {
+	fl := fuzzFlow(f, "0101", 4, 2)
+	fl.ID = 11
+	good, _ := EncodeFlowBatch(FlowBatch{Switch: 3, Ops: []openflow.FlowOp{
+		openflow.AddOp(fl),
+		openflow.DeleteOp(7),
+		openflow.ModifyOp(7, 2, []openflow.Action{{OutPort: 4}}),
+	}})
+	f.Add(good)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fb, err := DecodeFlowBatch(b)
+		if err != nil {
+			return
+		}
+		reenc, err := EncodeFlowBatch(fb)
+		if err != nil {
+			t.Fatalf("decoded flow batch does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, b) {
+			t.Fatalf("flow batch re-encoding drifted")
+		}
+	})
+}
+
+func FuzzDecodeFlowList(f *testing.F) {
+	fl := fuzzFlow(f, "011", 3, 1)
+	fl.ID = 5
+	good, _ := EncodeFlowList(FlowList{Flows: []openflow.Flow{fl}})
+	f.Add(good)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		l, err := DecodeFlowList(b)
+		if err != nil {
+			return
+		}
+		reenc, err := EncodeFlowList(l)
+		if err != nil {
+			t.Fatalf("decoded flow list does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, b) {
+			t.Fatalf("flow list re-encoding drifted")
+		}
+	})
+}
+
+// FuzzFrameStream drives the streaming reader over arbitrary byte streams:
+// ReadFrame must consume frames one at a time without panicking and stop
+// cleanly at the first malformed or incomplete frame.
+func FuzzFrameStream(f *testing.F) {
+	var stream []byte
+	for _, fr := range []Frame{
+		{Kind: KindRun, Corr: 1},
+		{Kind: KindRunDone, Corr: 1, Payload: EncodeU64(12345)},
+		{Kind: KindSync, Corr: 2},
+	} {
+		stream, _ = AppendFrame(stream, fr)
+	}
+	f.Add(stream)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r := bytes.NewReader(b)
+		for i := 0; i < 1000; i++ {
+			if _, err := ReadFrame(r); err != nil {
+				return // EOF, truncation, or protocol error — all fine, as long as no panic
+			}
+		}
+	})
+}

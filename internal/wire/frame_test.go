@@ -1,0 +1,362 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pleroma/internal/dz"
+	"pleroma/internal/openflow"
+	"pleroma/internal/space"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Kind: KindHello, Corr: 1, Payload: []byte("x")},
+		{Kind: KindOK, Corr: 0xdeadbeefcafe, Payload: nil},
+		{Kind: KindDeliver, Corr: 0, Payload: bytes.Repeat([]byte{7}, 1000)},
+		{Kind: KindGoodbye, Corr: 0, Payload: nil},
+	}
+	var buf []byte
+	for _, f := range frames {
+		var err error
+		buf, err = AppendFrame(buf, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Decode from the concatenated stream.
+	rest := buf
+	for i, want := range frames {
+		var got Frame
+		var err error
+		got, rest, err = DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Corr != want.Corr || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d mismatch: got %+v want %+v", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+	// And via the io.Reader path.
+	r := bytes.NewReader(buf)
+	for i, want := range frames {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Corr != want.Corr || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("read frame %d mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	if _, err := AppendFrame(nil, Frame{Kind: 0}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := AppendFrame(nil, Frame{Kind: KindOK, Payload: make([]byte, MaxFramePayload+1)}); err == nil {
+		t.Error("oversize payload accepted")
+	}
+	// Truncated header and truncated body must ask for more bytes.
+	ok, _ := AppendFrame(nil, Frame{Kind: KindOK, Corr: 9})
+	for cut := 0; cut < len(ok); cut++ {
+		if _, _, err := DecodeFrame(ok[:cut]); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut %d: want ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+	// Oversize length header must be rejected before allocation.
+	bad := append([]byte(nil), ok...)
+	bad[0], bad[1], bad[2], bad[3] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := DecodeFrame(bad); err == nil || err == io.ErrUnexpectedEOF {
+		t.Fatalf("oversize length: got %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(bad)); err == nil || err == io.EOF {
+		t.Fatalf("oversize length via reader: got %v", err)
+	}
+	// A frame claiming an undefined kind is rejected.
+	bad = append([]byte(nil), ok...)
+	bad[4] = 200
+	if _, _, err := DecodeFrame(bad); err == nil {
+		t.Error("undefined kind accepted")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	b, err := EncodeHello(Hello{ID: "client-7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := DecodeHello(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID != "client-7" {
+		t.Fatalf("got %+v", h)
+	}
+	if _, err := EncodeHello(Hello{}); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := DecodeHello(append(b, 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestHelloOKRoundTrip(t *testing.T) {
+	in := HelloOK{Hosts: []uint32{3, 5, 9}, Partitions: []int32{0, 1, -1}}
+	b, err := EncodeHelloOK(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeHelloOK(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	if _, err := DecodeHelloOK(b[:len(b)-1]); err == nil {
+		t.Error("truncated hello-ok accepted")
+	}
+}
+
+func TestControlReqRoundTrip(t *testing.T) {
+	in := ControlReq{
+		Op:   "subscribe",
+		ID:   "s1",
+		Host: 42,
+		Ranges: []Range{
+			{Attr: "y", Lo: 5, Hi: 10},
+			{Attr: "x", Lo: 0, Hi: 1023},
+		},
+	}
+	b, err := EncodeControlReq(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeControlReq(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encoding sorts ranges by attribute.
+	want := in
+	want.Ranges = []Range{{Attr: "x", Lo: 0, Hi: 1023}, {Attr: "y", Lo: 5, Hi: 10}}
+	if !reflect.DeepEqual(want, out) {
+		t.Fatalf("got %+v want %+v", out, want)
+	}
+	// Equal filters written in different orders encode identically.
+	in2 := in
+	in2.Ranges = []Range{in.Ranges[1], in.Ranges[0]}
+	b2, err := EncodeControlReq(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("range order leaked into the encoding")
+	}
+	if _, err := EncodeControlReq(ControlReq{Op: "nope", ID: "x"}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := DecodeControlReq(append(b, 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestPublishRoundTrip(t *testing.T) {
+	in := PublishReq{ID: "p1", Events: []space.Event{
+		{Values: []uint32{1, 2}},
+		{Values: []uint32{3, 4}},
+	}}
+	b, err := EncodePublish(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodePublish(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	if _, err := EncodePublish(PublishReq{ID: "p"}); err == nil {
+		t.Error("empty publish accepted")
+	}
+	if _, err := DecodePublish(b[:len(b)-1]); err == nil {
+		t.Error("truncated publish accepted")
+	}
+}
+
+func TestDeliveryRoundTrip(t *testing.T) {
+	in := Delivery{
+		SubscriptionID: "s9",
+		Event:          space.Event{Values: []uint32{7, 8, 9}},
+		At:             1500 * time.Microsecond,
+		Latency:        300 * time.Microsecond,
+		FalsePositive:  true,
+	}
+	b, err := EncodeDelivery(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeDelivery(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	if _, err := DecodeDelivery(append(b, 1)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func testFlow(t *testing.T, expr dz.Expr, prio int, actions ...openflow.Action) openflow.Flow {
+	t.Helper()
+	f, err := openflow.NewFlow(expr, prio, actions...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFlowBatchRoundTrip(t *testing.T) {
+	dest := netip.MustParseAddr("fd00::7")
+	add := testFlow(t, "0101", 4,
+		openflow.Action{OutPort: 2},
+		openflow.Action{OutPort: 3, SetDest: dest})
+	add.ID = 11
+	in := FlowBatch{
+		Switch: 9,
+		Ops: []openflow.FlowOp{
+			openflow.AddOp(add),
+			openflow.DeleteOp(17),
+			openflow.ModifyOp(12, 6, []openflow.Action{{OutPort: 5}}),
+		},
+	}
+	// AddOp copies the flow; keep the wire id.
+	in.Ops[0].Flow.ID = add.ID
+	b, err := EncodeFlowBatch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeFlowBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	if _, err := EncodeFlowBatch(FlowBatch{Switch: 1}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := DecodeFlowBatch(b[:len(b)-1]); err == nil {
+		t.Error("truncated batch accepted")
+	}
+	if _, err := DecodeFlowBatch(append(b, 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestFlowBatchIPv4Rewrite(t *testing.T) {
+	f := testFlow(t, "1", 1, openflow.Action{OutPort: 1, SetDest: netip.MustParseAddr("10.0.0.9")})
+	in := FlowBatch{Switch: 1, Ops: []openflow.FlowOp{openflow.AddOp(f)}}
+	b, err := EncodeFlowBatch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeFlowBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Ops[0].Flow.Actions[0].SetDest
+	if got != netip.MustParseAddr("10.0.0.9") {
+		t.Fatalf("IPv4 rewrite address drifted: %v", got)
+	}
+}
+
+func TestFlowResultRoundTrip(t *testing.T) {
+	in := FlowResult{IDs: []openflow.FlowID{1, 0, 99}, Err: "openflow: table full"}
+	b, err := EncodeFlowResult(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeFlowResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	// Empty result (no ids, no error) round-trips too.
+	b, err = EncodeFlowResult(FlowResult{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = DecodeFlowResult(b)
+	if err != nil || out.IDs != nil || out.Err != "" {
+		t.Fatalf("empty result: %+v, %v", out, err)
+	}
+}
+
+func TestFlowListRoundTrip(t *testing.T) {
+	a := testFlow(t, "00", 2, openflow.Action{OutPort: 1})
+	a.ID = 5
+	bfl := testFlow(t, "0110", 4, openflow.Action{OutPort: 2, SetDest: netip.MustParseAddr("fd00::3")})
+	bfl.ID = 6
+	in := FlowList{Flows: []openflow.Flow{a, bfl}}
+	b, err := EncodeFlowList(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeFlowList(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	// The decoded match field is rederived and must agree with the source.
+	if out.Flows[1].Match != bfl.Match {
+		t.Fatalf("match drifted: %v vs %v", out.Flows[1].Match, bfl.Match)
+	}
+}
+
+func TestU32U64(t *testing.T) {
+	if v, err := DecodeU32(EncodeU32(0xfeedface)); err != nil || v != 0xfeedface {
+		t.Fatalf("u32: %v %v", v, err)
+	}
+	if v, err := DecodeU64(EncodeU64(1 << 40)); err != nil || v != 1<<40 {
+		t.Fatalf("u64: %v %v", v, err)
+	}
+	if _, err := DecodeU32([]byte{1, 2, 3}); err == nil {
+		t.Error("short u32 accepted")
+	}
+	if _, err := DecodeU64([]byte{1}); err == nil {
+		t.Error("short u64 accepted")
+	}
+}
+
+// TestDecodersRejectOversizeCounts pins the header-driven limits: count
+// fields beyond the codec maxima must fail before any allocation loop.
+func TestDecodersRejectOversizeCounts(t *testing.T) {
+	// Publish claiming 0xffff events with no bodies.
+	pub := []byte{Version, 1, 'p', 0xff, 0xff}
+	if _, err := DecodePublish(pub); err == nil || strings.Contains(err.Error(), "panic") {
+		t.Errorf("oversize publish count: %v", err)
+	}
+	// Flow batch claiming max ops with no bodies.
+	fb := []byte{Version, 0, 0, 0, 1, 0xff, 0xff}
+	if _, err := DecodeFlowBatch(fb); err == nil {
+		t.Error("oversize batch count accepted")
+	}
+}

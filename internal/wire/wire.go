@@ -111,6 +111,11 @@ func unpackExpr(b []byte) (dz.Expr, []byte, error) {
 			bits[i] = '0'
 		}
 	}
+	// Padding bits past the expression length must be zero so every
+	// expression has exactly one encoding.
+	if n%8 != 0 && b[nbytes]&(0xff>>uint(n%8)) != 0 {
+		return "", nil, fmt.Errorf("wire: nonzero padding in dz expression")
+	}
 	return dz.Expr(bits), b[1+nbytes:], nil
 }
 

@@ -1,0 +1,442 @@
+package pleroma
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pleroma/internal/openflow"
+	"pleroma/internal/space"
+	"pleroma/internal/topo"
+	"pleroma/internal/transport"
+	"pleroma/internal/wire"
+)
+
+// This file is the facade's networked deployment surface. WithListener
+// serves a System's control ops, publishes, and southbound FlowMod
+// surface over TCP (internal/transport), so publisher and subscriber
+// processes — and even a remote controller — can live outside the
+// daemon's process. Dial returns the matching thin client. The emulator
+// stays the default backend behind the same interfaces: a System without
+// WithListener behaves exactly as before.
+
+// WithListener makes the system serve its control and southbound
+// surfaces on a TCP address (e.g. "127.0.0.1:0"); ListenAddr reports the
+// bound address. Remote clients (Dial, cmd/pleroma-pub, cmd/pleroma-sub)
+// then drive the same deployment an in-process caller would.
+func WithListener(addr string) Option {
+	return func(c *config) { c.listenAddr = addr }
+}
+
+// WithJournalDir enables controller HA like WithJournal, but with every
+// partition journal file-backed under dir (core.FileJournal), so control
+// state survives a daemon restart: on boot, Recover rebuilds each
+// partition from an optional snapshot plus the journal suffix on disk.
+func WithJournalDir(dir string) Option {
+	return func(c *config) {
+		c.journal = true
+		c.journalDir = dir
+	}
+}
+
+// JournalPath names partition p's journal file under dir — the layout
+// WithJournalDir uses.
+func JournalPath(dir string, p int) string {
+	return filepath.Join(dir, fmt.Sprintf("part-%d.journal", p))
+}
+
+// SnapshotPath names partition p's snapshot file under dir — the
+// convention pleroma-d uses for restart-with-state.
+func SnapshotPath(dir string, p int) string {
+	return filepath.Join(dir, fmt.Sprintf("part-%d.snap", p))
+}
+
+// StopListener gracefully stops serving the TCP surface: no new
+// connections are accepted, in-flight requests finish, queued deliveries
+// flush, and every client receives a goodbye frame. Idempotent; Close
+// implies it. A daemon shutting down calls this before its final
+// Snapshot so no request races the serialization.
+func (s *System) StopListener() {
+	if s.server != nil {
+		s.server.Stop()
+	}
+}
+
+// ListenAddr returns the bound listener address ("" without
+// WithListener).
+func (s *System) ListenAddr() string {
+	if s.lnAddr == nil {
+		return ""
+	}
+	return s.lnAddr.String()
+}
+
+// StateDigest returns the deterministic digest of the whole control
+// plane: the per-partition snapshot digests concatenated in ascending
+// partition order. Two systems that processed equivalent control
+// operations produce identical digests, which is how the loopback
+// equivalence and reconnect tests compare an in-process run against a
+// TCP-deployed one.
+func (s *System) StateDigest() ([]byte, error) {
+	var out []byte
+	for _, p := range s.fab.Partitions() {
+		d, err := s.fab.DigestPartition(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d...)
+	}
+	return out, nil
+}
+
+// Recover rebuilds the partition's controller from a persisted snapshot
+// (nil for journal-only recovery) plus the partition journal's suffix —
+// the daemon's restart-with-state path. Requires WithJournal or
+// WithJournalDir.
+func (s *System) Recover(partition int, snap []byte) (FailoverReport, error) {
+	if !s.cfg.journal {
+		return FailoverReport{}, fmt.Errorf("pleroma: Recover requires WithJournal or WithJournalDir")
+	}
+	return s.fab.RecoverPartition(partition, snap)
+}
+
+// startListener builds the transport backend and starts serving.
+func (s *System) startListener(addr string) error {
+	var opts []transport.ServerOption
+	if s.reg != nil {
+		opts = append(opts, transport.WithServerObservability(s.reg))
+	}
+	srv := transport.NewServer(&netBackend{
+		sys:  s,
+		advs: make(map[string]netReg),
+		subs: make(map[string]netReg),
+	}, opts...)
+	a, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	s.server = srv
+	s.lnAddr = a
+	return nil
+}
+
+// netReg records one remote registration for idempotence checks: a
+// reconnecting client replays its advertisements and subscriptions, and
+// an identical replay must rebind without touching control state.
+type netReg struct {
+	host uint32
+	key  string
+	pub  *Publisher
+}
+
+// regKey canonicalizes a registration's parameters. ControlReq ranges
+// arrive sorted by attribute (the codec enforces it), so the rendering is
+// deterministic.
+func regKey(host uint32, ranges []wire.Range) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "h%d", host)
+	for _, r := range ranges {
+		fmt.Fprintf(&b, "|%s:%d-%d", r.Attr, r.Lo, r.Hi)
+	}
+	return b.String()
+}
+
+func rangesFilter(ranges []wire.Range) Filter {
+	f := NewFilter()
+	for _, r := range ranges {
+		f = f.Range(r.Attr, r.Lo, r.Hi)
+	}
+	return f
+}
+
+// netBackend adapts a System as the transport Backend. The transport
+// server serializes calls, matching the System's single-goroutine
+// contract; subscription handlers convert deliveries to wire form and
+// push them onto the owning connection's write queue (safe from shard
+// worker goroutines — the sink never blocks).
+type netBackend struct {
+	sys  *System
+	advs map[string]netReg
+	subs map[string]netReg
+}
+
+func (b *netBackend) Info() transport.Info {
+	hosts := b.sys.Hosts()
+	info := transport.Info{Hosts: make([]uint32, len(hosts))}
+	for i, h := range hosts {
+		info.Hosts[i] = uint32(h)
+	}
+	for _, p := range b.sys.fab.Partitions() {
+		info.Partitions = append(info.Partitions, int32(p))
+	}
+	return info
+}
+
+func (b *netBackend) Control(req wire.ControlReq, deliver func(wire.Delivery)) error {
+	switch req.Op {
+	case "advertise":
+		key := regKey(req.Host, req.Ranges)
+		if e, ok := b.advs[req.ID]; ok {
+			if e.key == key {
+				return nil // reconnect replay: idempotent
+			}
+			return fmt.Errorf("pleroma: advertisement %q re-registered with different parameters", req.ID)
+		}
+		pub, err := b.sys.NewPublisher(req.ID, HostID(req.Host))
+		if err != nil {
+			return err
+		}
+		if err := pub.Advertise(rangesFilter(req.Ranges)); err != nil {
+			delete(b.sys.pubs, req.ID)
+			return err
+		}
+		b.advs[req.ID] = netReg{host: req.Host, key: key, pub: pub}
+		return nil
+
+	case "subscribe":
+		if deliver == nil {
+			return fmt.Errorf("pleroma: subscribe without a delivery sink")
+		}
+		h := func(d Delivery) {
+			deliver(wire.Delivery{
+				SubscriptionID: d.SubscriptionID,
+				Event:          d.Event,
+				At:             d.At,
+				Latency:        d.Latency,
+				FalsePositive:  d.FalsePositive,
+			})
+		}
+		key := regKey(req.Host, req.Ranges)
+		if e, ok := b.subs[req.ID]; ok {
+			if e.key != key {
+				return fmt.Errorf("pleroma: subscription %q re-registered with different parameters", req.ID)
+			}
+			// Reconnect replay: rebind the delivery sink to the new
+			// connection; control state, journal, and digest untouched.
+			b.sys.subs[req.ID].handler = h
+			return nil
+		}
+		if err := b.sys.Subscribe(req.ID, HostID(req.Host), rangesFilter(req.Ranges), h); err != nil {
+			return err
+		}
+		b.subs[req.ID] = netReg{host: req.Host, key: key}
+		return nil
+
+	case "unsubscribe":
+		if _, ok := b.subs[req.ID]; !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownSubscription, req.ID)
+		}
+		if err := b.sys.Unsubscribe(req.ID); err != nil {
+			return err
+		}
+		delete(b.subs, req.ID)
+		return nil
+
+	case "unadvertise":
+		e, ok := b.advs[req.ID]
+		if !ok {
+			return fmt.Errorf("pleroma: unknown advertisement %q", req.ID)
+		}
+		if err := e.pub.Unadvertise(); err != nil {
+			return err
+		}
+		delete(b.advs, req.ID)
+		return nil
+
+	default:
+		return fmt.Errorf("pleroma: unknown control op %q", req.Op)
+	}
+}
+
+func (b *netBackend) Publish(req wire.PublishReq) error {
+	e, ok := b.advs[req.ID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotAdvertised, req.ID)
+	}
+	tuples := make([][]uint32, len(req.Events))
+	for i, ev := range req.Events {
+		tuples[i] = ev.Values
+	}
+	return e.pub.PublishBatch(tuples...)
+}
+
+func (b *netBackend) Run() (time.Duration, error) { return b.sys.Run(), nil }
+
+func (b *netBackend) Digest() ([]byte, error) { return b.sys.StateDigest() }
+
+func (b *netBackend) ApplyFlowBatch(sw uint32, ops []openflow.FlowOp) ([]openflow.FlowID, error) {
+	return b.sys.dp.ApplyBatch(topo.NodeID(sw), ops)
+}
+
+func (b *netBackend) Flows(sw uint32) ([]openflow.Flow, error) {
+	return b.sys.dp.Flows(topo.NodeID(sw))
+}
+
+// ParseFilter parses the CLI filter syntax "attr:lo-hi,attr:lo-hi"
+// ("" yields the match-everything filter) used by cmd/pleroma-pub and
+// cmd/pleroma-sub.
+func ParseFilter(s string) (Filter, error) {
+	f := NewFilter()
+	if s == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		attr, bounds, ok := strings.Cut(part, ":")
+		if !ok {
+			return Filter{}, fmt.Errorf("pleroma: filter term %q: want attr:lo-hi", part)
+		}
+		loStr, hiStr, ok := strings.Cut(bounds, "-")
+		if !ok {
+			return Filter{}, fmt.Errorf("pleroma: filter term %q: want attr:lo-hi", part)
+		}
+		lo, err := strconv.ParseUint(loStr, 10, 32)
+		if err != nil {
+			return Filter{}, fmt.Errorf("pleroma: filter term %q: %w", part, err)
+		}
+		hi, err := strconv.ParseUint(hiStr, 10, 32)
+		if err != nil {
+			return Filter{}, fmt.Errorf("pleroma: filter term %q: %w", part, err)
+		}
+		f = f.Range(attr, uint32(lo), uint32(hi))
+	}
+	return f, nil
+}
+
+// DialOption configures a Dial.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	id    string
+	retry *RetryPolicy
+}
+
+// WithDialID names the client in its handshake (diagnostics only).
+func WithDialID(id string) DialOption { return func(c *dialConfig) { c.id = id } }
+
+// WithDialRetry sets the client's reconnect/backoff policy (default
+// DefaultRetryPolicy). After a lost connection the client redials with
+// capped exponential backoff and replays its advertisements and
+// subscriptions before retrying the interrupted request.
+func WithDialRetry(p RetryPolicy) DialOption { return func(c *dialConfig) { c.retry = &p } }
+
+// Client is a remote handle on a listening System (a pleroma-d daemon):
+// the same advertise/subscribe/publish/run surface, spoken over TCP.
+type Client struct {
+	tc *transport.Client
+}
+
+// Dial connects to a daemon at addr.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{id: "pleroma-client"}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	topts := []transport.ClientOption{transport.WithClientID(cfg.id)}
+	if cfg.retry != nil {
+		topts = append(topts, transport.WithClientRetry(*cfg.retry))
+	}
+	tc, err := transport.Dial(addr, topts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{tc: tc}, nil
+}
+
+// Hosts returns the daemon deployment's end hosts.
+func (c *Client) Hosts() []HostID {
+	info := c.tc.Info()
+	hosts := make([]HostID, len(info.Hosts))
+	for i, h := range info.Hosts {
+		hosts[i] = HostID(h)
+	}
+	return hosts
+}
+
+// Partitions returns the daemon deployment's partition ids.
+func (c *Client) Partitions() []int {
+	info := c.tc.Info()
+	parts := make([]int, len(info.Partitions))
+	for i, p := range info.Partitions {
+		parts[i] = int(p)
+	}
+	return parts
+}
+
+// filterRanges renders a Filter as sorted wire ranges.
+func filterRanges(f Filter) []wire.Range {
+	attrs := make([]string, 0, len(f.Ranges))
+	for a := range f.Ranges {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	out := make([]wire.Range, len(attrs))
+	for i, a := range attrs {
+		r := f.Ranges[a]
+		out[i] = wire.Range{Attr: a, Lo: r[0], Hi: r[1]}
+	}
+	return out
+}
+
+// Advertise announces a publisher's region on a host.
+func (c *Client) Advertise(id string, host HostID, f Filter) error {
+	return c.tc.Advertise(id, uint32(host), filterRanges(f))
+}
+
+// Unadvertise withdraws an advertisement.
+func (c *Client) Unadvertise(id string) error { return c.tc.Unadvertise(id) }
+
+// Subscribe registers a subscription; handler fires on the client's
+// network reader goroutine for every delivered event.
+func (c *Client) Subscribe(id string, host HostID, f Filter, handler func(Delivery)) error {
+	var wh func(wire.Delivery)
+	if handler != nil {
+		wh = func(d wire.Delivery) {
+			handler(Delivery{
+				SubscriptionID: d.SubscriptionID,
+				Event:          d.Event,
+				At:             d.At,
+				Latency:        d.Latency,
+				FalsePositive:  d.FalsePositive,
+			})
+		}
+	}
+	return c.tc.Subscribe(id, uint32(host), filterRanges(f), wh)
+}
+
+// Unsubscribe withdraws a subscription.
+func (c *Client) Unsubscribe(id string) error { return c.tc.Unsubscribe(id) }
+
+// Publish injects one event from the advertised publisher id.
+func (c *Client) Publish(id string, values ...uint32) error {
+	return c.tc.Publish(id, []space.Event{{Values: values}})
+}
+
+// PublishBatch injects a burst of events in one request.
+func (c *Client) PublishBatch(id string, tuples ...[]uint32) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	events := make([]space.Event, len(tuples))
+	for i, vals := range tuples {
+		events[i] = space.Event{Values: vals}
+	}
+	return c.tc.Publish(id, events)
+}
+
+// Run drains the daemon's pending simulated work and returns the final
+// simulated time.
+func (c *Client) Run() (time.Duration, error) { return c.tc.Run() }
+
+// Sync blocks until every delivery the daemon queued for this client
+// before the call has been received and dispatched to its handler.
+func (c *Client) Sync() error { return c.tc.Sync() }
+
+// StateDigest returns the daemon's control-plane digest (see
+// System.StateDigest).
+func (c *Client) StateDigest() ([]byte, error) { return c.tc.Digest() }
+
+// Close disconnects from the daemon. Registrations persist server-side.
+func (c *Client) Close() error { return c.tc.Close() }

@@ -1,0 +1,501 @@
+package pleroma
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// netWorkload is a deterministic pub/sub workload applied identically
+// through the in-process facade and through TCP clients.
+type netWorkload struct {
+	subs []struct {
+		id   string
+		host int
+		f    Filter
+	}
+	pubs []struct {
+		id   string
+		host int
+		f    Filter
+	}
+	events []struct {
+		pub  string
+		vals []uint32
+	}
+}
+
+func makeNetWorkload(seed int64, hosts int) netWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	var w netWorkload
+	for i := 0; i < 8; i++ {
+		lo := uint32(rng.Intn(512))
+		hi := lo + uint32(rng.Intn(512))
+		w.subs = append(w.subs, struct {
+			id   string
+			host int
+			f    Filter
+		}{fmt.Sprintf("sub-%d", i), rng.Intn(hosts), NewFilter().Range("price", lo, hi)})
+	}
+	for i := 0; i < 2; i++ {
+		w.pubs = append(w.pubs, struct {
+			id   string
+			host int
+			f    Filter
+		}{fmt.Sprintf("pub-%d", i), rng.Intn(hosts), NewFilter()})
+	}
+	for i := 0; i < 40; i++ {
+		w.events = append(w.events, struct {
+			pub  string
+			vals []uint32
+		}{w.pubs[rng.Intn(len(w.pubs))].id, []uint32{uint32(rng.Intn(1024)), uint32(rng.Intn(1024))}})
+	}
+	return w
+}
+
+func netTestSchema(t *testing.T) *Schema {
+	t.Helper()
+	sch, err := NewSchema(Attribute{Name: "price", Bits: 10}, Attribute{Name: "volume", Bits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+// deliveryKey renders a delivery for multiset comparison.
+func deliveryKey(d Delivery) string {
+	return fmt.Sprintf("%s|%v|%v|%v|%t", d.SubscriptionID, d.Event.Values, d.At, d.Latency, d.FalsePositive)
+}
+
+// TestLoopbackEquivalence is the golden test of the networked mode: the
+// same seeded workload driven (a) through the in-process facade and (b)
+// through TCP clients against a daemonized system on 127.0.0.1 must
+// yield identical delivery multisets and identical control-plane
+// digests. The transport boundary adds no semantics.
+func TestLoopbackEquivalence(t *testing.T) {
+	opts := []Option{WithTopology(TopologyRing20), WithPartitions(4)}
+	w := makeNetWorkload(7, 20)
+
+	// (a) in-process.
+	inSys, err := NewSystem(netTestSchema(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inSys.Close()
+	hosts := inSys.Hosts()
+	var inDeliveries []string
+	for _, s := range w.subs {
+		s := s
+		if err := inSys.Subscribe(s.id, hosts[s.host], s.f, func(d Delivery) {
+			inDeliveries = append(inDeliveries, deliveryKey(d))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pubs := map[string]*Publisher{}
+	for _, p := range w.pubs {
+		pub, err := inSys.NewPublisher(p.id, hosts[p.host])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.Advertise(p.f); err != nil {
+			t.Fatal(err)
+		}
+		pubs[p.id] = pub
+	}
+	for _, ev := range w.events {
+		if err := pubs[ev.pub].Publish(ev.vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inSys.Run()
+	inDigest, err := inSys.StateDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (b) daemonized on 127.0.0.1, driven by two separate client
+	// processes' worth of connections (one for subs, one for pubs).
+	netSys, err := NewSystem(netTestSchema(t), append(opts, WithListener("127.0.0.1:0"))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netSys.Close()
+	subCli, err := Dial(netSys.ListenAddr(), WithDialID("equiv-sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subCli.Close()
+	pubCli, err := Dial(netSys.ListenAddr(), WithDialID("equiv-pub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pubCli.Close()
+	rHosts := subCli.Hosts()
+	if len(rHosts) != len(hosts) {
+		t.Fatalf("daemon reports %d hosts, in-process %d", len(rHosts), len(hosts))
+	}
+	var mu sync.Mutex
+	var netDeliveries []string
+	for _, s := range w.subs {
+		if err := subCli.Subscribe(s.id, rHosts[s.host], s.f, func(d Delivery) {
+			mu.Lock()
+			netDeliveries = append(netDeliveries, deliveryKey(d))
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range w.pubs {
+		if err := pubCli.Advertise(p.id, rHosts[p.host], p.f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ev := range w.events {
+		if err := pubCli.Publish(ev.pub, ev.vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pubCli.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Receive barrier: all deliveries queued for the sub connection during
+	// Run have been dispatched once Sync returns.
+	if err := subCli.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	netDigest, err := subCli.StateDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(inDeliveries) == 0 {
+		t.Fatal("workload produced no deliveries; equivalence vacuous")
+	}
+	sort.Strings(inDeliveries)
+	mu.Lock()
+	sort.Strings(netDeliveries)
+	mu.Unlock()
+	if len(inDeliveries) != len(netDeliveries) {
+		t.Fatalf("delivery counts differ: in-process %d, networked %d", len(inDeliveries), len(netDeliveries))
+	}
+	for i := range inDeliveries {
+		if inDeliveries[i] != netDeliveries[i] {
+			t.Fatalf("delivery %d differs:\n  in-process: %s\n  networked:  %s", i, inDeliveries[i], netDeliveries[i])
+		}
+	}
+	if !bytes.Equal(inDigest, netDigest) {
+		t.Fatalf("control-plane digests differ:\n  in-process: %x\n  networked:  %x", inDigest, netDigest)
+	}
+}
+
+// TestNetworkKillAndReconnect severs every client connection of a live
+// daemon. The client must transparently redial, replay its
+// advertisements and subscriptions (idempotent rebinds — control state
+// untouched), and keep receiving deliveries; a resync afterwards finds
+// nothing to repair.
+func TestNetworkKillAndReconnect(t *testing.T) {
+	sys, err := NewSystem(netTestSchema(t),
+		WithTopology(TopologyRing20), WithPartitions(4), WithJournal(),
+		WithListener("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	c, err := Dial(sys.ListenAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hosts := c.Hosts()
+	var mu sync.Mutex
+	var got []string
+	if err := c.Subscribe("s", hosts[6], NewFilter().Range("price", 0, 511), func(d Delivery) {
+		mu.Lock()
+		got = append(got, deliveryKey(d))
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advertise("p", hosts[0], NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish("p", 100, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	digestBefore, err := c.StateDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	before := len(got)
+	mu.Unlock()
+	if before != 1 {
+		t.Fatalf("baseline deliveries: %d, want 1", before)
+	}
+
+	// Sever every connection — a daemon-side crash of the client links.
+	sys.server.DropConnections()
+
+	// The next operation redials and replays the registrations. A second
+	// identical advertise/subscribe must not duplicate control state.
+	if err := c.Publish("p", 50, 60); err != nil {
+		t.Fatalf("publish after kill: %v", err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	after := len(got)
+	seen := map[string]int{}
+	for _, k := range got {
+		seen[k]++
+	}
+	mu.Unlock()
+	if after != 2 {
+		t.Fatalf("deliveries after reconnect: %d, want 2 (no loss, no duplication)", after)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("delivery %q received %d times", k, n)
+		}
+	}
+
+	digestAfter, err := c.StateDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(digestBefore, digestAfter) {
+		t.Fatalf("control-plane digest changed across reconnect replay:\n  before: %x\n  after:  %x", digestBefore, digestAfter)
+	}
+	rr, err := sys.Resync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repairs := rr.FlowAdds + rr.FlowDeletes + rr.FlowModifies; repairs != 0 {
+		t.Fatalf("resync repaired %d flows after reconnect; switch state should be untouched", repairs)
+	}
+}
+
+// TestNetworkGracefulDrain stops the listener of a system with queued
+// deliveries: every delivery already accepted must reach the client
+// (flush-then-goodbye), and subsequent requests must fail cleanly.
+func TestNetworkGracefulDrain(t *testing.T) {
+	sys, err := NewSystem(netTestSchema(t), WithListener("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	// A tight retry policy so the post-shutdown failure is quick.
+	c, err := Dial(sys.ListenAddr(), WithDialRetry(RetryPolicy{
+		MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		OpDeadline: time.Second,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hosts := c.Hosts()
+	var mu sync.Mutex
+	count := 0
+	if err := c.Subscribe("s", hosts[1], NewFilter(), func(Delivery) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advertise("p", hosts[0], NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	const burst = 25
+	tuples := make([][]uint32, burst)
+	for i := range tuples {
+		tuples[i] = []uint32{uint32(i), uint32(i)}
+	}
+	if err := c.PublishBatch("p", tuples...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deliveries ride the connection FIFO ahead of the Run response, so
+	// they have all been dispatched already; the drain must not lose that
+	// invariant while shutting down.
+	sys.StopListener()
+	mu.Lock()
+	n := count
+	mu.Unlock()
+	if n != burst {
+		t.Fatalf("deliveries after drain: %d, want %d", n, burst)
+	}
+	if err := c.Sync(); err == nil {
+		t.Fatal("request after StopListener succeeded; want failure")
+	}
+}
+
+// TestSystemRestartWithState closes a file-journaled system and rebuilds
+// an identical control plane in a fresh process-equivalent: Recover
+// replays snapshot + journal suffix per partition and reinstalls the
+// same flow tables.
+func TestSystemRestartWithState(t *testing.T) {
+	dir := t.TempDir()
+	opts := []Option{WithTopology(TopologyRing20), WithPartitions(2), WithJournalDir(dir)}
+
+	sys1, err := NewSystem(netTestSchema(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := sys1.Hosts()
+	pub, err := sys1.NewPublisher("p", hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Advertise(NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := sys1.Subscribe(fmt.Sprintf("s%d", i), hosts[(i*3)%len(hosts)],
+			NewFilter().Range("price", uint32(i*100), uint32(i*100+99)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot mid-stream so recovery exercises snapshot + journal suffix.
+	snaps := map[int][]byte{}
+	for _, p := range sys1.Partitions() {
+		snap, err := sys1.Snapshot(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[p] = snap
+	}
+	for i := 6; i < 10; i++ {
+		if err := sys1.Subscribe(fmt.Sprintf("s%d", i), hosts[(i*3)%len(hosts)],
+			NewFilter().Range("volume", uint32(i*50), uint32(i*50+49)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := flowDump(t, sys1)
+	sys1.Close()
+
+	// "Process restart": a fresh system over the same journal directory.
+	sys2, err := NewSystem(netTestSchema(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	replayed := 0
+	for _, p := range sys2.Partitions() {
+		rep, err := sys2.Recover(p, snaps[p])
+		if err != nil {
+			t.Fatalf("recover partition %d: %v", p, err)
+		}
+		if !rep.FromSnapshot {
+			t.Errorf("partition %d recovered without the snapshot", p)
+		}
+		replayed += rep.Replayed
+	}
+	if replayed == 0 {
+		t.Error("no journal suffix replayed; post-snapshot ops lost")
+	}
+	if got := flowDump(t, sys2); got != want {
+		t.Errorf("recovered flow tables differ from pre-restart tables:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+	if err := sys2.VerifyTables(); err != nil {
+		t.Errorf("recovered tables out of sync with controllers: %v", err)
+	}
+
+	// The recovered system keeps working end to end.
+	count := 0
+	if err := sys2.Subscribe("fresh", hosts[4], NewFilter(), func(Delivery) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	pub2, err := sys2.NewPublisher("p2", hosts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub2.Advertise(NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub2.Publish(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	sys2.Run()
+	if count != 1 {
+		t.Fatalf("post-recovery deliveries: %d, want 1", count)
+	}
+}
+
+// flowDump renders every switch's flow table canonically (sorted, IDs
+// ignored — installation order may differ across a recovery).
+func flowDump(t *testing.T, s *System) string {
+	t.Helper()
+	var out []string
+	for _, sw := range s.g.Switches() {
+		flows, err := s.dp.Flows(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := make([]string, len(flows))
+		for i, f := range flows {
+			lines[i] = fmt.Sprintf("sw%d expr=%s prio=%d actions=%v", sw, f.Expr, f.Priority, f.Actions)
+		}
+		sort.Strings(lines)
+		out = append(out, lines...)
+	}
+	return fmt.Sprintf("%d flows\n", len(out)) + fmt.Sprint(out)
+}
+
+func TestParseFilter(t *testing.T) {
+	f, err := ParseFilter("price:0-511,volume:10-20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f.Ranges["price"]; r != [2]uint32{0, 511} {
+		t.Errorf("price range %v", r)
+	}
+	if r := f.Ranges["volume"]; r != [2]uint32{10, 20} {
+		t.Errorf("volume range %v", r)
+	}
+	if f, err := ParseFilter(""); err != nil || len(f.Ranges) != 0 {
+		t.Errorf("empty filter: %v %v", f, err)
+	}
+	for _, bad := range []string{"price", "price:1", "price:a-2", "price:1-b"} {
+		if _, err := ParseFilter(bad); err == nil {
+			t.Errorf("ParseFilter(%q) accepted", bad)
+		}
+	}
+}
+
+// TestJournalDirLayout pins the on-disk naming convention the daemon
+// relies on.
+func TestJournalDirLayout(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := NewSystem(netTestSchema(t), WithTopology(TopologyRing20), WithPartitions(2), WithJournalDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	for _, p := range sys.Partitions() {
+		if _, err := os.Stat(JournalPath(dir, p)); err != nil {
+			t.Errorf("partition %d journal missing: %v", p, err)
+		}
+	}
+}

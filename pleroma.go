@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +47,7 @@ import (
 	"pleroma/internal/sim/shard"
 	"pleroma/internal/space"
 	"pleroma/internal/topo"
+	"pleroma/internal/transport"
 )
 
 // Re-exported content-model types.
@@ -126,6 +128,12 @@ type config struct {
 	// journal enables controller HA: per-partition op journals plus the
 	// Snapshot/Restore/Failover surface (see WithJournal in ha.go).
 	journal bool
+	// journalDir makes the HA journals file-backed (see WithJournalDir in
+	// network.go); implies journal.
+	journalDir string
+	// listenAddr makes the system serve its control and southbound
+	// surfaces over TCP (see WithListener in network.go).
+	listenAddr string
 	// obsEnabled/obsTraceCap/obsTraceSink configure the observability
 	// layer (see WithObservability in observability.go).
 	obsEnabled   bool
@@ -243,6 +251,12 @@ type System struct {
 	deliveries     atomic.Uint64
 	falsePositives atomic.Uint64
 
+	// Networked deployment surface (nil without WithListener /
+	// WithJournalDir; see network.go).
+	server       *transport.Server
+	lnAddr       net.Addr
+	fileJournals []*core.FileJournal
+
 	// Observability (nil without WithObservability; see observability.go).
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -356,11 +370,25 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 	if reg != nil {
 		fabOpts = append(fabOpts, interdomain.WithObservability(reg, tracer))
 	}
-	if cfg.journal {
+	var fileJournals []*core.FileJournal
+	switch {
+	case cfg.journalDir != "":
+		fabOpts = append(fabOpts, interdomain.WithHAJournal(func(partition int) (core.CompactableJournal, error) {
+			j, err := core.OpenFileJournal(JournalPath(cfg.journalDir, partition))
+			if err != nil {
+				return nil, err
+			}
+			fileJournals = append(fileJournals, j)
+			return j, nil
+		}))
+	case cfg.journal:
 		fabOpts = append(fabOpts, interdomain.WithHA())
 	}
 	fab, err := interdomain.NewFabric(g, dp, fabOpts...)
 	if err != nil {
+		for _, j := range fileJournals {
+			j.Close()
+		}
 		return nil, err
 	}
 	sys := &System{
@@ -399,6 +427,13 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 	}
 	if cfg.inBandDelay > 0 {
 		fab.EnableInBandSignalling(cfg.inBandDelay)
+	}
+	sys.fileJournals = fileJournals
+	if cfg.listenAddr != "" {
+		if err := sys.startListener(cfg.listenAddr); err != nil {
+			sys.Close()
+			return nil, err
+		}
 	}
 	return sys, nil
 }
@@ -463,6 +498,12 @@ func (s *System) Shards() int {
 // idempotent, and safe to call concurrently (e.g. racing the finalizer
 // path or a deferred double-Close).
 func (s *System) Close() {
+	if s.server != nil {
+		s.server.Stop()
+	}
+	for _, j := range s.fileJournals {
+		j.Close()
+	}
 	if s.coord != nil {
 		s.coord.Close()
 	}
