@@ -82,7 +82,6 @@ func run(args []string, w io.Writer, stop <-chan os.Signal) error {
 	}
 
 	opts := []pleroma.Option{
-		pleroma.WithListener(*listen),
 		pleroma.WithFatTree(*pods, *cores, *hosts),
 		pleroma.WithPartitions(*partitions),
 		pleroma.WithShards(*shards),
@@ -101,7 +100,9 @@ func run(args []string, w io.Writer, stop <-chan os.Signal) error {
 	defer sys.Close()
 
 	// Restart-with-state: any partition with a prior snapshot or a
-	// non-empty journal on disk is rebuilt before serving.
+	// non-empty journal on disk is rebuilt before serving. The listener
+	// opens only after recovery completes, so no client request can race
+	// a partition's controller swap.
 	if *state != "" {
 		for _, p := range sys.Partitions() {
 			snap, _ := os.ReadFile(pleroma.SnapshotPath(*state, p))
@@ -119,8 +120,12 @@ func run(args []string, w io.Writer, stop <-chan os.Signal) error {
 		}
 	}
 
+	addr, err := sys.StartListener(*listen)
+	if err != nil {
+		return err
+	}
 	// Scripts parse the first "listening on" line; keep it stable.
-	fmt.Fprintf(w, "listening on %s\n", sys.ListenAddr())
+	fmt.Fprintf(w, "listening on %s\n", addr)
 	fmt.Fprintf(w, "topology: %d hosts, %d switches, %d partitions, %d shards\n",
 		len(sys.Hosts()), len(sys.Switches()), len(sys.Partitions()), sys.Shards())
 
@@ -137,17 +142,12 @@ func run(args []string, w io.Writer, stop <-chan os.Signal) error {
 	fmt.Fprintln(w, "draining")
 	sys.StopListener() // drain before snapshotting: no request may race it
 	if *state != "" {
+		// PersistSnapshot makes each snapshot durable (fsynced file and
+		// directory) before compacting the journal, so a crash mid-shutdown
+		// never discards acknowledged ops.
 		for _, p := range sys.Partitions() {
-			snap, err := sys.Snapshot(p)
-			if err != nil {
+			if err := sys.PersistSnapshot(p, *state); err != nil {
 				return fmt.Errorf("snapshot partition %d: %w", p, err)
-			}
-			tmp := pleroma.SnapshotPath(*state, p) + ".tmp"
-			if err := os.WriteFile(tmp, snap, 0o644); err != nil {
-				return err
-			}
-			if err := os.Rename(tmp, pleroma.SnapshotPath(*state, p)); err != nil {
-				return err
 			}
 		}
 		fmt.Fprintf(w, "snapshotted %d partitions to %s\n", len(sys.Partitions()), *state)

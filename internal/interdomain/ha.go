@@ -58,23 +58,56 @@ func (f *Fabric) Journal(partition int) (core.CompactableJournal, error) {
 // SnapshotPartition encodes the partition controller's state, retains the
 // snapshot for the partition's warm standby, and compacts the journal:
 // records the snapshot covers are truncated. It returns the snapshot.
+// Callers that persist snapshots externally should instead use
+// EncodeSnapshotPartition, make the snapshot durable, and only then
+// CompactPartition — truncating first opens a state-loss window if the
+// snapshot never reaches stable storage.
 func (f *Fabric) SnapshotPartition(partition int) ([]byte, error) {
+	snap, seq, err := f.EncodeSnapshotPartition(partition)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.CompactPartition(partition, seq); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// EncodeSnapshotPartition encodes the partition controller's state and
+// retains it for the warm standby WITHOUT compacting the journal. It
+// returns the snapshot and the journal sequence number it covers; pass
+// that seq to CompactPartition once the snapshot is durable.
+func (f *Fabric) EncodeSnapshotPartition(partition int) ([]byte, uint64, error) {
 	s, ok := f.parts[partition]
 	if !ok {
-		return nil, fmt.Errorf("interdomain: unknown partition %d", partition)
+		return nil, 0, fmt.Errorf("interdomain: unknown partition %d", partition)
 	}
 	if s.journal == nil {
-		return nil, fmt.Errorf("interdomain: partition %d has no journal (fabric built without WithHA)", partition)
+		return nil, 0, fmt.Errorf("interdomain: partition %d has no journal (fabric built without WithHA)", partition)
 	}
 	snap, err := s.ctl.EncodeSnapshot()
 	if err != nil {
-		return nil, fmt.Errorf("interdomain: snapshot partition %d: %w", partition, err)
+		return nil, 0, fmt.Errorf("interdomain: snapshot partition %d: %w", partition, err)
 	}
 	s.lastSnap = append([]byte(nil), snap...)
-	if err := s.journal.Truncate(s.ctl.JournalSeq()); err != nil {
-		return nil, fmt.Errorf("interdomain: compact journal of partition %d: %w", partition, err)
+	return snap, s.ctl.JournalSeq(), nil
+}
+
+// CompactPartition truncates the partition journal's records up to and
+// including upToSeq — the compaction step of a snapshot, split out so a
+// caller can defer it until the snapshot is durably persisted.
+func (f *Fabric) CompactPartition(partition int, upToSeq uint64) error {
+	s, ok := f.parts[partition]
+	if !ok {
+		return fmt.Errorf("interdomain: unknown partition %d", partition)
 	}
-	return snap, nil
+	if s.journal == nil {
+		return fmt.Errorf("interdomain: partition %d has no journal (fabric built without WithHA)", partition)
+	}
+	if err := s.journal.Truncate(upToSeq); err != nil {
+		return fmt.Errorf("interdomain: compact journal of partition %d: %w", partition, err)
+	}
+	return nil
 }
 
 // DigestPartition returns the deterministic digest of the partition

@@ -79,15 +79,26 @@ type Client struct {
 	mu       sync.Mutex
 	fc       *frameConn
 	corr     uint64
-	pending  map[uint64]chan wire.Frame
+	pending  map[uint64]chan callResult
 	advs     []advReg
 	subs     []subReg
 	handlers map[string]func(wire.Delivery)
 	info     Info
 	closed   bool
+	// pubSeq numbers this client's publishes so the server can deduplicate
+	// an at-least-once retry of a publish it already applied.
+	pubSeq uint64
 	// gen counts established connections; reconnect attempts pass the gen
 	// they observed so only one caller redials a given dead connection.
 	gen int
+}
+
+// callResult is what a pending call receives: either a response frame
+// (including server KindError rejections, which are NOT retried) or a
+// transport error (lost connection — retryable).
+type callResult struct {
+	f   wire.Frame
+	err error
 }
 
 // Dial connects to a daemon and performs the Hello handshake.
@@ -96,29 +107,40 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 		addr:     addr,
 		id:       "client",
 		retry:    core.DefaultRetryPolicy,
-		pending:  make(map[uint64]chan wire.Frame),
+		pending:  make(map[uint64]chan callResult),
 		handlers: make(map[string]func(wire.Delivery)),
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.connectLocked(); err != nil {
+	start, err := c.connectLocked()
+	c.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
+	start()
 	return c, nil
 }
 
 // connectLocked dials, handshakes, and replays registrations, all
 // synchronously on the fresh connection (its reader goroutine starts only
-// afterwards, so the round-trips below own the socket). Callers hold c.mu.
-func (c *Client) connectLocked() error {
+// afterwards, so the round-trips below own the socket). Callers hold c.mu
+// and, on success, MUST invoke the returned start function after releasing
+// it: start dispatches any deliveries the server pushed mid-handshake
+// (they cannot be dispatched under c.mu — handlers may call back into the
+// client) and only then spawns the reader goroutine, preserving delivery
+// order.
+func (c *Client) connectLocked() (start func(), err error) {
 	raw, err := net.Dial("tcp", c.addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	br := bufio.NewReader(raw)
+	// Deliveries arriving during the handshake (the replayed subscribes
+	// rebind the server-side sinks to this connection, so another client's
+	// Run may already be pushing) are buffered and dispatched by start.
+	var buffered []wire.Frame
 	rt := func(f wire.Frame) (wire.Frame, error) {
 		b, err := wire.AppendFrame(nil, f)
 		if err != nil {
@@ -136,7 +158,7 @@ func (c *Client) connectLocked() error {
 				return wire.Frame{}, err
 			}
 			if resp.Kind == wire.KindDeliver {
-				c.dispatchDelivery(resp)
+				buffered = append(buffered, resp)
 				continue
 			}
 			return resp, nil
@@ -146,21 +168,21 @@ func (c *Client) connectLocked() error {
 	hb, err := wire.EncodeHello(wire.Hello{ID: c.id})
 	if err != nil {
 		raw.Close()
-		return err
+		return nil, err
 	}
 	resp, err := rt(wire.Frame{Kind: wire.KindHello, Corr: 1, Payload: hb})
 	if err != nil {
 		raw.Close()
-		return fmt.Errorf("transport: hello: %w", err)
+		return nil, fmt.Errorf("transport: hello: %w", err)
 	}
 	if resp.Kind != wire.KindHelloOK {
 		raw.Close()
-		return fmt.Errorf("transport: hello rejected: %s", respError(resp))
+		return nil, fmt.Errorf("transport: hello rejected: %s", respError(resp))
 	}
 	hello, err := wire.DecodeHelloOK(resp.Payload)
 	if err != nil {
 		raw.Close()
-		return err
+		return nil, err
 	}
 	c.info = Info{Hosts: hello.Hosts, Partitions: hello.Partitions}
 
@@ -186,22 +208,28 @@ func (c *Client) connectLocked() error {
 	for _, a := range c.advs {
 		if err := replay("advertise", a.id, a.host, a.ranges); err != nil {
 			raw.Close()
-			return err
+			return nil, err
 		}
 	}
 	for _, s := range c.subs {
 		if err := replay("subscribe", s.id, s.host, s.ranges); err != nil {
 			raw.Close()
-			return err
+			return nil, err
 		}
 	}
 
 	raw.SetDeadline(time.Time{})
-	c.fc = newFrameConn(raw, c.retry.OpDeadline, c.m)
+	fc := newFrameConn(raw, c.retry.OpDeadline, c.m)
+	c.fc = fc
 	c.corr = corr
 	c.gen++
-	go c.readLoop(c.fc, br, c.gen)
-	return nil
+	gen := c.gen
+	return func() {
+		for _, f := range buffered {
+			c.dispatchDelivery(f)
+		}
+		go c.readLoop(fc, br, gen)
+	}, nil
 }
 
 // readLoop dispatches incoming frames: deliveries to their subscription
@@ -226,7 +254,7 @@ func (c *Client) readLoop(fc *frameConn, br *bufio.Reader, gen int) {
 			delete(c.pending, f.Corr)
 			c.mu.Unlock()
 			if ch != nil {
-				ch <- f
+				ch <- callResult{f: f}
 			}
 		}
 	}
@@ -255,11 +283,11 @@ func (c *Client) connLost(fc *frameConn, gen int) {
 	}
 	c.fc = nil
 	pend := c.pending
-	c.pending = make(map[uint64]chan wire.Frame)
+	c.pending = make(map[uint64]chan callResult)
 	c.mu.Unlock()
 	fc.abort()
 	for _, ch := range pend {
-		ch <- wire.Frame{Kind: wire.KindError, Payload: []byte("transport: connection lost")}
+		ch <- callResult{err: fmt.Errorf("transport: connection lost")}
 	}
 }
 
@@ -273,6 +301,9 @@ func respError(f wire.Frame) string {
 
 // call performs one correlated request/response, redialing (with the
 // retry policy's backoff) when the connection is down or lost mid-call.
+// Only transport failures are retried; a server KindError response is a
+// semantic rejection and is returned immediately for the caller to
+// surface.
 func (c *Client) call(kind wire.Kind, payload []byte) (wire.Frame, error) {
 	pol := c.retry
 	var lastErr error
@@ -309,11 +340,13 @@ func (c *Client) attempt(kind wire.Kind, payload []byte, isRetry bool) (wire.Fra
 		c.mu.Unlock()
 		return wire.Frame{}, fmt.Errorf("transport: client closed")
 	}
+	var start func()
 	if c.fc == nil {
 		if isRetry {
 			c.obsReconnects.Inc()
 		}
-		if err := c.connectLocked(); err != nil {
+		var err error
+		if start, err = c.connectLocked(); err != nil {
 			c.mu.Unlock()
 			return wire.Frame{}, err
 		}
@@ -321,9 +354,16 @@ func (c *Client) attempt(kind wire.Kind, payload []byte, isRetry bool) (wire.Fra
 	fc := c.fc
 	c.corr++
 	corr := c.corr
-	ch := make(chan wire.Frame, 1)
+	ch := make(chan callResult, 1)
 	c.pending[corr] = ch
 	c.mu.Unlock()
+	if start != nil {
+		// Fresh connection: flush handshake-buffered deliveries and start
+		// the reader now that c.mu is released (handlers may re-enter the
+		// client). Must run before awaiting the response below — the
+		// reader is what completes it.
+		start()
+	}
 
 	if err := fc.send(wire.Frame{Kind: kind, Corr: corr, Payload: payload}); err != nil {
 		c.mu.Lock()
@@ -339,11 +379,13 @@ func (c *Client) attempt(kind wire.Kind, payload []byte, isRetry bool) (wire.Fra
 		timeout = t.C
 	}
 	select {
-	case resp := <-ch:
-		if resp.Kind == wire.KindError {
-			return resp, fmt.Errorf("%s", string(resp.Payload))
+	case res := <-ch:
+		if res.err != nil {
+			return wire.Frame{}, res.err // transport failure: retryable
 		}
-		return resp, nil
+		// Server responses — including KindError rejections — complete the
+		// call; callers inspect the frame kind.
+		return res.f, nil
 	case <-timeout:
 		c.mu.Lock()
 		delete(c.pending, corr)
@@ -426,9 +468,16 @@ func (c *Client) Unsubscribe(id string) error {
 	return nil
 }
 
-// Publish injects events from the advertised publisher id.
+// Publish injects events from the advertised publisher id. Each publish
+// carries a client-assigned sequence number: a reconnect retry re-sends
+// the same number, and the server skips publishes it already applied, so
+// the at-least-once transport retry applies events at most once.
 func (c *Client) Publish(id string, events []space.Event) error {
-	b, err := wire.EncodePublish(wire.PublishReq{ID: id, Events: events})
+	c.mu.Lock()
+	c.pubSeq++
+	seq := c.pubSeq
+	c.mu.Unlock()
+	b, err := wire.EncodePublish(wire.PublishReq{ID: id, Seq: seq, Events: events})
 	if err != nil {
 		return err
 	}

@@ -23,8 +23,13 @@ type fakeBackend struct {
 	controls []wire.ControlReq
 	pubs     []wire.PublishReq
 	runs     int
+	fails    int // rejected control ops (scripted via failOp)
 	sinks    map[string]func(wire.Delivery)
 	failOp   string // control op to fail, if any
+	// deliverOnSubscribe pushes a delivery synchronously from every
+	// subscribe, so the frame lands on the connection before the OK — on a
+	// reconnect replay that means mid-handshake.
+	deliverOnSubscribe bool
 }
 
 func newFakeBackend() *fakeBackend {
@@ -39,11 +44,15 @@ func (b *fakeBackend) Control(req wire.ControlReq, deliver func(wire.Delivery)) 
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if req.Op == b.failOp {
+		b.fails++
 		return fmt.Errorf("scripted failure for %s", req.Op)
 	}
 	b.controls = append(b.controls, req)
 	if req.Op == "subscribe" {
 		b.sinks[req.ID] = deliver
+		if b.deliverOnSubscribe {
+			deliver(wire.Delivery{SubscriptionID: req.ID, Event: space.Event{Values: []uint32{1, 2}}, At: 9, Latency: 1})
+		}
 	}
 	return nil
 }
@@ -271,6 +280,88 @@ func TestClientReconnectReplaysRegistrations(t *testing.T) {
 	defer nMu.Unlock()
 	if n != 1 {
 		t.Fatalf("deliveries after reconnect = %d, want 1", n)
+	}
+}
+
+// TestDeliveryDuringReconnectHandshake guards against a reconnect
+// self-deadlock: as soon as a replayed subscribe rebinds its sink, the
+// server may push deliveries onto the new connection while the client is
+// still mid-handshake holding its mutex. Those frames must be buffered
+// and dispatched after the handshake — neither dropped nor dispatched
+// under the lock.
+func TestDeliveryDuringReconnectHandshake(t *testing.T) {
+	b := newFakeBackend()
+	b.deliverOnSubscribe = true
+	srv, addr := startServer(t, b)
+	c, err := Dial(addr, WithClientRetry(core.RetryPolicy{
+		MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond,
+		OpDeadline: 2 * time.Second,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var mu sync.Mutex
+	n := 0
+	if err := c.Subscribe("s1", 11, nil, func(wire.Delivery) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	before := n
+	mu.Unlock()
+	if before != 1 {
+		t.Fatalf("deliveries after subscribe: %d, want 1", before)
+	}
+
+	// Sever the connection: the next call redials and replays the
+	// subscribe, and the replay pushes a delivery before the handshake
+	// completes.
+	srv.DropConnections()
+	done := make(chan error, 1)
+	go func() { done <- c.Sync() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("sync after drop: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client deadlocked dispatching a mid-handshake delivery")
+	}
+	mu.Lock()
+	after := n
+	mu.Unlock()
+	if after != 2 {
+		t.Fatalf("deliveries after reconnect: %d, want 2 (handshake delivery dispatched)", after)
+	}
+}
+
+// TestServerErrorNotRetried: a semantic backend rejection is not a
+// transport failure — it must surface on the first attempt instead of
+// burning the retry budget on an op the server will never accept.
+func TestServerErrorNotRetried(t *testing.T) {
+	b := newFakeBackend()
+	b.failOp = "advertise"
+	_, addr := startServer(t, b)
+	c, err := Dial(addr, WithClientRetry(core.RetryPolicy{
+		MaxAttempts: 5, BaseBackoff: time.Millisecond, OpDeadline: time.Second,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Advertise("p1", 10, nil); err == nil {
+		t.Fatal("scripted rejection did not propagate")
+	}
+	b.mu.Lock()
+	fails := b.fails
+	b.mu.Unlock()
+	if fails != 1 {
+		t.Fatalf("backend saw %d attempts of a rejected advertise, want 1", fails)
 	}
 }
 

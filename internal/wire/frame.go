@@ -447,15 +447,19 @@ func DecodeControlReq(b []byte) (ControlReq, error) {
 	return req, nil
 }
 
-// PublishReq injects events through a registered publisher.
+// PublishReq injects events through a registered publisher. Seq is the
+// client-assigned publish sequence number (0 = unsequenced): a transport
+// retry re-sends the same Seq, letting the server skip a publish it
+// already applied (at-most-once application under at-least-once retry).
 type PublishReq struct {
 	ID     string
+	Seq    uint64
 	Events []space.Event
 }
 
 // EncodePublish renders a publish request:
 //
-//	[version u8][idLen u8][id][count u16][event]×
+//	[version u8][seq u64][idLen u8][id][count u16][event]×
 //
 // where each event is an EncodeEvent payload (self-delimiting via its dims
 // byte).
@@ -466,8 +470,9 @@ func EncodePublish(req PublishReq) ([]byte, error) {
 	if len(req.Events) == 0 || len(req.Events) > MaxEvents {
 		return nil, fmt.Errorf("wire: publish with %d events, want 1..%d", len(req.Events), MaxEvents)
 	}
-	buf := make([]byte, 0, 8+len(req.ID)+len(req.Events)*6)
+	buf := make([]byte, 0, 16+len(req.ID)+len(req.Events)*6)
 	buf = append(buf, Version)
+	buf = binary.BigEndian.AppendUint64(buf, req.Seq)
 	var err error
 	buf, err = appendString(buf, req.ID, "publisher id")
 	if err != nil {
@@ -502,13 +507,14 @@ func readEvent(b []byte) (space.Event, []byte, error) {
 
 // DecodePublish parses a publish request.
 func DecodePublish(b []byte) (PublishReq, error) {
-	if len(b) < 1 {
+	if len(b) < 9 {
 		return PublishReq{}, fmt.Errorf("wire: publish too short")
 	}
 	if b[0] != Version {
 		return PublishReq{}, fmt.Errorf("wire: unsupported version %d", b[0])
 	}
-	id, rest, err := readString(b[1:], "publisher id")
+	seq := binary.BigEndian.Uint64(b[1:])
+	id, rest, err := readString(b[9:], "publisher id")
 	if err != nil {
 		return PublishReq{}, err
 	}
@@ -523,7 +529,7 @@ func DecodePublish(b []byte) (PublishReq, error) {
 	if count == 0 || count > MaxEvents {
 		return PublishReq{}, fmt.Errorf("wire: publish with %d events, want 1..%d", count, MaxEvents)
 	}
-	req := PublishReq{ID: id, Events: make([]space.Event, 0, count)}
+	req := PublishReq{ID: id, Seq: seq, Events: make([]space.Event, 0, count)}
 	for i := 0; i < count; i++ {
 		var ev space.Event
 		ev, rest, err = readEvent(rest)

@@ -2,6 +2,7 @@ package pleroma
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -103,6 +104,73 @@ func (s *System) Recover(partition int, snap []byte) (FailoverReport, error) {
 	return s.fab.RecoverPartition(partition, snap)
 }
 
+// StartListener begins serving the TCP surface on addr for a System built
+// without WithListener and returns the bound address. This is the
+// recovery-safe construction order for a daemon: build the System,
+// Recover every partition, then open the listener — no client request can
+// race the controller swap. Serving an already-listening System is an
+// error.
+func (s *System) StartListener(addr string) (string, error) {
+	if s.server != nil {
+		return "", fmt.Errorf("pleroma: listener already started on %s", s.ListenAddr())
+	}
+	if err := s.startListener(addr); err != nil {
+		return "", err
+	}
+	return s.ListenAddr(), nil
+}
+
+// PersistSnapshot durably persists partition's snapshot under dir and
+// only then compacts the partition journal. The write is crash-safe:
+// snapshot bytes go to a temp file which is fsynced, renamed over
+// SnapshotPath(dir, partition), and the directory fsynced, before a
+// single journal record is truncated — so at every instant either the
+// journal still holds the acknowledged ops or the snapshot covering them
+// is durable. Requires WithJournal or WithJournalDir.
+func (s *System) PersistSnapshot(partition int, dir string) error {
+	if !s.cfg.journal {
+		return fmt.Errorf("pleroma: PersistSnapshot requires WithJournal or WithJournalDir")
+	}
+	snap, seq, err := s.fab.EncodeSnapshotPartition(partition)
+	if err != nil {
+		return err
+	}
+	path := SnapshotPath(dir, partition)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	d.Close()
+	return s.fab.CompactPartition(partition, seq)
+}
+
 // startListener builds the transport backend and starts serving.
 func (s *System) startListener(addr string) error {
 	var opts []transport.ServerOption
@@ -126,10 +194,14 @@ func (s *System) startListener(addr string) error {
 // netReg records one remote registration for idempotence checks: a
 // reconnecting client replays its advertisements and subscriptions, and
 // an identical replay must rebind without touching control state.
+// lastPubSeq is the highest client publish sequence number applied through
+// this advertisement — a retried publish with a Seq at or below it has
+// already been applied and is acknowledged without re-injecting events.
 type netReg struct {
-	host uint32
-	key  string
-	pub  *Publisher
+	host       uint32
+	key        string
+	pub        *Publisher
+	lastPubSeq uint64
 }
 
 // regKey canonicalizes a registration's parameters. ControlReq ranges
@@ -256,11 +328,25 @@ func (b *netBackend) Publish(req wire.PublishReq) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotAdvertised, req.ID)
 	}
+	// The client's transport retry is at-least-once: a connection lost
+	// after the backend applied a publish but before the OK arrived makes
+	// the client re-send the same request. Sequence numbers (per client,
+	// strictly increasing per publisher) make the retry idempotent.
+	if req.Seq != 0 && req.Seq <= e.lastPubSeq {
+		return nil // duplicate of an already-applied publish
+	}
 	tuples := make([][]uint32, len(req.Events))
 	for i, ev := range req.Events {
 		tuples[i] = ev.Values
 	}
-	return e.pub.PublishBatch(tuples...)
+	if err := e.pub.PublishBatch(tuples...); err != nil {
+		return err
+	}
+	if req.Seq != 0 {
+		e.lastPubSeq = req.Seq
+		b.advs[req.ID] = e
+	}
+	return nil
 }
 
 func (b *netBackend) Run() (time.Duration, error) { return b.sys.Run(), nil }

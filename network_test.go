@@ -5,10 +5,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
 	"time"
+
+	"pleroma/internal/space"
+	"pleroma/internal/wire"
 )
 
 // netWorkload is a deterministic pub/sub workload applied identically
@@ -348,6 +352,116 @@ func TestNetworkGracefulDrain(t *testing.T) {
 	}
 	if err := c.Sync(); err == nil {
 		t.Fatal("request after StopListener succeeded; want failure")
+	}
+}
+
+// TestPublishDedupOnRetry: the transport retries publishes at-least-once
+// (a connection lost between the backend applying a publish and the OK
+// arriving makes the client re-send it). The backend's per-publisher
+// sequence numbers must make the retry idempotent.
+func TestPublishDedupOnRetry(t *testing.T) {
+	sys, err := NewSystem(netTestSchema(t), WithTopology(TopologyRing20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	b := &netBackend{sys: sys, advs: make(map[string]netReg), subs: make(map[string]netReg)}
+	hosts := sys.Hosts()
+	if err := b.Control(wire.ControlReq{Op: "advertise", ID: "p", Host: uint32(hosts[0])}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	count := 0
+	err = b.Control(wire.ControlReq{Op: "subscribe", ID: "s", Host: uint32(hosts[5]),
+		Ranges: []wire.Range{{Attr: "price", Lo: 0, Hi: 1023}}},
+		func(wire.Delivery) { mu.Lock(); count++; mu.Unlock() })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pub := wire.PublishReq{ID: "p", Seq: 1, Events: []space.Event{{Values: []uint32{5, 6}}}}
+	if err := b.Publish(pub); err != nil {
+		t.Fatal(err)
+	}
+	// The retry re-sends the identical request: acknowledged, not applied.
+	if err := b.Publish(pub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	n := count
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("deliveries after duplicate publish: %d, want 1", n)
+	}
+
+	// The next sequence number applies normally.
+	if err := b.Publish(wire.PublishReq{ID: "p", Seq: 2, Events: []space.Event{{Values: []uint32{7, 8}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	n = count
+	mu.Unlock()
+	if n != 2 {
+		t.Fatalf("deliveries after fresh publish: %d, want 2", n)
+	}
+}
+
+// TestPersistSnapshotDurableOrdering: the journal may be compacted only
+// after the snapshot covering it is durable on disk — a persist that
+// cannot reach stable storage must leave every journal record in place.
+func TestPersistSnapshotDurableOrdering(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := NewSystem(netTestSchema(t), WithTopology(TopologyRing20), WithPartitions(1), WithJournalDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	hosts := sys.Hosts()
+	for i := 0; i < 5; i++ {
+		if err := sys.Subscribe(fmt.Sprintf("s%d", i), hosts[i],
+			NewFilter().Range("price", uint32(i*10), uint32(i*10+9)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := sys.Partitions()[0]
+	jpath := JournalPath(dir, p)
+	before, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Size() == 0 {
+		t.Fatal("journal empty before snapshot")
+	}
+
+	if err := sys.PersistSnapshot(p, filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("persist into a missing directory succeeded")
+	}
+	after, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Fatalf("failed persist changed the journal: %d -> %d bytes", before.Size(), after.Size())
+	}
+
+	if err := sys.PersistSnapshot(p, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(SnapshotPath(dir, p)); err != nil {
+		t.Fatalf("snapshot not persisted: %v", err)
+	}
+	compacted, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compacted.Size() >= before.Size() {
+		t.Fatalf("journal not compacted after durable snapshot: %d -> %d bytes", before.Size(), compacted.Size())
 	}
 }
 
