@@ -19,7 +19,7 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -run 'Fault|Resync|Sharded|WithShards|Failover|Snapshot|Journal|Close|Loopback|Network|Restart' -count=1 .
+	$(GO) test -race -run 'Fault|Resync|Sharded|WithShards|Failover|Snapshot|Journal|Close|Loopback|Network|Restart|Trace' -count=1 .
 
 # Long-running churn soaks against the public API, raced: exact-delivery
 # ground truth plus fault-injection convergence (resync heals every round).

@@ -60,7 +60,7 @@ func run(args []string, w io.Writer, stop <-chan os.Signal) error {
 	var (
 		listen     = fs.String("listen", "127.0.0.1:7466", "TCP address to serve the control surface on (use :0 for an ephemeral port)")
 		state      = fs.String("state", "", "state directory for file-backed journals and shutdown snapshots (enables restart-with-state)")
-		obsAddr    = fs.String("obs-addr", "", "serve the observability endpoint (/metrics, /healthz) on this address")
+		obsAddr    = fs.String("obs-addr", "", "serve the observability endpoint (/metrics, /healthz, /readyz, /traces, /debug/pprof) on this address")
 		schema     = fs.String("schema", "price:10,volume:10", "event schema as name:bits,name:bits")
 		pods       = fs.Int("pods", 4, "fat-tree pods")
 		cores      = fs.Int("cores", 4, "fat-tree core switches")

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -86,6 +89,104 @@ func startDaemon(t *testing.T, buf *syncBuffer, extra ...string) (string, func()
 	}
 	t.Cleanup(shutdown)
 	return m[1], shutdown
+}
+
+var obsRE = regexp.MustCompile(`observability on http://(\S+)`)
+
+// TestDaemonObsEndpoints boots a daemon with -obs-addr and checks the full
+// operational surface: /metrics, /readyz, /traces (with trace filtering),
+// and /debug/pprof — plus that a traced client publish shows up in both
+// the latency metrics and the trace ring.
+func TestDaemonObsEndpoints(t *testing.T) {
+	var buf syncBuffer
+	addr, _ := startDaemon(t, &buf, "-obs-addr", "127.0.0.1:0")
+	out := waitFor(t, &buf, "observability on ")
+	m := obsRE.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no obs address in daemon output:\n%s", out)
+	}
+	base := "http://" + m[1]
+
+	c, err := pleroma.Dial(addr, pleroma.WithDialObservability(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hosts := c.Hosts()
+	if err := c.Advertise("p", hosts[0], pleroma.NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var traceID uint64
+	if err := c.Subscribe("s", hosts[1], pleroma.NewFilter(), func(d pleroma.Delivery) {
+		mu.Lock()
+		traceID = d.TraceID
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish("p", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	tid := traceID
+	mu.Unlock()
+	if tid == 0 {
+		t.Fatal("delivery carried no trace id despite negotiated tracing")
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"pleroma_deliveries_total 1",
+		"pleroma_delivery_latency_tree_seconds",
+		"pleroma_delivery_hops",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d", code)
+	}
+	code, body = get(fmt.Sprintf("/traces?trace=%d", tid))
+	if code != http.StatusOK {
+		t.Fatalf("/traces = %d", code)
+	}
+	if !strings.Contains(body, "op=publish") || !strings.Contains(body, "op=deliver") {
+		t.Fatalf("daemon trace %d missing publish/deliver spans:\n%s", tid, body)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+
+	// The dialing client holds the other half of the same trace.
+	spans := c.TraceByID(tid)
+	if len(spans) < 2 {
+		t.Fatalf("client has %d spans for trace %d, want publish+recv", len(spans), tid)
+	}
 }
 
 func TestDaemonServesAndRestartsWithState(t *testing.T) {

@@ -1,0 +1,379 @@
+// Command pleroma-top is a live terminal dashboard over a PLEROMA
+// observability endpoint (pleroma-d -obs-addr, or any obs.Serve). It
+// polls /metrics on an interval and renders publish/delivery rates,
+// end-to-end latency percentiles, hop counts, flow-table occupancy, and
+// transport health — the operator's at-a-glance view of a running
+// deployment.
+//
+// Usage:
+//
+//	pleroma-top -addr 127.0.0.1:9090
+//	pleroma-top -addr 127.0.0.1:9090 -interval 1s
+//	pleroma-top -addr 127.0.0.1:9090 -once
+//
+// Rates are computed from counter deltas between consecutive polls;
+// percentiles are interpolated from the cumulative histogram buckets the
+// endpoint exposes. Only the standard library is used: the dashboard
+// speaks the Prometheus text exposition format directly.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "pleroma-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer, stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("pleroma-top", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9090", "observability endpoint (host:port or full URL)")
+		interval = fs.Duration("interval", 2*time.Second, "poll interval")
+		once     = fs.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url := *addr
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/metrics"
+
+	prev, err := scrape(url)
+	if err != nil {
+		return err
+	}
+	if *once {
+		render(w, url, prev, nil, false)
+		return nil
+	}
+	t := time.NewTicker(*interval)
+	defer t.Stop()
+	render(w, url, prev, nil, true)
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-t.C:
+			cur, err := scrape(url)
+			if err != nil {
+				fmt.Fprintf(w, "scrape failed: %v\n", err)
+				continue
+			}
+			render(w, url, cur, prev, true)
+			prev = cur
+		}
+	}
+}
+
+// point is one parsed exposition sample.
+type point struct {
+	labels map[string]string
+	value  float64
+}
+
+// metrics maps a metric name (with the _bucket/_sum/_count suffixes kept)
+// to its samples, plus the scrape time for rate computation.
+type metrics struct {
+	at      time.Time
+	samples map[string][]point
+}
+
+func scrape(url string) (*metrics, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return parseMetrics(resp.Body)
+}
+
+// parseMetrics reads the Prometheus text exposition format: HELP/TYPE
+// comments are skipped, every sample line is kept.
+func parseMetrics(r io.Reader) (*metrics, error) {
+	m := &metrics{at: time.Now(), samples: make(map[string][]point)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, err
+		}
+		m.samples[name] = append(m.samples[name], point{labels: labels, value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseSample splits one exposition line into name, label map, and value.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	var name, rest string
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+		}
+		labels, err := parseLabels(line[i+1 : j])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(line[j+1:])
+		v, err := parseValue(rest)
+		return name, labels, v, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name, rest = fields[0], fields[1]
+	v, err := parseValue(rest)
+	return name, nil, v, err
+}
+
+// parseLabels parses `k="v",k="v"` honoring \" escapes inside values.
+func parseLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed labels %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		i := eq + 2
+		var b strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(s[i])
+			i++
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		out[key] = b.String()
+		s = s[i+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return inf(), nil
+	case "-Inf":
+		return -inf(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func inf() float64 { v := 0.0; return 1 / v }
+
+// total sums every sample of a metric (all labels).
+func (m *metrics) total(name string) float64 {
+	var t float64
+	for _, p := range m.samples[name] {
+		t += p.value
+	}
+	return t
+}
+
+// rate computes the per-second delta of a summed counter between two
+// scrapes; NaN-free: returns 0 when prev is nil or time went backwards.
+func rate(cur, prev *metrics, name string) float64 {
+	if prev == nil {
+		return 0
+	}
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	d := cur.total(name) - prev.total(name)
+	if d < 0 {
+		d = 0 // counter reset (daemon restart)
+	}
+	return d / dt
+}
+
+// bucket is one cumulative histogram bucket.
+type bucket struct {
+	le    float64
+	count float64
+}
+
+// buckets merges a histogram's _bucket samples across all label sets
+// (summing counts per le bound) and returns them sorted by bound.
+func (m *metrics) buckets(name string) []bucket {
+	byLE := make(map[float64]float64)
+	for _, p := range m.samples[name+"_bucket"] {
+		le, err := parseValue(p.labels["le"])
+		if err != nil {
+			continue
+		}
+		byLE[le] += p.value
+	}
+	out := make([]bucket, 0, len(byLE))
+	for le, c := range byLE {
+		out = append(out, bucket{le: le, count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].le < out[j].le })
+	return out
+}
+
+// quantile interpolates q within a histogram's cumulative buckets,
+// mirroring obs.HistSnapshot.Quantile: linear within the winning bucket,
+// clamped to the last finite bound for overflow samples.
+func quantile(bs []bucket, q float64) float64 {
+	if len(bs) == 0 {
+		return 0
+	}
+	totalC := bs[len(bs)-1].count
+	if totalC == 0 {
+		return 0
+	}
+	target := q * totalC
+	var prevCount, prevLE float64
+	lastFinite := 0.0
+	for _, b := range bs {
+		if b.le < inf() {
+			lastFinite = b.le
+		}
+	}
+	for _, b := range bs {
+		if b.count >= target {
+			if b.le >= inf() {
+				return lastFinite
+			}
+			in := b.count - prevCount
+			if in <= 0 {
+				return b.le
+			}
+			return prevLE + (b.le-prevLE)*(target-prevCount)/in
+		}
+		prevCount, prevLE = b.count, b.le
+	}
+	return lastFinite
+}
+
+// histMean returns sum/count of a histogram ("" when absent).
+func (m *metrics) histMean(name string) (float64, bool) {
+	count := m.total(name + "_count")
+	if count == 0 {
+		return 0, false
+	}
+	return m.total(name+"_sum") / count, true
+}
+
+const clearScreen = "\x1b[H\x1b[2J"
+
+// render draws one dashboard frame. prev enables rates; ansi clears the
+// screen first (the live loop).
+func render(w io.Writer, url string, cur, prev *metrics, ansi bool) {
+	if ansi {
+		fmt.Fprint(w, clearScreen)
+	}
+	fmt.Fprintf(w, "pleroma-top  %s  %s\n\n", url, cur.at.Format(time.TimeOnly))
+
+	deliv := cur.total("pleroma_deliveries_total")
+	fp := cur.total("pleroma_false_positives_total")
+	fpPct := 0.0
+	if deliv > 0 {
+		fpPct = 100 * fp / deliv
+	}
+	fmt.Fprintf(w, "  deliveries   %s total   %s/s   false positives %.1f%%\n",
+		fmtCount(deliv), fmtRate(rate(cur, prev, "pleroma_deliveries_total"), prev), fpPct)
+
+	lat := cur.buckets("pleroma_delivery_latency_seconds")
+	fmt.Fprintf(w, "  latency sim  p50 %s   p95 %s   p99 %s\n",
+		fmtSec(quantile(lat, 0.50)), fmtSec(quantile(lat, 0.95)), fmtSec(quantile(lat, 0.99)))
+	if wall := cur.buckets("pleroma_delivery_wall_latency_seconds"); len(wall) > 0 && wall[len(wall)-1].count > 0 {
+		fmt.Fprintf(w, "  latency wall p50 %s   p95 %s   p99 %s\n",
+			fmtSec(quantile(wall, 0.50)), fmtSec(quantile(wall, 0.95)), fmtSec(quantile(wall, 0.99)))
+	}
+	if mean, ok := cur.histMean("pleroma_delivery_hops"); ok {
+		fmt.Fprintf(w, "  hops         mean %.1f\n", mean)
+	}
+
+	occ := cur.samples["pleroma_flow_table_occupancy"]
+	if len(occ) > 0 {
+		var sum, max float64
+		for _, p := range occ {
+			sum += p.value
+			if p.value > max {
+				max = p.value
+			}
+		}
+		fmt.Fprintf(w, "  flow tables  %s entries over %d switches (max %s)\n",
+			fmtCount(sum), len(occ), fmtCount(max))
+	}
+
+	fmt.Fprintf(w, "  transport    conns %s   inflight %s   reconnects %s   frames %s/s\n",
+		fmtCount(cur.total("pleroma_transport_connections")),
+		fmtCount(cur.total("pleroma_transport_inflight_requests")),
+		fmtCount(cur.total("pleroma_transport_reconnects_total")),
+		fmtRate(rate(cur, prev, "pleroma_transport_frames_sent_total"), prev))
+}
+
+// fmtRate renders a per-second rate, or "-" before a second scrape
+// establishes a delta.
+func fmtRate(v float64, prev *metrics) string {
+	if prev == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func fmtCount(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// fmtSec renders seconds with an adaptive unit.
+func fmtSec(v float64) string {
+	switch {
+	case v <= 0:
+		return "0"
+	case v < 1e-3:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.2fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"pleroma/internal/obs"
+)
+
+const canned = `# HELP pleroma_deliveries_total Events handed to subscription handlers.
+# TYPE pleroma_deliveries_total counter
+pleroma_deliveries_total 120
+# HELP pleroma_false_positives_total fp
+# TYPE pleroma_false_positives_total counter
+pleroma_false_positives_total 6
+# HELP pleroma_flow_table_occupancy occ
+# TYPE pleroma_flow_table_occupancy gauge
+pleroma_flow_table_occupancy{switch="1"} 10
+pleroma_flow_table_occupancy{switch="2"} 30
+# HELP pleroma_delivery_latency_seconds lat
+# TYPE pleroma_delivery_latency_seconds histogram
+pleroma_delivery_latency_seconds_bucket{le="0.001"} 50
+pleroma_delivery_latency_seconds_bucket{le="0.01"} 100
+pleroma_delivery_latency_seconds_bucket{le="+Inf"} 100
+pleroma_delivery_latency_seconds_sum 0.25
+pleroma_delivery_latency_seconds_count 100
+# HELP pleroma_weird label escaping
+# TYPE pleroma_weird gauge
+pleroma_weird{name="a\"b\\c\nd"} 1
+`
+
+func TestParseMetrics(t *testing.T) {
+	m, err := parseMetrics(strings.NewReader(canned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.total("pleroma_deliveries_total"); got != 120 {
+		t.Fatalf("deliveries = %v, want 120", got)
+	}
+	if got := m.total("pleroma_flow_table_occupancy"); got != 40 {
+		t.Fatalf("occupancy sum = %v, want 40", got)
+	}
+	pts := m.samples["pleroma_weird"]
+	if len(pts) != 1 || pts[0].labels["name"] != "a\"b\\c\nd" {
+		t.Fatalf("escaped label parsed as %+v", pts)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	m, err := parseMetrics(strings.NewReader(canned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := m.buckets("pleroma_delivery_latency_seconds")
+	if len(bs) != 3 || !math.IsInf(bs[2].le, 1) {
+		t.Fatalf("buckets = %+v", bs)
+	}
+	// 50 samples below 1ms, 50 between 1ms and 10ms: p50 = 1ms exactly,
+	// p75 halfway into the second bucket.
+	if got := quantile(bs, 0.50); math.Abs(got-0.001) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.001", got)
+	}
+	if got := quantile(bs, 0.75); math.Abs(got-0.0055) > 1e-9 {
+		t.Fatalf("p75 = %v, want 0.0055", got)
+	}
+	// Every sample in overflow clamps to the last finite bound.
+	overflow := []bucket{{le: 0.001, count: 0}, {le: inf(), count: 9}}
+	if got := quantile(overflow, 0.99); got != 0.001 {
+		t.Fatalf("overflow p99 = %v, want 0.001", got)
+	}
+}
+
+func TestRate(t *testing.T) {
+	prev := &metrics{at: time.Unix(100, 0), samples: map[string][]point{
+		"x_total": {{value: 10}},
+	}}
+	cur := &metrics{at: time.Unix(110, 0), samples: map[string][]point{
+		"x_total": {{value: 60}},
+	}}
+	if got := rate(cur, prev, "x_total"); got != 5 {
+		t.Fatalf("rate = %v, want 5", got)
+	}
+	if got := rate(cur, nil, "x_total"); got != 0 {
+		t.Fatalf("rate without prev = %v, want 0", got)
+	}
+	// Counter reset (daemon restart) clamps to zero, not negative.
+	if got := rate(prev, cur, "x_total"); got != 0 {
+		prev.at, cur.at = cur.at, prev.at
+		t.Fatalf("reset rate = %v, want 0", got)
+	}
+}
+
+// obsEndpoint serves a live obs registry the way pleroma-d -obs-addr does.
+func obsEndpoint(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter(obs.MDeliveries, "deliveries").Add(42)
+	reg.Counter(obs.MFalsePositives, "fp").Add(2)
+	reg.Gauge(obs.MTransportConns, "conns").Set(3)
+	lat := obs.NewDeliveryLatency(4)
+	lat.Attach(reg)
+	lat.Record(obs.DeliverySample{Tree: 1, Partition: 0, Latency: 2 * time.Millisecond, Hops: 3})
+	h := reg.Histogram(obs.MDeliveryLatency, "lat", obs.DefaultLatencyBuckets...)
+	h.Observe(2 * time.Millisecond)
+	srv := httptest.NewServer(obs.Handler(reg, nil, nil))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunOnce(t *testing.T) {
+	srv := obsEndpoint(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", srv.URL, "-once"}, &buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pleroma-top", "deliveries   42 total", "false positives 4.8%", "latency sim", "hops         mean 3.0", "conns 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, clearScreen) {
+		t.Fatalf("-once frame must not clear the screen:\n%q", out)
+	}
+}
+
+func TestRunLoopStops(t *testing.T) {
+	srv := obsEndpoint(t)
+	stop := make(chan os.Signal, 1)
+	stop <- os.Interrupt
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", srv.URL, "-interval", "1h"}, &buf, stop); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), clearScreen) {
+		t.Fatal("live loop should redraw with ANSI clear")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", "127.0.0.1:1", "-once"}, &buf, nil); err == nil {
+		t.Fatal("unreachable endpoint should error")
+	}
+}

@@ -76,3 +76,33 @@ func (x *treeIndex) overlapping(dzi dz.Expr) []TreeID {
 	slices.Sort(ids)
 	return slices.Compact(ids) // dzi == member appears in both walks
 }
+
+// first returns one tree whose DZ set overlaps dzi — the allocation-free
+// single-match variant of overlapping for per-publish lookups (an event's
+// expression is a point, so at most one disjoint tree set can own it).
+func (x *treeIndex) first(dzi dz.Expr) (TreeID, bool) {
+	var (
+		found TreeID
+		ok    bool
+	)
+	k, exact := dz.KeyOf(dzi)
+	x.trie.VisitPrefixes(k, func(_ dz.Key, id TreeID) bool {
+		found, ok = id, true
+		return false
+	})
+	if !ok && exact {
+		x.trie.WalkCovered(k, func(_ dz.Key, id TreeID) bool {
+			found, ok = id, true
+			return false
+		})
+	}
+	if !ok {
+		for e, id := range x.long {
+			if e.Overlaps(dzi) {
+				found, ok = id, true
+				break
+			}
+		}
+	}
+	return found, ok
+}

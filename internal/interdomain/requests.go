@@ -159,6 +159,12 @@ func (f *Fabric) rebuildSubPropagation() error {
 	return nil
 }
 
+// HomePartition resolves the partition a host belongs to — the exported
+// query the facade uses to label delivery latency by publisher partition.
+func (f *Fabric) HomePartition(host topo.NodeID) (int, error) {
+	return f.homePartition(host)
+}
+
 // homePartition resolves the partition a host belongs to.
 func (f *Fabric) homePartition(host topo.NodeID) (int, error) {
 	n, err := f.g.Node(host)

@@ -66,6 +66,33 @@ type Packet struct {
 	Control any
 	// Path records the switches traversed when path recording is enabled.
 	Path []topo.NodeID
+	// Stamp is the observability origin context (zero when unstamped).
+	Stamp Stamp
+	// Hops counts the switch hops taken so far.
+	Hops uint16
+}
+
+// Stamp is the per-event observability origin context: the
+// distributed-trace identity for cross-process span linking, the owning
+// dissemination tree and publisher partition for latency labelling, and
+// the publisher's wall-clock instant for wall-latency accounting. It is
+// plain values and — like every Packet field — travels by value through
+// the packet slab and cross-shard mailboxes, so stamping adds no
+// allocations on the hot path. The zero Stamp means "unstamped".
+type Stamp struct {
+	// TraceID / SpanID link deliveries of this packet to a distributed
+	// trace (0 = untraced).
+	TraceID uint64
+	SpanID  uint64
+	// OriginWall is the publisher's wall clock at publish time (Unix
+	// nanoseconds; 0 = unstamped). Only meaningful within the publishing
+	// process's clock domain.
+	OriginWall int64
+	// Tree is the dissemination tree carrying the event (-1 or 0 when
+	// unknown; tree ids are minted from 1).
+	Tree int32
+	// Partition is the publisher's controller partition (-1 unknown).
+	Partition int32
 }
 
 // DefaultPacketSize is the event packet size used in the paper (≤64 bytes).
@@ -141,6 +168,8 @@ type Publication struct {
 	Event space.Event
 	// Size is the wire size; zero or negative uses DefaultPacketSize.
 	Size int
+	// Stamp is the observability origin context (zero when unstamped).
+	Stamp Stamp
 }
 
 // dirState is the compiled state of one link direction. The plan points
@@ -703,6 +732,12 @@ func (dp *DataPlane) TotalLinkPackets() uint64 {
 // derived from the expression; the sequence number is assigned per
 // publisher.
 func (dp *DataPlane) Publish(host topo.NodeID, expr dz.Expr, ev space.Event, size int) error {
+	return dp.PublishStamped(host, expr, ev, size, Stamp{})
+}
+
+// PublishStamped is Publish carrying an observability origin stamp; the
+// stamp rides the packet by value to every delivery.
+func (dp *DataPlane) PublishStamped(host topo.NodeID, expr dz.Expr, ev space.Event, size int, st Stamp) error {
 	addr, err := ipmc.EventAddr(expr)
 	if err != nil {
 		return fmt.Errorf("netem: publish: %w", err)
@@ -723,6 +758,7 @@ func (dp *DataPlane) Publish(host topo.NodeID, expr dz.Expr, ev space.Event, siz
 		SizeBytes: size,
 		SentAt:    dp.eng.Now(),
 		HopLimit:  DefaultHopLimit,
+		Stamp:     st,
 	}
 	return dp.SendFromHost(host, pkt)
 }
@@ -772,6 +808,7 @@ func (dp *DataPlane) PublishBatch(host topo.NodeID, pubs []Publication) error {
 			SizeBytes: size,
 			SentAt:    now,
 			HopLimit:  DefaultHopLimit,
+			Stamp:     pb.Stamp,
 		})
 	}
 	return nil
@@ -948,6 +985,7 @@ func (c *shardCtx) arriveAtSwitch(sw topo.NodeID, inPort openflow.PortID, slot u
 		return
 	}
 	pkt.HopLimit--
+	pkt.Hops++
 	if dp.recordPaths.Load() {
 		pkt.Path = append(append([]topo.NodeID(nil), pkt.Path...), sw)
 	}

@@ -653,3 +653,43 @@ func TestPathRecording(t *testing.T) {
 		}
 	}
 }
+
+func TestStampAndHopsRideTheDelivery(t *testing.T) {
+	dp, eng, hosts, switches := buildLine(t)
+	var got []Delivery
+	if err := dp.ConfigureHost(hosts[1], HostConfig{}, func(d Delivery) {
+		got = append(got, d)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sch, _ := space.UniformSchema(2)
+	ev, _ := sch.NewEvent(1, 1)
+	st := Stamp{TraceID: 0xfeed, SpanID: 0xf00d, OriginWall: 123456789, Tree: 7, Partition: 2}
+	if err := dp.PublishStamped(hosts[0], "1", ev, 64, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.PublishBatch(hosts[0], []Publication{{Expr: "1", Event: ev, Stamp: st}}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(got) != 2 {
+		t.Fatalf("deliveries=%d, want 2", len(got))
+	}
+	for i, d := range got {
+		if d.Packet.Stamp != st {
+			t.Fatalf("delivery %d stamp = %+v, want %+v", i, d.Packet.Stamp, st)
+		}
+		if int(d.Packet.Hops) != len(switches) {
+			t.Fatalf("delivery %d hops = %d, want %d", i, d.Packet.Hops, len(switches))
+		}
+	}
+	// An unstamped publish delivers a zero stamp.
+	got = nil
+	if err := dp.Publish(hosts[0], "1", ev, 64); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(got) != 1 || got[0].Packet.Stamp != (Stamp{}) {
+		t.Fatalf("unstamped delivery = %+v", got)
+	}
+}

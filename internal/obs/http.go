@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -62,7 +63,18 @@ func Handler(reg *Registry, tracer *Tracer, health HealthSource) http.Handler {
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		var b strings.Builder
-		spans := tracer.Spans()
+		var spans []*Span
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				fmt.Fprintf(w, "bad trace id %q\n", q)
+				return
+			}
+			spans = tracer.SpansByTrace(id)
+		} else {
+			spans = tracer.Spans()
+		}
 		for _, s := range spans {
 			s.Format(&b)
 		}

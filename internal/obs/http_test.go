@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -77,6 +78,38 @@ func TestHandlerEndpoints(t *testing.T) {
 	code, body = get(t, srv, "/debug/pprof/cmdline")
 	if code != http.StatusOK || body == "" {
 		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestTracesFilterByTraceID(t *testing.T) {
+	tr := NewTracer(8)
+	a := tr.StartSpan("publish", "p1")
+	tr.StartRemoteSpan(a.TraceID, a.ID, "deliver", "s1").End(nil)
+	a.End(nil)
+	b := tr.StartSpan("publish", "p2")
+	b.End(nil)
+
+	srv := httptest.NewServer(Handler(nil, tr, nil))
+	defer srv.Close()
+
+	code, body := get(t, srv, fmt.Sprintf("/traces?trace=%d", a.TraceID))
+	if code != http.StatusOK {
+		t.Fatalf("/traces?trace= status %d", code)
+	}
+	if got := strings.Count(body, "op="); got != 2 {
+		t.Fatalf("filtered trace has %d spans, want 2:\n%s", got, body)
+	}
+	if !strings.Contains(body, fmt.Sprintf("parent %d", a.ID)) {
+		t.Fatalf("delivery span not parented to publish:\n%s", body)
+	}
+
+	code, body = get(t, srv, "/traces?trace=999999")
+	if code != http.StatusOK || !strings.Contains(body, "no traces recorded") {
+		t.Fatalf("unknown trace = %d %q", code, body)
+	}
+	code, _ = get(t, srv, "/traces?trace=bogus")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad trace id accepted: %d", code)
 	}
 }
 

@@ -140,7 +140,28 @@ const (
 	MTransportReconnects = "pleroma_transport_reconnects_total"
 	MTransportConns      = "pleroma_transport_connections"
 	MTransportInflight   = "pleroma_transport_inflight_requests"
+	// MDeliveryLatencyByTree / MDeliveryLatencyByPartition break the
+	// publish→delivery (simulated) latency down by dissemination tree and
+	// by the publisher's controller partition.
+	MDeliveryLatencyByTree      = "pleroma_delivery_latency_tree_seconds"
+	MDeliveryLatencyByPartition = "pleroma_delivery_latency_partition_seconds"
+	// MDeliveryHops is the switch-hop-count histogram of delivered events.
+	MDeliveryHops = "pleroma_delivery_hops"
+	// MDeliveryWallLatency is the real (wall-clock) publish→delivery
+	// latency histogram for publishes that carried an origin wall stamp.
+	// Stamp and observation may come from different processes: across
+	// machines the value includes clock skew (see DESIGN.md §7).
+	MDeliveryWallLatency = "pleroma_delivery_wall_latency_seconds"
+	// MClientDeliveryWallLatency is the client-side wall-clock
+	// publish→delivery latency: stamped at publish and observed at
+	// delivery receipt by the same process, so it is skew-free and
+	// includes both transport crossings.
+	MClientDeliveryWallLatency = "pleroma_client_delivery_wall_latency_seconds"
 )
+
+// DefaultHopBuckets spans the hop counts of data-center topologies (a
+// fat-tree delivery crosses at most a handful of switches).
+var DefaultHopBuckets = []int{1, 2, 3, 4, 5, 6, 8, 12, 16}
 
 // DefaultLatencyBuckets spans the µs-to-seconds range control and delivery
 // latencies live in.
@@ -212,10 +233,11 @@ func (g *Gauge) Value() int64 {
 // observation: bucket i counts samples below Bounds[i], with an implicit
 // overflow bucket above the last bound.
 type Histogram struct {
-	bounds []time.Duration
-	counts []atomic.Uint64 // len(bounds)+1; last is overflow
-	count  atomic.Uint64
-	sum    atomic.Int64 // nanoseconds
+	bounds    []time.Duration
+	counts    []atomic.Uint64 // len(bounds)+1; last is overflow
+	count     atomic.Uint64
+	sum       atomic.Int64 // nanoseconds
+	countUnit bool         // bounds are plain integers, not durations
 }
 
 // NewHistogram builds a histogram over the given bucket upper bounds
@@ -234,6 +256,26 @@ func NewHistogram(bounds ...time.Duration) *Histogram {
 	}
 	return &Histogram{bounds: uniq, counts: make([]atomic.Uint64, len(uniq)+1)}
 }
+
+// NewCountHistogram builds a histogram over unitless integer bucket upper
+// bounds (hop counts, queue depths; DefaultHopBuckets when empty).
+// Samples are recorded with ObserveCount, and the Prometheus exposition
+// renders le bounds and _sum as plain numbers rather than seconds.
+func NewCountHistogram(bounds ...int) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultHopBuckets
+	}
+	ds := make([]time.Duration, len(bounds))
+	for i, b := range bounds {
+		ds[i] = time.Duration(b)
+	}
+	h := NewHistogram(ds...)
+	h.countUnit = true
+	return h
+}
+
+// ObserveCount records one unitless integer sample (count histograms).
+func (h *Histogram) ObserveCount(n int) { h.Observe(time.Duration(n)) }
 
 // Observe records one sample.
 func (h *Histogram) Observe(d time.Duration) {
@@ -265,14 +307,23 @@ func (h *Histogram) Sum() time.Duration {
 	return time.Duration(h.sum.Load())
 }
 
+// Snapshot copies the histogram state (nil on a nil histogram).
+func (h *Histogram) Snapshot() *HistSnapshot {
+	if h == nil {
+		return nil
+	}
+	return h.snapshot()
+}
+
 // snapshot copies the histogram state (counts may lag count/sum by
 // in-flight observations; each bucket is individually consistent).
 func (h *Histogram) snapshot() *HistSnapshot {
 	s := &HistSnapshot{
-		Bounds: append([]time.Duration(nil), h.bounds...),
-		Counts: make([]uint64, len(h.counts)),
-		Count:  h.count.Load(),
-		Sum:    time.Duration(h.sum.Load()),
+		Bounds:    append([]time.Duration(nil), h.bounds...),
+		Counts:    make([]uint64, len(h.counts)),
+		Count:     h.count.Load(),
+		Sum:       time.Duration(h.sum.Load()),
+		CountUnit: h.countUnit,
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
@@ -287,6 +338,9 @@ type HistSnapshot struct {
 	Counts []uint64
 	Count  uint64
 	Sum    time.Duration
+	// CountUnit marks unitless integer bounds (NewCountHistogram): the
+	// exposition renders them as plain numbers instead of seconds.
+	CountUnit bool
 }
 
 // merge adds another snapshot bucket-wise (equal bounds assumed; extra
@@ -299,6 +353,40 @@ func (s *HistSnapshot) merge(o *HistSnapshot) {
 	}
 	s.Count += o.Count
 	s.Sum += o.Sum
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// linear interpolation inside the winning bucket — the same estimate
+// Prometheus's histogram_quantile computes. Samples in the overflow bucket
+// report the last finite bound. Returns 0 on an empty histogram.
+func (s *HistSnapshot) Quantile(q float64) time.Duration {
+	if s == nil || s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := uint64(0)
+	for i, b := range s.Bounds {
+		n := s.Counts[i]
+		if float64(cum)+float64(n) >= target {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			if n == 0 {
+				return b
+			}
+			frac := (target - float64(cum)) / float64(n)
+			return lo + time.Duration(frac*float64(b-lo))
+		}
+		cum += n
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // CounterVec is a set of counters keyed by one label value.
@@ -765,10 +853,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 func writeHist(w io.Writer, f Family, smp Sample) error {
 	h := smp.Hist
+	// Duration histograms export in seconds; count-unit histograms (hop
+	// counts) export their bounds and sum as plain numbers.
+	scale := func(d time.Duration) float64 {
+		if h.CountUnit {
+			return float64(d)
+		}
+		return d.Seconds()
+	}
 	cum := uint64(0)
 	for i, b := range h.Bounds {
 		cum += h.Counts[i]
-		le := formatFloat(b.Seconds())
+		le := formatFloat(scale(b))
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, bucketLabels(f.Label, smp.LabelValue, le), cum); err != nil {
 			return err
 		}
@@ -779,7 +875,7 @@ func writeHist(w io.Writer, f Family, smp Sample) error {
 	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, bucketLabels(f.Label, smp.LabelValue, "+Inf"), cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelPair(f.Label, smp.LabelValue), formatFloat(h.Sum.Seconds())); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelPair(f.Label, smp.LabelValue), formatFloat(scale(h.Sum))); err != nil {
 		return err
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelPair(f.Label, smp.LabelValue), h.Count)

@@ -21,6 +21,7 @@ const maxSpanEvents = 256
 // all no-ops.
 type Tracer struct {
 	next atomic.Uint64
+	base uint64 // per-tracer scramble mixed into minted trace ids
 
 	mu   sync.Mutex
 	ring []*Span // ring buffer of completed spans
@@ -30,13 +31,34 @@ type Tracer struct {
 	sink *slog.Logger // optional; receives one record per completed span
 }
 
+// traceSeed differentiates tracers (and processes): span IDs are small
+// per-tracer counters, but trace ids must be unique deployment-wide
+// because a daemon files remote spans from many client processes into one
+// ring, keyed by trace id.
+var traceSeed atomic.Uint64
+
+func init() { traceSeed.Store(uint64(time.Now().UnixNano())) }
+
+// mix64 is splitmix64's finalizer: a cheap bijective scrambler.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // NewTracer returns a tracer retaining the last capacity completed spans
 // (minimum 1).
 func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{ring: make([]*Span, capacity)}
+	return &Tracer{
+		base: mix64(traceSeed.Add(0x9e3779b97f4a7c15)),
+		ring: make([]*Span, capacity),
+	}
 }
 
 // SetSink mirrors every completed span as one structured log record.
@@ -57,12 +79,38 @@ func (t *Tracer) StartSpan(op, target string) *Span {
 	if t == nil {
 		return nil
 	}
+	id := t.next.Add(1)
+	tid := mix64(t.base + id)
+	if tid == 0 {
+		tid = 1
+	}
 	return &Span{
-		tracer: t,
-		ID:     t.next.Add(1),
-		Op:     op,
-		Target: target,
-		Start:  time.Now(),
+		tracer:  t,
+		ID:      id,
+		TraceID: tid,
+		Op:      op,
+		Target:  target,
+		Start:   time.Now(),
+	}
+}
+
+// StartRemoteSpan opens a span that continues a trace started elsewhere —
+// another process across the transport boundary, or another span in this
+// one: the new span joins traceID and is parented to parentID instead of
+// minting a fresh trace. A zero traceID (untraced context) returns a nil
+// no-op span.
+func (t *Tracer) StartRemoteSpan(traceID, parentID uint64, op, target string) *Span {
+	if t == nil || traceID == 0 {
+		return nil
+	}
+	return &Span{
+		tracer:   t,
+		ID:       t.next.Add(1),
+		TraceID:  traceID,
+		ParentID: parentID,
+		Op:       op,
+		Target:   target,
+		Start:    time.Now(),
 	}
 }
 
@@ -99,6 +147,21 @@ func (t *Tracer) Spans() []*Span {
 	return out
 }
 
+// SpansByTrace returns the retained spans belonging to one trace, oldest
+// first.
+func (t *Tracer) SpansByTrace(id uint64) []*Span {
+	if t == nil || id == 0 {
+		return nil
+	}
+	var out []*Span
+	for _, s := range t.Spans() {
+		if s.TraceID == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Event is one structured step inside a span.
 type Event struct {
 	At   time.Duration // offset from span start
@@ -113,10 +176,17 @@ type Event struct {
 type Span struct {
 	tracer *Tracer
 
-	ID     uint64
-	Op     string
-	Target string
-	Start  time.Time
+	ID uint64
+	// TraceID groups the spans of one end-to-end operation, across
+	// processes: a root span (StartSpan) mints it, a continuation span
+	// (StartRemoteSpan) joins it.
+	TraceID uint64
+	// ParentID is the span this one is parented to (0 for a root). The
+	// parent may live in another process's tracer.
+	ParentID uint64
+	Op       string
+	Target   string
+	Start    time.Time
 
 	mu       sync.Mutex
 	events   []Event
@@ -213,7 +283,8 @@ func (s *Span) Events() []Event {
 func (s *Span) log(l *slog.Logger) {
 	s.mu.Lock()
 	attrs := []slog.Attr{
-		slog.Uint64("trace", s.ID),
+		slog.Uint64("trace", s.TraceID),
+		slog.Uint64("span", s.ID),
 		slog.String("op", s.Op),
 		slog.String("target", s.Target),
 		slog.Duration("duration", s.duration),
@@ -236,7 +307,11 @@ func (s *Span) Format(b *strings.Builder) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	fmt.Fprintf(b, "trace %d op=%s target=%q duration=%s", s.ID, s.Op, s.Target, s.duration)
+	fmt.Fprintf(b, "trace %d span %d", s.TraceID, s.ID)
+	if s.ParentID != 0 {
+		fmt.Fprintf(b, " parent %d", s.ParentID)
+	}
+	fmt.Fprintf(b, " op=%s target=%q duration=%s", s.Op, s.Target, s.duration)
 	if s.err != "" {
 		fmt.Fprintf(b, " err=%q", s.err)
 	}

@@ -44,7 +44,19 @@ func WithClientObservability(reg *obs.Registry) ClientOption {
 			bytesRecv:  reg.Counter(obs.MTransportBytesRecv, "Bytes read from transport connections."),
 		}
 		c.obsReconnects = reg.Counter(obs.MTransportReconnects, "Client redials after a lost transport connection.")
+		c.obsWall = reg.Histogram(obs.MClientDeliveryWallLatency,
+			"Wall-clock publish-to-delivery latency measured at the subscribing client (skew-free when this client published).",
+			obs.DefaultLatencyBuckets...)
 	}
+}
+
+// WithClientTracer enables distributed tracing: the client advertises
+// wire.FlagTracing in its Hello, mints a span per publish whose context
+// rides the publish frame, and links incoming traced deliveries back to
+// their publish span. Without the server echoing the capability the
+// client sends plain v1 payloads.
+func WithClientTracer(t *obs.Tracer) ClientOption {
+	return func(c *Client) { c.tracer = t }
 }
 
 // advReg / subReg record a client's registrations in arrival order, so a
@@ -75,6 +87,8 @@ type Client struct {
 	m     connMetrics
 
 	obsReconnects *obs.Counter
+	obsWall       *obs.Histogram
+	tracer        *obs.Tracer
 
 	mu       sync.Mutex
 	fc       *frameConn
@@ -85,6 +99,9 @@ type Client struct {
 	handlers map[string]func(wire.Delivery)
 	info     Info
 	closed   bool
+	// tracing is true when the current connection's handshake negotiated
+	// wire.FlagTracing (both sides advertised it).
+	tracing bool
 	// pubSeq numbers this client's publishes so the server can deduplicate
 	// an at-least-once retry of a publish it already applied.
 	pubSeq uint64
@@ -165,7 +182,11 @@ func (c *Client) connectLocked() (start func(), err error) {
 		}
 	}
 
-	hb, err := wire.EncodeHello(wire.Hello{ID: c.id})
+	var flags uint8
+	if c.tracer != nil {
+		flags |= wire.FlagTracing
+	}
+	hb, err := wire.EncodeHello(wire.Hello{ID: c.id, Flags: flags})
 	if err != nil {
 		raw.Close()
 		return nil, err
@@ -185,6 +206,7 @@ func (c *Client) connectLocked() (start func(), err error) {
 		return nil, err
 	}
 	c.info = Info{Hosts: hello.Hosts, Partitions: hello.Partitions}
+	c.tracing = c.tracer != nil && hello.Flags&wire.FlagTracing != 0
 
 	// Replay registrations in arrival order. On the server these are
 	// idempotent rebinds: control state, journal, and digests are
@@ -264,6 +286,16 @@ func (c *Client) dispatchDelivery(f wire.Frame) {
 	d, err := wire.DecodeDelivery(f.Payload)
 	if err != nil {
 		return
+	}
+	if d.Trace.PubWallNanos != 0 {
+		// Client-side wall latency against the echoed publish stamp:
+		// skew-free when this client (or this machine) published.
+		c.obsWall.Observe(time.Duration(time.Now().UnixNano() - d.Trace.PubWallNanos))
+	}
+	if c.tracer != nil && d.Trace.TraceID != 0 {
+		// Close the loop on the distributed trace: one recv span per
+		// delivered event, parented to the span the frame carried.
+		c.tracer.StartRemoteSpan(d.Trace.TraceID, d.Trace.SpanID, "recv", d.SubscriptionID).End(nil)
 	}
 	c.mu.Lock()
 	h := c.handlers[d.SubscriptionID]
@@ -472,22 +504,46 @@ func (c *Client) Unsubscribe(id string) error {
 // carries a client-assigned sequence number: a reconnect retry re-sends
 // the same number, and the server skips publishes it already applied, so
 // the at-least-once transport retry applies events at most once.
+//
+// With a tracer and a negotiated tracing session, the publish mints a
+// root span whose context rides the request. The frame is encoded exactly
+// once, so a reconnect retry re-sends the same bytes: the same sequence
+// number AND the same trace context, keeping a deduplicated retry inside
+// a single trace.
 func (c *Client) Publish(id string, events []space.Event) error {
 	c.mu.Lock()
 	c.pubSeq++
 	seq := c.pubSeq
+	tracing := c.tracing
 	c.mu.Unlock()
-	b, err := wire.EncodePublish(wire.PublishReq{ID: id, Seq: seq, Events: events})
+	req := wire.PublishReq{ID: id, Seq: seq, Events: events}
+	var sp *obs.Span
+	if tracing {
+		sp = c.tracer.StartSpan("publish", id)
+		if sp != nil {
+			req.Trace = wire.TraceContext{
+				TraceID:      sp.TraceID,
+				SpanID:       sp.ID,
+				PubWallNanos: time.Now().UnixNano(),
+			}
+		}
+	}
+	b, err := wire.EncodePublish(req)
 	if err != nil {
+		sp.End(err)
 		return err
 	}
 	resp, err := c.call(wire.KindPublish, b)
 	if err != nil {
+		sp.End(err)
 		return err
 	}
 	if resp.Kind != wire.KindOK {
-		return fmt.Errorf("transport: publish %q: %s", id, respError(resp))
+		err = fmt.Errorf("transport: publish %q: %s", id, respError(resp))
+		sp.End(err)
+		return err
 	}
+	sp.End(nil)
 	return nil
 }
 

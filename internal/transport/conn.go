@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pleroma/internal/obs"
@@ -50,6 +51,11 @@ type frameConn struct {
 
 	writeTimeout time.Duration
 	m            connMetrics
+
+	// tracing records whether this connection's Hello handshake negotiated
+	// wire.FlagTracing. Set once by the server's Hello handler, read by
+	// delivery sinks on arbitrary goroutines — hence atomic.
+	tracing atomic.Bool
 }
 
 func newFrameConn(c net.Conn, writeTimeout time.Duration, m connMetrics) *frameConn {

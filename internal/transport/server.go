@@ -56,6 +56,14 @@ func WithServerTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.writeTimeout = d }
 }
 
+// WithServerTracer records a remote span for every traced publish the
+// server applies, linked under the client's trace id and re-parenting the
+// publication's span context so downstream delivery spans hang off the
+// server-side span.
+func WithServerTracer(t *obs.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = t }
+}
+
 // WithServerObservability attaches the server's transport counters to reg.
 func WithServerObservability(reg *obs.Registry) ServerOption {
 	return func(s *Server) {
@@ -88,6 +96,7 @@ type Server struct {
 	m            connMetrics
 	obsConns     *obs.Gauge
 	obsInflight  *obs.Gauge
+	tracer       *obs.Tracer
 
 	connMu   sync.Mutex
 	ln       net.Listener
@@ -242,11 +251,18 @@ func (s *Server) handle(fc *frameConn, f wire.Frame) wire.Frame {
 	defer s.mu.Unlock()
 	switch f.Kind {
 	case wire.KindHello:
-		if _, err := wire.DecodeHello(f.Payload); err != nil {
+		hello, err := wire.DecodeHello(f.Payload)
+		if err != nil {
 			return errFrame(err)
 		}
+		// Capability negotiation: echo the tracing bit back iff the client
+		// asked for it. V2 (trace-bearing) payloads flow on this connection
+		// only after both sides advertised the capability; a legacy peer
+		// never sees a version byte it cannot decode.
+		flags := hello.Flags & wire.FlagTracing
+		fc.tracing.Store(flags&wire.FlagTracing != 0)
 		info := s.backend.Info()
-		b, err := wire.EncodeHelloOK(wire.HelloOK{Hosts: info.Hosts, Partitions: info.Partitions})
+		b, err := wire.EncodeHelloOK(wire.HelloOK{Hosts: info.Hosts, Partitions: info.Partitions, Flags: flags})
 		if err != nil {
 			return errFrame(err)
 		}
@@ -260,6 +276,12 @@ func (s *Server) handle(fc *frameConn, f wire.Frame) wire.Frame {
 		var deliver func(wire.Delivery)
 		if req.Op == "subscribe" {
 			deliver = func(d wire.Delivery) {
+				if !fc.tracing.Load() {
+					// The connection never negotiated tracing: strip the
+					// trace context so the frame encodes as version 1.
+					d.Trace = wire.TraceContext{}
+					d.Hops = 0
+				}
 				b, err := wire.EncodeDelivery(d)
 				if err != nil {
 					return
@@ -279,7 +301,24 @@ func (s *Server) handle(fc *frameConn, f wire.Frame) wire.Frame {
 		if err != nil {
 			return errFrame(err)
 		}
-		if err := s.backend.Publish(req); err != nil {
+		if !fc.tracing.Load() {
+			// A trace context on an un-negotiated connection is dropped
+			// rather than rejected: the publish itself is fine.
+			req.Trace = wire.TraceContext{}
+		}
+		var sp *obs.Span
+		if s.tracer != nil && req.Trace.Valid() {
+			// Record the server-side publish span under the client's trace
+			// and re-parent the context: delivery spans hang off this span,
+			// which itself hangs off the client's publish span.
+			sp = s.tracer.StartRemoteSpan(req.Trace.TraceID, req.Trace.SpanID, "publish", req.ID)
+			if sp != nil {
+				req.Trace.SpanID = sp.ID
+			}
+		}
+		err = s.backend.Publish(req)
+		sp.End(err)
+		if err != nil {
 			return errFrame(err)
 		}
 		return wire.Frame{Kind: wire.KindOK}

@@ -58,11 +58,18 @@ func TestGenFuzzCorpus(t *testing.T) {
 	}})
 	write("FuzzDecodePublish", "seed-two-events", pb)
 	write("FuzzDecodePublish", "seed-truncated", pb[:len(pb)-3])
+	pbt, _ := EncodePublish(PublishReq{ID: "p1", Seq: 3,
+		Trace:  TraceContext{TraceID: 0x1111, SpanID: 0x22, PubWallNanos: 0x333333},
+		Events: []space.Event{{Values: []uint32{1, 2}}}})
+	write("FuzzDecodePublish", "seed-traced", pbt)
 
 	// FuzzDecodeDelivery
 	dv, _ := EncodeDelivery(Delivery{SubscriptionID: "s", Event: space.Event{Values: []uint32{9, 10}},
 		At: 5, Latency: 2, FalsePositive: true})
 	write("FuzzDecodeDelivery", "seed-fp", dv)
+	dvt, _ := EncodeDelivery(Delivery{SubscriptionID: "s", Event: space.Event{Values: []uint32{9, 10}},
+		At: 5, Latency: 2, Trace: TraceContext{TraceID: 7, SpanID: 9, PubWallNanos: 11}, Hops: 4})
+	write("FuzzDecodeDelivery", "seed-traced", dvt)
 
 	// FuzzDecodeFlowBatch
 	fl := mustFlow("0101", 4, 2)

@@ -234,22 +234,105 @@ func readString(b []byte, what string) (string, []byte, error) {
 	return string(b[1 : 1+n]), b[1+n:], nil
 }
 
+// TraceContext is the compact distributed-trace context carried on
+// trace-bearing (Version2) PublishReq and Delivery payloads: the trace
+// identity minted by the publishing client, the sender-side span the
+// receiver should parent its own span to, and the publisher's wall-clock
+// publish instant for cross-process latency accounting. The zero
+// TraceContext means "untraced" and encodes as the Version-1 payload, so
+// peers that never negotiated tracing see exactly the frames they always
+// did.
+type TraceContext struct {
+	// TraceID identifies the end-to-end trace; 0 means untraced.
+	TraceID uint64
+	// SpanID is the sender-side span the receiver parents to.
+	SpanID uint64
+	// PubWallNanos is the publisher's wall clock at publish time (Unix
+	// nanoseconds). It is meaningful only within the publishing process's
+	// clock domain: a receiver on another machine comparing it against its
+	// own clock measures latency plus clock skew.
+	PubWallNanos int64
+}
+
+// Valid reports whether tc carries a minted trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// appendTrace appends [traceID u64][spanID u64][pubWall i64].
+func appendTrace(dst []byte, tc TraceContext) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, tc.TraceID)
+	dst = binary.BigEndian.AppendUint64(dst, tc.SpanID)
+	return binary.BigEndian.AppendUint64(dst, uint64(tc.PubWallNanos))
+}
+
+// readTrace reads one appendTrace payload, returning the remainder. A
+// Version2 payload must carry a minted trace id: the zero TraceContext has
+// a canonical Version-1 encoding, and admitting it here too would break
+// the decode∘encode identity the fuzzers enforce.
+func readTrace(b []byte, what string) (TraceContext, []byte, error) {
+	if len(b) < 24 {
+		return TraceContext{}, nil, fmt.Errorf("wire: truncated %s trace context", what)
+	}
+	tc := TraceContext{
+		TraceID:      binary.BigEndian.Uint64(b),
+		SpanID:       binary.BigEndian.Uint64(b[8:]),
+		PubWallNanos: int64(binary.BigEndian.Uint64(b[16:])),
+	}
+	if !tc.Valid() {
+		return TraceContext{}, nil, fmt.Errorf("wire: %s trace context without trace id", what)
+	}
+	return tc, b[24:], nil
+}
+
+// appendFlags appends the optional capability byte: nothing when flags are
+// zero, so capability-free messages stay bytewise identical to the
+// pre-flags format (and old decoders keep accepting them).
+func appendFlags(dst []byte, flags uint8) []byte {
+	if flags != 0 {
+		dst = append(dst, flags)
+	}
+	return dst
+}
+
+// readFlags consumes the optional trailing capability byte. Absent means
+// zero; a present-but-zero byte is rejected as non-canonical (zero flags
+// encode as absence).
+func readFlags(rest []byte, what string) (uint8, error) {
+	switch {
+	case len(rest) == 0:
+		return 0, nil
+	case len(rest) > 1:
+		return 0, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	case rest[0] == 0:
+		return 0, fmt.Errorf("wire: non-canonical zero %s flags byte", what)
+	default:
+		return rest[0], nil
+	}
+}
+
 // Hello opens a client session.
 type Hello struct {
 	// ID names the client (for diagnostics; uniqueness is not required).
 	ID string
+	// Flags advertises optional capabilities (FlagTracing).
+	Flags uint8
 }
 
 // EncodeHello renders a session-open request:
 //
-//	[version u8][idLen u8][id]
+//	[version u8][idLen u8][id][flags u8]?
+//
+// The flags byte is appended only when nonzero.
 func EncodeHello(h Hello) ([]byte, error) {
 	if len(h.ID) == 0 {
 		return nil, fmt.Errorf("wire: hello requires a client id")
 	}
-	buf := make([]byte, 0, 2+len(h.ID))
+	buf := make([]byte, 0, 3+len(h.ID))
 	buf = append(buf, Version)
-	return appendString(buf, h.ID, "hello id")
+	buf, err := appendString(buf, h.ID, "hello id")
+	if err != nil {
+		return nil, err
+	}
+	return appendFlags(buf, h.Flags), nil
 }
 
 // DecodeHello parses a session-open request.
@@ -267,10 +350,11 @@ func DecodeHello(b []byte) (Hello, error) {
 	if len(id) == 0 {
 		return Hello{}, fmt.Errorf("wire: hello without client id")
 	}
-	if len(rest) != 0 {
-		return Hello{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	flags, err := readFlags(rest, "hello")
+	if err != nil {
+		return Hello{}, err
 	}
-	return Hello{ID: id}, nil
+	return Hello{ID: id, Flags: flags}, nil
 }
 
 // HelloOK is the server's session acknowledgement: the deployment's host
@@ -279,16 +363,22 @@ func DecodeHello(b []byte) (Hello, error) {
 type HelloOK struct {
 	Hosts      []uint32
 	Partitions []int32
+	// Flags echoes the capability intersection the server accepted
+	// (FlagTracing); the client must not send Version2 payloads unless the
+	// corresponding bit came back set.
+	Flags uint8
 }
 
 // EncodeHelloOK renders a session acknowledgement:
 //
-//	[version u8][nhosts u16][host u32]×[nparts u16][part u32]×
+//	[version u8][nhosts u16][host u32]×[nparts u16][part u32]×[flags u8]?
+//
+// The flags byte is appended only when nonzero.
 func EncodeHelloOK(h HelloOK) ([]byte, error) {
 	if len(h.Hosts) > 0xffff || len(h.Partitions) > 0xffff {
 		return nil, fmt.Errorf("wire: hello-ok with %d hosts / %d partitions", len(h.Hosts), len(h.Partitions))
 	}
-	buf := make([]byte, 0, 5+4*len(h.Hosts)+4*len(h.Partitions))
+	buf := make([]byte, 0, 6+4*len(h.Hosts)+4*len(h.Partitions))
 	buf = append(buf, Version)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Hosts)))
 	for _, hh := range h.Hosts {
@@ -298,7 +388,7 @@ func EncodeHelloOK(h HelloOK) ([]byte, error) {
 	for _, p := range h.Partitions {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
 	}
-	return buf, nil
+	return appendFlags(buf, h.Flags), nil
 }
 
 // DecodeHelloOK parses a session acknowledgement.
@@ -321,12 +411,17 @@ func DecodeHelloOK(b []byte) (HelloOK, error) {
 	rest = rest[4*nh:]
 	np := int(binary.BigEndian.Uint16(rest))
 	rest = rest[2:]
-	if len(rest) != 4*np {
-		return HelloOK{}, fmt.Errorf("wire: hello-ok partition section has %d bytes, want %d", len(rest), 4*np)
+	if len(rest) < 4*np {
+		return HelloOK{}, fmt.Errorf("wire: truncated hello-ok partitions")
 	}
 	for i := 0; i < np; i++ {
 		out.Partitions = append(out.Partitions, int32(binary.BigEndian.Uint32(rest[4*i:])))
 	}
+	flags, err := readFlags(rest[4*np:], "hello-ok")
+	if err != nil {
+		return HelloOK{}, err
+	}
+	out.Flags = flags
 	return out, nil
 }
 
@@ -455,14 +550,21 @@ type PublishReq struct {
 	ID     string
 	Seq    uint64
 	Events []space.Event
+	// Trace is the distributed-trace context stamped by the client. The
+	// zero value means untraced and selects the Version-1 encoding; a
+	// minted trace selects Version2. A transport retry re-encodes nothing
+	// (the same bytes are re-sent), so Seq and Trace survive retries
+	// unchanged and a dedup'd publish keeps a single trace id.
+	Trace TraceContext
 }
 
 // EncodePublish renders a publish request:
 //
-//	[version u8][seq u64][idLen u8][id][count u16][event]×
+//	[version u8][trace 24B]?[seq u64][idLen u8][id][count u16][event]×
 //
 // where each event is an EncodeEvent payload (self-delimiting via its dims
-// byte).
+// byte). The trace block is present exactly when the version byte is
+// Version2 (req.Trace minted).
 func EncodePublish(req PublishReq) ([]byte, error) {
 	if len(req.ID) == 0 {
 		return nil, fmt.Errorf("wire: publish without publisher id")
@@ -470,8 +572,13 @@ func EncodePublish(req PublishReq) ([]byte, error) {
 	if len(req.Events) == 0 || len(req.Events) > MaxEvents {
 		return nil, fmt.Errorf("wire: publish with %d events, want 1..%d", len(req.Events), MaxEvents)
 	}
-	buf := make([]byte, 0, 16+len(req.ID)+len(req.Events)*6)
-	buf = append(buf, Version)
+	buf := make([]byte, 0, 40+len(req.ID)+len(req.Events)*6)
+	if req.Trace.Valid() {
+		buf = append(buf, Version2)
+		buf = appendTrace(buf, req.Trace)
+	} else {
+		buf = append(buf, Version)
+	}
 	buf = binary.BigEndian.AppendUint64(buf, req.Seq)
 	var err error
 	buf, err = appendString(buf, req.ID, "publisher id")
@@ -505,16 +612,29 @@ func readEvent(b []byte) (space.Event, []byte, error) {
 	return ev, b[n:], nil
 }
 
-// DecodePublish parses a publish request.
+// DecodePublish parses a publish request (Version or Version2).
 func DecodePublish(b []byte) (PublishReq, error) {
-	if len(b) < 9 {
+	if len(b) < 1 {
 		return PublishReq{}, fmt.Errorf("wire: publish too short")
 	}
-	if b[0] != Version {
+	var trace TraceContext
+	body := b[1:]
+	switch b[0] {
+	case Version:
+	case Version2:
+		var err error
+		trace, body, err = readTrace(body, "publish")
+		if err != nil {
+			return PublishReq{}, err
+		}
+	default:
 		return PublishReq{}, fmt.Errorf("wire: unsupported version %d", b[0])
 	}
-	seq := binary.BigEndian.Uint64(b[1:])
-	id, rest, err := readString(b[9:], "publisher id")
+	if len(body) < 8 {
+		return PublishReq{}, fmt.Errorf("wire: publish too short")
+	}
+	seq := binary.BigEndian.Uint64(body)
+	id, rest, err := readString(body[8:], "publisher id")
 	if err != nil {
 		return PublishReq{}, err
 	}
@@ -529,7 +649,7 @@ func DecodePublish(b []byte) (PublishReq, error) {
 	if count == 0 || count > MaxEvents {
 		return PublishReq{}, fmt.Errorf("wire: publish with %d events, want 1..%d", count, MaxEvents)
 	}
-	req := PublishReq{ID: id, Seq: seq, Events: make([]space.Event, 0, count)}
+	req := PublishReq{ID: id, Seq: seq, Trace: trace, Events: make([]space.Event, 0, count)}
 	for i := 0; i < count; i++ {
 		var ev space.Event
 		ev, rest, err = readEvent(rest)
@@ -551,11 +671,21 @@ type Delivery struct {
 	At             time.Duration
 	Latency        time.Duration
 	FalsePositive  bool
+	// Trace is the distributed-trace context the event carried end to end;
+	// the zero value (untraced) selects the Version-1 encoding.
+	Trace TraceContext
+	// Hops is the number of switch hops the event traversed; it travels
+	// only on trace-bearing (Version2) deliveries.
+	Hops uint16
 }
 
 // EncodeDelivery renders a delivery push:
 //
-//	[version u8][idLen u8][id][at u64][latency u64][fp u8][event]
+//	[version u8][trace 24B][hops u16]?[idLen u8][id][at u64][latency u64][fp u8][event]
+//
+// The trace+hops block is present exactly when the version byte is
+// Version2 (d.Trace minted); an untraced delivery encodes as Version 1 and
+// drops Hops.
 func EncodeDelivery(d Delivery) ([]byte, error) {
 	if len(d.SubscriptionID) == 0 {
 		return nil, fmt.Errorf("wire: delivery without subscription id")
@@ -564,8 +694,14 @@ func EncodeDelivery(d Delivery) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 0, 20+len(d.SubscriptionID)+len(evb))
-	buf = append(buf, Version)
+	buf := make([]byte, 0, 46+len(d.SubscriptionID)+len(evb))
+	if d.Trace.Valid() {
+		buf = append(buf, Version2)
+		buf = appendTrace(buf, d.Trace)
+		buf = binary.BigEndian.AppendUint16(buf, d.Hops)
+	} else {
+		buf = append(buf, Version)
+	}
 	buf, err = appendString(buf, d.SubscriptionID, "subscription id")
 	if err != nil {
 		return nil, err
@@ -580,15 +716,30 @@ func EncodeDelivery(d Delivery) ([]byte, error) {
 	return append(buf, evb...), nil
 }
 
-// DecodeDelivery parses a delivery push.
+// DecodeDelivery parses a delivery push (Version or Version2).
 func DecodeDelivery(b []byte) (Delivery, error) {
 	if len(b) < 1 {
 		return Delivery{}, fmt.Errorf("wire: delivery too short")
 	}
-	if b[0] != Version {
+	var d Delivery
+	body := b[1:]
+	switch b[0] {
+	case Version:
+	case Version2:
+		var err error
+		d.Trace, body, err = readTrace(body, "delivery")
+		if err != nil {
+			return Delivery{}, err
+		}
+		if len(body) < 2 {
+			return Delivery{}, fmt.Errorf("wire: truncated delivery hops")
+		}
+		d.Hops = binary.BigEndian.Uint16(body)
+		body = body[2:]
+	default:
 		return Delivery{}, fmt.Errorf("wire: unsupported version %d", b[0])
 	}
-	id, rest, err := readString(b[1:], "subscription id")
+	id, rest, err := readString(body, "subscription id")
 	if err != nil {
 		return Delivery{}, err
 	}
@@ -601,12 +752,10 @@ func DecodeDelivery(b []byte) (Delivery, error) {
 	if rest[16] > 1 {
 		return Delivery{}, fmt.Errorf("wire: delivery false-positive flag %d", rest[16])
 	}
-	d := Delivery{
-		SubscriptionID: id,
-		At:             time.Duration(binary.BigEndian.Uint64(rest)),
-		Latency:        time.Duration(binary.BigEndian.Uint64(rest[8:])),
-		FalsePositive:  rest[16] == 1,
-	}
+	d.SubscriptionID = id
+	d.At = time.Duration(binary.BigEndian.Uint64(rest))
+	d.Latency = time.Duration(binary.BigEndian.Uint64(rest[8:]))
+	d.FalsePositive = rest[16] == 1
 	ev, rest, err := readEvent(rest[17:])
 	if err != nil {
 		return Delivery{}, err

@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"pleroma/internal/space"
+)
+
+func TestHelloFlagsRoundTrip(t *testing.T) {
+	b, err := EncodeHello(Hello{ID: "c", Flags: FlagTracing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := DecodeHello(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Flags != FlagTracing {
+		t.Fatalf("flags = %d, want %d", h.Flags, FlagTracing)
+	}
+	// Flag-free hellos must be bytewise identical to the pre-flags format.
+	plain, err := EncodeHello(Hello{ID: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, b[:len(b)-1]) {
+		t.Error("flag-free hello drifted from the legacy encoding")
+	}
+	// A present-but-zero flags byte is non-canonical.
+	if _, err := DecodeHello(append(plain, 0)); err == nil {
+		t.Error("zero flags byte accepted")
+	}
+}
+
+func TestHelloOKFlagsRoundTrip(t *testing.T) {
+	in := HelloOK{Hosts: []uint32{1, 2}, Partitions: []int32{0}, Flags: FlagTracing}
+	b, err := EncodeHelloOK(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeHelloOK(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	plain := in
+	plain.Flags = 0
+	pb, err := EncodeHelloOK(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb, b[:len(b)-1]) {
+		t.Error("flag-free hello-ok drifted from the legacy encoding")
+	}
+	if _, err := DecodeHelloOK(append(pb, 0)); err == nil {
+		t.Error("zero flags byte accepted")
+	}
+	if _, err := DecodeHelloOK(append(pb, 1, 2)); err == nil {
+		t.Error("two trailing bytes accepted")
+	}
+}
+
+func TestPublishTraceRoundTrip(t *testing.T) {
+	in := PublishReq{
+		ID:     "p1",
+		Seq:    42,
+		Events: []space.Event{{Values: []uint32{1, 2}}},
+		Trace:  TraceContext{TraceID: 0xdead, SpanID: 0xbeef, PubWallNanos: 1712345678901234567},
+	}
+	b, err := EncodePublish(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != Version2 {
+		t.Fatalf("traced publish version = %d, want %d", b[0], Version2)
+	}
+	out, err := DecodePublish(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	// Untraced publishes keep the Version-1 payload.
+	in.Trace = TraceContext{}
+	b, err = EncodePublish(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != Version {
+		t.Fatalf("untraced publish version = %d, want %d", b[0], Version)
+	}
+	// A Version2 payload must carry a minted trace id: the zero context has
+	// a canonical Version-1 encoding.
+	bad := append([]byte{Version2}, make([]byte, 24)...)
+	bad = append(bad, b[1:]...)
+	if _, err := DecodePublish(bad); err == nil {
+		t.Error("version-2 publish with zero trace id accepted")
+	}
+}
+
+func TestDeliveryTraceRoundTrip(t *testing.T) {
+	in := Delivery{
+		SubscriptionID: "s9",
+		Event:          space.Event{Values: []uint32{7, 8}},
+		At:             1500 * time.Microsecond,
+		Latency:        300 * time.Microsecond,
+		FalsePositive:  false,
+		Trace:          TraceContext{TraceID: 9, SpanID: 11, PubWallNanos: 77},
+		Hops:           5,
+	}
+	b, err := EncodeDelivery(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != Version2 {
+		t.Fatalf("traced delivery version = %d, want %d", b[0], Version2)
+	}
+	out, err := DecodeDelivery(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	if _, err := DecodeDelivery(b[:10]); err == nil {
+		t.Error("truncated trace context accepted")
+	}
+	// Untraced deliveries keep the Version-1 payload and drop hops.
+	in.Trace = TraceContext{}
+	b, err = EncodeDelivery(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != Version {
+		t.Fatalf("untraced delivery version = %d, want %d", b[0], Version)
+	}
+	out, err = DecodeDelivery(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hops != 0 {
+		t.Fatalf("hops leaked onto an untraced delivery: %d", out.Hops)
+	}
+}
+
+func TestTraceContextValid(t *testing.T) {
+	if (TraceContext{}).Valid() {
+		t.Error("zero context reported valid")
+	}
+	if (TraceContext{SpanID: 1}).Valid() {
+		t.Error("context without trace id reported valid")
+	}
+	if !(TraceContext{TraceID: 1}).Valid() {
+		t.Error("minted context reported invalid")
+	}
+}

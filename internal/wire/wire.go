@@ -18,6 +18,18 @@ import (
 // Version is the current wire format version.
 const Version = 1
 
+// Version2 marks trace-bearing PublishReq and Delivery payloads: the
+// payload opens with a TraceContext before the Version-1 body. Peers only
+// send Version2 after both sides advertised FlagTracing in the session
+// handshake; everything else still encodes as Version.
+const Version2 = 2
+
+// FlagTracing is the session capability bit for distributed tracing:
+// a client sets it in Hello.Flags when it can consume trace contexts, the
+// server echoes it in HelloOK.Flags when it can emit them, and only then
+// do Version2 payloads flow on the connection.
+const FlagTracing uint8 = 1 << 0
+
 // Limits guarding decoders against hostile input.
 const (
 	// MaxDims bounds the attribute count of an event payload.

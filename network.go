@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"pleroma/internal/obs"
 	"pleroma/internal/openflow"
 	"pleroma/internal/space"
 	"pleroma/internal/topo"
@@ -173,9 +174,13 @@ func (s *System) PersistSnapshot(partition int, dir string) error {
 
 // startListener builds the transport backend and starts serving.
 func (s *System) startListener(addr string) error {
+	s.enableStamping()
 	var opts []transport.ServerOption
 	if s.reg != nil {
 		opts = append(opts, transport.WithServerObservability(s.reg))
+	}
+	if s.tracer != nil {
+		opts = append(opts, transport.WithServerTracer(s.tracer))
 	}
 	srv := transport.NewServer(&netBackend{
 		sys:  s,
@@ -279,6 +284,12 @@ func (b *netBackend) Control(req wire.ControlReq, deliver func(wire.Delivery)) e
 				At:             d.At,
 				Latency:        d.Latency,
 				FalsePositive:  d.FalsePositive,
+				Hops:           uint16(d.Hops),
+				Trace: wire.TraceContext{
+					TraceID:      d.TraceID,
+					SpanID:       d.SpanID,
+					PubWallNanos: d.PubWallNanos,
+				},
 			})
 		}
 		key := regKey(req.Host, req.Ranges)
@@ -339,7 +350,10 @@ func (b *netBackend) Publish(req wire.PublishReq) error {
 	for i, ev := range req.Events {
 		tuples[i] = ev.Values
 	}
-	if err := e.pub.PublishBatch(tuples...); err != nil {
+	// The request's trace context (when the connection negotiated tracing)
+	// rides the publication stamp so every delivery joins the client's
+	// trace; the whole batch shares one publish span.
+	if err := e.pub.publishBatchTraced(req.Trace, tuples...); err != nil {
 		return err
 	}
 	if req.Seq != 0 {
@@ -395,12 +409,26 @@ func ParseFilter(s string) (Filter, error) {
 type DialOption func(*dialConfig)
 
 type dialConfig struct {
-	id    string
-	retry *RetryPolicy
+	id       string
+	retry    *RetryPolicy
+	obs      bool
+	traceCap int
 }
 
 // WithDialID names the client in its handshake (diagnostics only).
 func WithDialID(id string) DialOption { return func(c *dialConfig) { c.id = id } }
+
+// WithDialObservability gives the client its own metrics registry and
+// tracer (traceCapacity spans, 0 for the default): transport counters,
+// the client-side wall-clock delivery-latency histogram, and — when the
+// daemon negotiates the tracing capability — one distributed trace per
+// publish, spanning this client, the daemon, and every delivery.
+func WithDialObservability(traceCapacity int) DialOption {
+	return func(c *dialConfig) {
+		c.obs = true
+		c.traceCap = traceCapacity
+	}
+}
 
 // WithDialRetry sets the client's reconnect/backoff policy (default
 // DefaultRetryPolicy). After a lost connection the client redials with
@@ -411,7 +439,9 @@ func WithDialRetry(p RetryPolicy) DialOption { return func(c *dialConfig) { c.re
 // Client is a remote handle on a listening System (a pleroma-d daemon):
 // the same advertise/subscribe/publish/run surface, spoken over TCP.
 type Client struct {
-	tc *transport.Client
+	tc     *transport.Client
+	reg    *obs.Registry
+	tracer *obs.Tracer
 }
 
 // Dial connects to a daemon at addr.
@@ -424,11 +454,51 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 	if cfg.retry != nil {
 		topts = append(topts, transport.WithClientRetry(*cfg.retry))
 	}
+	c := &Client{}
+	if cfg.obs {
+		cap := cfg.traceCap
+		if cap <= 0 {
+			cap = defaultTraceCapacity
+		}
+		c.reg = obs.NewRegistry()
+		c.tracer = obs.NewTracer(cap)
+		topts = append(topts,
+			transport.WithClientObservability(c.reg),
+			transport.WithClientTracer(c.tracer))
+	}
 	tc, err := transport.Dial(addr, topts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{tc: tc}, nil
+	c.tc = tc
+	return c, nil
+}
+
+// Metrics snapshots the client's own registry (zero without
+// WithDialObservability).
+func (c *Client) Metrics() MetricsSnapshot {
+	if c.reg == nil {
+		return MetricsSnapshot{}
+	}
+	return c.reg.Snapshot()
+}
+
+// Traces returns the client's recorded spans, oldest first (nil without
+// WithDialObservability).
+func (c *Client) Traces() []*TraceSpan {
+	if c.tracer == nil {
+		return nil
+	}
+	return c.tracer.Spans()
+}
+
+// TraceByID returns the client-side spans of one distributed trace; the
+// daemon holds the matching server-side spans under the same id.
+func (c *Client) TraceByID(id uint64) []*TraceSpan {
+	if c.tracer == nil {
+		return nil
+	}
+	return c.tracer.SpansByTrace(id)
 }
 
 // Hosts returns the daemon deployment's end hosts.
@@ -480,13 +550,24 @@ func (c *Client) Subscribe(id string, host HostID, f Filter, handler func(Delive
 	var wh func(wire.Delivery)
 	if handler != nil {
 		wh = func(d wire.Delivery) {
-			handler(Delivery{
+			fd := Delivery{
 				SubscriptionID: d.SubscriptionID,
 				Event:          d.Event,
 				At:             d.At,
 				Latency:        d.Latency,
 				FalsePositive:  d.FalsePositive,
-			})
+				Hops:           int(d.Hops),
+				TraceID:        d.Trace.TraceID,
+				SpanID:         d.Trace.SpanID,
+				PubWallNanos:   d.Trace.PubWallNanos,
+			}
+			if d.Trace.PubWallNanos != 0 {
+				// Client-side wall latency: the echoed publish stamp is in
+				// this process's clock domain when this client published,
+				// so the subtraction is skew-free for self-subscriptions.
+				fd.WallLatency = time.Duration(time.Now().UnixNano() - d.Trace.PubWallNanos)
+			}
+			handler(fd)
 		}
 	}
 	return c.tc.Subscribe(id, uint32(host), filterRanges(f), wh)

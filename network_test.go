@@ -82,7 +82,21 @@ func deliveryKey(d Delivery) string {
 // yield identical delivery multisets and identical control-plane
 // digests. The transport boundary adds no semantics.
 func TestLoopbackEquivalence(t *testing.T) {
-	opts := []Option{WithTopology(TopologyRing20), WithPartitions(4)}
+	runLoopbackEquivalence(t, nil, nil)
+}
+
+// TestLoopbackEquivalenceTraced re-runs the golden equivalence with the
+// full tracing stack on: observability on both systems, a traced client
+// minting a distributed trace per publish. Tracing must be purely
+// observational — identical deliveries, identical digests.
+func TestLoopbackEquivalenceTraced(t *testing.T) {
+	runLoopbackEquivalence(t,
+		[]Option{WithObservability(4096)},
+		[]DialOption{WithDialObservability(4096)})
+}
+
+func runLoopbackEquivalence(t *testing.T, extraSys []Option, extraDial []DialOption) {
+	opts := append([]Option{WithTopology(TopologyRing20), WithPartitions(4)}, extraSys...)
 	w := makeNetWorkload(7, 20)
 
 	// (a) in-process.
@@ -130,12 +144,12 @@ func TestLoopbackEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer netSys.Close()
-	subCli, err := Dial(netSys.ListenAddr(), WithDialID("equiv-sub"))
+	subCli, err := Dial(netSys.ListenAddr(), append([]DialOption{WithDialID("equiv-sub")}, extraDial...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer subCli.Close()
-	pubCli, err := Dial(netSys.ListenAddr(), WithDialID("equiv-pub"))
+	pubCli, err := Dial(netSys.ListenAddr(), append([]DialOption{WithDialID("equiv-pub")}, extraDial...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"time"
 
 	"pleroma/internal/obs"
 )
@@ -28,6 +29,11 @@ type (
 	TraceSpan = obs.Span
 	// ObsServer is a running observability HTTP endpoint.
 	ObsServer = obs.Server
+	// DeliverySample is one end-to-end delivery observation (see the
+	// slowest-events ring of DeliveryLatencyReport).
+	DeliverySample = obs.DeliverySample
+	// HistogramSnapshot is a point-in-time copy of one histogram.
+	HistogramSnapshot = obs.HistSnapshot
 )
 
 // WithObservability enables the observability layer: a metrics registry
@@ -79,6 +85,8 @@ func (s *System) instrumentDispatch() {
 	s.obsDeliveries = s.reg.Counter(obs.MDeliveries, "Events handed to subscription handlers.")
 	s.obsFalsePositives = s.reg.Counter(obs.MFalsePositives, "Deliveries not matching the receiving subscription exactly (dz truncation, Section 6.4).")
 	s.obsDeliveryLatency = s.reg.Histogram(obs.MDeliveryLatency, "End-to-end publish-to-delivery latency (simulated time).", obs.DefaultLatencyBuckets...)
+	s.lat = obs.NewDeliveryLatency(0)
+	s.lat.Attach(s.reg)
 }
 
 // Metrics returns a snapshot of every registered metric. The zero
@@ -97,6 +105,58 @@ func (s *System) Traces() []*TraceSpan {
 		return nil
 	}
 	return s.tracer.Spans()
+}
+
+// TraceByID returns every recorded span of one distributed trace, oldest
+// first — a publish and all the deliveries it caused, across the process
+// boundary when the publish came over the wire. Nil without
+// WithObservability or for an unknown id.
+func (s *System) TraceByID(id uint64) []*TraceSpan {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.SpansByTrace(id)
+}
+
+// DeliveryLatencyReport distills the delivery-latency instrument family:
+// the headline end-to-end simulated-latency histogram, its estimated
+// percentiles, the per-tree and per-partition breakdowns, hop counts,
+// wall-clock latency for stamped publishes, and the retained slowest
+// deliveries. The zero report without WithObservability.
+type DeliveryLatencyReport struct {
+	// Count and Sum aggregate the end-to-end simulated latency histogram.
+	Count uint64
+	Sum   time.Duration
+	// P50/P95/P99 are interpolated from the histogram buckets.
+	P50, P95, P99 time.Duration
+	// ByTree and ByPartition break the same latency down by dissemination
+	// tree and by publisher partition (label → snapshot).
+	ByTree      map[string]*HistogramSnapshot
+	ByPartition map[string]*HistogramSnapshot
+	// Hops counts switch hops per delivered event (count-unit buckets).
+	Hops *HistogramSnapshot
+	// Wall is the wall-clock publish→delivery histogram for stamped
+	// publishes; across machines it includes clock skew.
+	Wall *HistogramSnapshot
+	// Slowest holds the retained tail samples, slowest first.
+	Slowest []DeliverySample
+}
+
+// DeliveryLatency reports the current delivery-latency accounting.
+func (s *System) DeliveryLatency() DeliveryLatencyReport {
+	var r DeliveryLatencyReport
+	if snap := s.obsDeliveryLatency.Snapshot(); snap != nil {
+		r.Count, r.Sum = snap.Count, snap.Sum
+		r.P50 = snap.Quantile(0.50)
+		r.P95 = snap.Quantile(0.95)
+		r.P99 = snap.Quantile(0.99)
+	}
+	r.ByTree = s.lat.TreeSnapshots()
+	r.ByPartition = s.lat.PartitionSnapshots()
+	r.Hops = s.lat.Hops().Snapshot()
+	r.Wall = s.lat.Wall().Snapshot()
+	r.Slowest = s.lat.Slowest()
+	return r
 }
 
 // systemHealth adapts the deployment's southbound health to the

@@ -48,6 +48,7 @@ import (
 	"pleroma/internal/space"
 	"pleroma/internal/topo"
 	"pleroma/internal/transport"
+	"pleroma/internal/wire"
 )
 
 // Re-exported content-model types.
@@ -85,6 +86,22 @@ type Delivery struct {
 	// FalsePositive marks events delivered due to dz truncation that do
 	// not match the subscription filter exactly.
 	FalsePositive bool
+	// Hops is the number of switch hops the event traversed.
+	Hops int
+	// TraceID links the delivery to its distributed trace (0 untraced).
+	TraceID uint64
+	// SpanID is the delivery span recorded under TraceID (0 untraced).
+	SpanID uint64
+	// WallLatency is the wall-clock publish→delivery delay when the
+	// publish carried an origin stamp (0 otherwise). Across processes on
+	// different machines it includes clock skew; see PubWallNanos for the
+	// skew-free client-side measure.
+	WallLatency time.Duration
+	// PubWallNanos echoes the publisher's wall-clock stamp
+	// (UnixNano; 0 unstamped). Meaningful only in the publisher's clock
+	// domain: a subscriber on the same machine — or the publishing client
+	// itself — can subtract it from its own clock without skew.
+	PubWallNanos int64
 }
 
 // Topology selects the emulated network layout.
@@ -264,6 +281,18 @@ type System struct {
 	obsDeliveries      *obs.Counter
 	obsFalsePositives  *obs.Counter
 	obsDeliveryLatency *obs.Histogram
+	// lat is the delivery-latency instrument family (per-tree and
+	// per-partition histograms, hop counts, wall latency, slowest ring);
+	// nil without WithObservability.
+	lat *obs.DeliveryLatency
+
+	// stampPubs enables origin-stamping publications (observability or a
+	// TCP listener); without either, publishes skip the tree lookup and
+	// wall-clock read entirely.
+	stampPubs bool
+	// hostPart caches each host's controller partition (-1 unknown) so
+	// per-publish stamping avoids the fabric lookup.
+	hostPart []int32
 }
 
 type subState struct {
@@ -416,6 +445,9 @@ func NewSystem(sch *Schema, opts ...Option) (*System, error) {
 		}
 		sys.instrumentDispatch()
 	}
+	if reg != nil || cfg.listenAddr != "" {
+		sys.enableStamping()
+	}
 	for _, h := range g.Hosts() {
 		h := h
 		hc := netem.HostConfig{CapacityPerSec: cfg.hostCap}
@@ -518,6 +550,13 @@ func (s *System) dispatch(host HostID, d netem.Delivery) {
 		return
 	}
 	expr := d.Packet.Expr.Truncate(s.cfg.maxDzLen)
+	stamp := d.Packet.Stamp
+	// One wall-clock read per packet, only for stamped publishes with a
+	// consumer (the latency family or a traced delivery to hand out).
+	var wall time.Duration
+	if stamp.OriginWall != 0 && (s.lat != nil || stamp.TraceID != 0) {
+		wall = time.Duration(time.Now().UnixNano() - stamp.OriginWall)
+	}
 	for _, st := range s.byHost[host] {
 		// The host receives one copy; hand it to every subscription whose
 		// truncated region overlaps the event's dz (kernel-level demux).
@@ -525,12 +564,46 @@ func (s *System) dispatch(host HostID, d netem.Delivery) {
 			continue
 		}
 		fp := !dz.RectContainsPoint(st.rect, d.Packet.Event.Values)
+		lat := d.At - d.Packet.SentAt
 		s.deliveries.Add(1)
 		s.obsDeliveries.Inc()
-		s.obsDeliveryLatency.Observe(d.At - d.Packet.SentAt)
+		s.obsDeliveryLatency.Observe(lat)
 		if fp {
 			s.falsePositives.Add(1)
 			s.obsFalsePositives.Inc()
+		}
+		if s.lat != nil {
+			tree, part := int64(stamp.Tree), int64(stamp.Partition)
+			if stamp.OriginWall == 0 {
+				// Unstamped packet (direct data-plane injection): no
+				// tree/partition knowledge, only hops and latency.
+				tree, part = -1, -1
+			} else if stamp.Tree == 0 {
+				tree = -1 // stamped but no owning tree resolved
+			}
+			s.lat.Record(obs.DeliverySample{
+				TraceID:        stamp.TraceID,
+				SubscriptionID: st.id,
+				Tree:           tree,
+				Partition:      part,
+				Latency:        lat,
+				WallLatency:    wall,
+				Hops:           int(d.Packet.Hops),
+				At:             d.At,
+				FalsePositive:  fp,
+			})
+		}
+		// A traced publish gets one delivery span per matched subscription,
+		// parented to the publish span it arrived with. Untraced packets —
+		// including every local benchmark publish — skip this entirely, so
+		// the hot path stays allocation-free.
+		var spanID uint64
+		if s.tracer != nil && stamp.TraceID != 0 {
+			sp := s.tracer.StartRemoteSpan(stamp.TraceID, stamp.SpanID, "deliver", st.id)
+			if sp != nil {
+				sp.End(nil)
+				spanID = sp.ID
+			}
 		}
 		if st.handler == nil {
 			continue
@@ -539,10 +612,42 @@ func (s *System) dispatch(host HostID, d netem.Delivery) {
 			SubscriptionID: st.id,
 			Event:          d.Packet.Event,
 			At:             d.At,
-			Latency:        d.At - d.Packet.SentAt,
+			Latency:        lat,
 			FalsePositive:  fp,
+			Hops:           int(d.Packet.Hops),
+			TraceID:        stamp.TraceID,
+			SpanID:         spanID,
+			WallLatency:    wall,
+			PubWallNanos:   stamp.OriginWall,
 		})
 	}
+}
+
+// enableStamping turns on publication origin-stamping and caches each
+// host's controller partition so the per-publish lookup is a slice index.
+// Called when observability or a TCP listener is configured; idempotent.
+func (s *System) enableStamping() {
+	s.stampPubs = true
+	if s.hostPart != nil {
+		return
+	}
+	hosts := s.g.Hosts()
+	var max HostID
+	for _, h := range hosts {
+		if h > max {
+			max = h
+		}
+	}
+	hp := make([]int32, int(max)+1)
+	for i := range hp {
+		hp[i] = -1
+	}
+	for _, h := range hosts {
+		if part, err := s.fab.HomePartition(h); err == nil {
+			hp[h] = int32(part)
+		}
+	}
+	s.hostPart = hp
 }
 
 // Publisher produces events from one host.
@@ -609,6 +714,13 @@ func (p *Publisher) Unadvertise() error {
 // Publish injects one event (attribute values in schema order) into the
 // network at the current simulated time.
 func (p *Publisher) Publish(values ...uint32) error {
+	return p.publishTraced(wire.TraceContext{}, values...)
+}
+
+// publishTraced is Publish with an explicit trace context — the transport
+// server's path: a remote client's publish carries its trace so every
+// resulting delivery joins it.
+func (p *Publisher) publishTraced(tc wire.TraceContext, values ...uint32) error {
 	if !p.advertised {
 		return ErrNotAdvertised
 	}
@@ -627,7 +739,42 @@ func (p *Publisher) Publish(values ...uint32) error {
 	}
 	p.sys.recordEvent(ev)
 	p.sys.maybeArmReindex()
-	return p.sys.dp.Publish(p.host, expr, ev, netem.DefaultPacketSize)
+	return p.sys.dp.PublishStamped(p.host, expr, ev, netem.DefaultPacketSize, p.stampFor(expr, tc))
+}
+
+// stampFor builds the data-plane origin stamp for one publication: the
+// owning dissemination tree, the publisher's home partition, the
+// wall-clock origin, and — on the transport path — the remote client's
+// trace context. The zero stamp when stamping is disabled (no
+// observability and no listener) keeps the default hot path free of the
+// tree lookup and clock read.
+func (p *Publisher) stampFor(expr dz.Expr, tc wire.TraceContext) netem.Stamp {
+	s := p.sys
+	if !s.stampPubs {
+		return netem.Stamp{}
+	}
+	st := netem.Stamp{
+		TraceID:    tc.TraceID,
+		SpanID:     tc.SpanID,
+		OriginWall: time.Now().UnixNano(),
+		Partition:  -1,
+	}
+	if tc.PubWallNanos != 0 {
+		// Keep the remote publisher's clock so the stamp echoed back in
+		// the Deliver frame stays in the client's clock domain.
+		st.OriginWall = tc.PubWallNanos
+	}
+	if int(p.host) < len(s.hostPart) {
+		st.Partition = s.hostPart[p.host]
+	}
+	if st.Partition >= 0 {
+		if ctl, err := s.fab.Controller(int(st.Partition)); err == nil {
+			if id, ok := ctl.TreeFor(expr); ok {
+				st.Tree = int32(id)
+			}
+		}
+	}
+	return st
 }
 
 // PublishBatch injects a burst of events — one attribute-value tuple per
@@ -638,6 +785,12 @@ func (p *Publisher) Publish(values ...uint32) error {
 // identical to publishing the tuples one by one with Publish; on an
 // encoding error nothing is injected.
 func (p *Publisher) PublishBatch(tuples ...[]uint32) error {
+	return p.publishBatchTraced(wire.TraceContext{}, tuples...)
+}
+
+// publishBatchTraced is PublishBatch with an explicit trace context (see
+// publishTraced); the whole batch shares one trace.
+func (p *Publisher) publishBatchTraced(tc wire.TraceContext, tuples ...[]uint32) error {
 	if !p.advertised {
 		return ErrNotAdvertised
 	}
@@ -659,7 +812,7 @@ func (p *Publisher) PublishBatch(tuples ...[]uint32) error {
 		if err != nil {
 			return err
 		}
-		pubs[i] = netem.Publication{Expr: expr, Event: ev, Size: netem.DefaultPacketSize}
+		pubs[i] = netem.Publication{Expr: expr, Event: ev, Size: netem.DefaultPacketSize, Stamp: p.stampFor(expr, tc)}
 	}
 	for _, pb := range pubs {
 		p.sys.recordEvent(pb.Event)
