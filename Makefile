@@ -4,7 +4,7 @@ GO ?= go
 # `make check` stays fast while still catching locking regressions.
 RACE_PKGS := ./internal/core/... ./internal/netem/... ./internal/openflow/... ./internal/workload/... ./internal/obs/... ./internal/metrics/... ./internal/sim/... ./internal/interdomain/... ./internal/wire/... ./internal/transport/...
 
-.PHONY: check vet build test race soak bench bench-obs bench-dataplane bench-parallel obs-demo daemon-demo
+.PHONY: check vet build test race soak bench bench-obs bench-dataplane bench-parallel bench-transport obs-demo daemon-demo
 
 check: vet build test race
 
@@ -19,7 +19,7 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -run 'Fault|Resync|Sharded|WithShards|Failover|Snapshot|Journal|Close|Loopback|Network|Restart|Trace' -count=1 .
+	$(GO) test -race -run 'Fault|Resync|Sharded|WithShards|Failover|Snapshot|Journal|Close|Loopback|Network|Restart|Trace|Pipelined' -count=1 .
 
 # Long-running churn soaks against the public API, raced: exact-delivery
 # ground truth plus fault-injection convergence (resync heals every round).
@@ -62,6 +62,15 @@ bench-obs:
 bench-parallel:
 	mkdir -p benchmarks
 	$(GO) test -run XXX -bench 'BenchmarkSystemPublishDeliverFatTree8' -benchtime 50x -count 1 -cpu 1,2,4,8 -benchmem . | tee -a benchmarks/parallel.txt
+
+# Pipelined transport data path: loopback-TCP publish→deliver throughput,
+# the per-call baseline (one round trip per publish, per-event delivery
+# frames) against the windowed async path swept over window size and
+# coalescing threshold. Appended to benchmarks/transport.txt, which keeps
+# the pre-pipeline record as comments — compare events/s and allocs/op.
+bench-transport:
+	mkdir -p benchmarks
+	$(GO) test -run XXX -bench 'BenchmarkTransportPublishDeliver' -benchtime 20000x -count 1 -benchmem . | tee -a benchmarks/transport.txt
 
 # Networked deployment smoke test: boot pleroma-d on loopback, attach a
 # subscriber process and a publisher process, and check the delivery

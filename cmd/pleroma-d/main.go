@@ -67,6 +67,10 @@ func run(args []string, w io.Writer, stop <-chan os.Signal) error {
 		hosts      = fs.Int("hosts-per-edge", 2, "fat-tree hosts per edge switch")
 		partitions = fs.Int("partitions", 1, "controller partitions")
 		shards     = fs.Int("shards", 1, "parallel simulation shards")
+
+		readTimeout  = fs.Duration("read-timeout", 0, "per-frame read deadline on client connections (0 = none)")
+		writeTimeout = fs.Duration("write-timeout", 0, "per-flush write deadline on client connections (0 = server default)")
+		noBatching   = fs.Bool("no-batching", false, "withhold the delivery-batching capability: every client sees the per-event v1 frame stream")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +90,11 @@ func run(args []string, w io.Writer, stop <-chan os.Signal) error {
 		pleroma.WithPartitions(*partitions),
 		pleroma.WithShards(*shards),
 		pleroma.WithObservability(0),
+		pleroma.WithTransport(pleroma.TransportOptions{
+			ReadTimeout:  *readTimeout,
+			WriteTimeout: *writeTimeout,
+			NoBatching:   *noBatching,
+		}),
 	}
 	if *state != "" {
 		if err := os.MkdirAll(*state, 0o755); err != nil {

@@ -59,6 +59,10 @@ func run(args []string, w io.Writer) error {
 		dims   = fs.Int("dims", 2, "attributes per random event (match the daemon's schema)")
 		seed   = fs.Int64("seed", 1, "random seed for -count mode")
 		doRun  = fs.Bool("run", true, "drive the simulated network after publishing")
+
+		pipeline    = fs.Bool("pipeline", true, "publish through the pipelined async path (coalesced frames, windowed acks)")
+		window      = fs.Int("window", 0, "async publish window: unacked requests in flight (0 = transport default)")
+		batchEvents = fs.Int("batch-events", 0, "events coalesced per publish request (0 = transport default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,7 +72,14 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	c, err := pleroma.Dial(*addr, pleroma.WithDialID("pleroma-pub/"+*id))
+	dopts := []pleroma.DialOption{pleroma.WithDialID("pleroma-pub/" + *id)}
+	if *window > 0 || *batchEvents > 0 {
+		dopts = append(dopts, pleroma.WithDialTransport(pleroma.TransportOptions{
+			Window:      *window,
+			BatchEvents: *batchEvents,
+		}))
+	}
+	c, err := pleroma.Dial(*addr, dopts...)
 	if err != nil {
 		return err
 	}
@@ -97,7 +108,19 @@ func run(args []string, w io.Writer) error {
 			tuples = append(tuples, vals)
 		}
 	}
-	if err := c.PublishBatch(*id, tuples...); err != nil {
+	if *pipeline {
+		// Pipelined path: every tuple enters the coalescing buffer and the
+		// Flush waits for the whole window to ack — same exactly-once
+		// guarantee as the synchronous call, a fraction of the round trips.
+		for _, vals := range tuples {
+			if err := c.PublishAsync(*id, vals...); err != nil {
+				return err
+			}
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+	} else if err := c.PublishBatch(*id, tuples...); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "published %d events as %q from host %d\n", len(tuples), *id, hosts[*host])

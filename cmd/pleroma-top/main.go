@@ -232,6 +232,37 @@ func rate(cur, prev *metrics, name string) float64 {
 	return d / dt
 }
 
+// totalBy sums a metric's samples grouped by one label's values.
+func (m *metrics) totalBy(name, label string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, p := range m.samples[name] {
+		out[p.labels[label]] += p.value
+	}
+	return out
+}
+
+// rateBy computes per-second deltas of a labelled counter, one rate per
+// label value seen in the current scrape.
+func rateBy(cur, prev *metrics, name, label string) map[string]float64 {
+	out := make(map[string]float64)
+	if prev == nil {
+		return out
+	}
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return out
+	}
+	was := prev.totalBy(name, label)
+	for k, v := range cur.totalBy(name, label) {
+		d := v - was[k]
+		if d < 0 {
+			d = 0
+		}
+		out[k] = d / dt
+	}
+	return out
+}
+
 // bucket is one cumulative histogram bucket.
 type bucket struct {
 	le    float64
@@ -349,6 +380,37 @@ func render(w io.Writer, url string, cur, prev *metrics, ansi bool) {
 		fmtCount(cur.total("pleroma_transport_inflight_requests")),
 		fmtCount(cur.total("pleroma_transport_reconnects_total")),
 		fmtRate(rate(cur, prev, "pleroma_transport_frames_sent_total"), prev))
+
+	// Pipelined data path: publish window occupancy, coalescing batch
+	// sizes, and writer flush activity by reason.
+	var pipe []string
+	if win := cur.samples["pleroma_transport_publish_window"]; len(win) > 0 {
+		pipe = append(pipe, fmt.Sprintf("window %s", fmtCount(cur.total("pleroma_transport_publish_window"))))
+	}
+	if mean, ok := cur.histMean("pleroma_transport_publish_coalesced_events"); ok {
+		pipe = append(pipe, fmt.Sprintf("pub batch %.1f ev", mean))
+	}
+	if mean, ok := cur.histMean("pleroma_transport_deliver_batch_events"); ok {
+		pipe = append(pipe, fmt.Sprintf("deliver batch %.1f ev", mean))
+	}
+	if mean, ok := cur.histMean("pleroma_transport_write_batch_frames"); ok {
+		pipe = append(pipe, fmt.Sprintf("write batch %.1f fr", mean))
+	}
+	if len(pipe) > 0 {
+		fmt.Fprintf(w, "  pipeline     %s\n", strings.Join(pipe, "   "))
+	}
+	if flushes := rateBy(cur, prev, "pleroma_transport_flushes_total", "reason"); len(flushes) > 0 {
+		reasons := make([]string, 0, len(flushes))
+		for r := range flushes {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		parts := make([]string, len(reasons))
+		for i, r := range reasons {
+			parts[i] = fmt.Sprintf("%s %.1f/s", r, flushes[r])
+		}
+		fmt.Fprintf(w, "  flushes      %s\n", strings.Join(parts, "   "))
+	}
 }
 
 // fmtRate renders a per-second rate, or "-" before a second scrape

@@ -140,6 +140,21 @@ const (
 	MTransportReconnects = "pleroma_transport_reconnects_total"
 	MTransportConns      = "pleroma_transport_connections"
 	MTransportInflight   = "pleroma_transport_inflight_requests"
+	// Pipelined data path instruments. MTransportWriteBatchFrames samples
+	// how many queued frames each writer wakeup drained into one syscall;
+	// MTransportFlushes counts bufio flushes by reason ("idle", "close");
+	// MTransportFrameBytes samples encoded frame sizes (the histogram the
+	// buffer-pool size classes were chosen against); MTransportPublishWindow
+	// gauges the async publish window occupancy (outstanding unacked
+	// KindPublish frames); MTransportPublishCoalesced samples events packed
+	// per coalesced PublishReq; MTransportDeliverBatch samples deliveries
+	// packed per KindDeliverBatch frame.
+	MTransportWriteBatchFrames = "pleroma_transport_write_batch_frames"
+	MTransportFlushes          = "pleroma_transport_flushes_total"
+	MTransportFrameBytes       = "pleroma_transport_frame_bytes"
+	MTransportPublishWindow    = "pleroma_transport_publish_window"
+	MTransportPublishCoalesced = "pleroma_transport_publish_coalesced_events"
+	MTransportDeliverBatch     = "pleroma_transport_deliver_batch_events"
 	// MDeliveryLatencyByTree / MDeliveryLatencyByPartition break the
 	// publish→delivery (simulated) latency down by dissemination tree and
 	// by the publisher's controller partition.

@@ -1,0 +1,307 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pleroma/internal/core"
+	"pleroma/internal/obs"
+	"pleroma/internal/space"
+	"pleroma/internal/wire"
+)
+
+// histCount sums a histogram family's sample counts in a registry
+// snapshot (0 when the family is absent or empty).
+func histCount(reg *obs.Registry, name string) uint64 {
+	var n uint64
+	for _, fam := range reg.Snapshot().Families {
+		if fam.Name != name {
+			continue
+		}
+		for _, s := range fam.Samples {
+			if s.Hist != nil {
+				n += s.Hist.Count
+			}
+		}
+	}
+	return n
+}
+
+// TestPublishAsyncCoalescing pins the deterministic coalescing shape: with
+// linger effectively off and a 4-event threshold, 16 single-event
+// PublishAsync calls become exactly 4 in-order PublishReqs of 4 events.
+func TestPublishAsyncCoalescing(t *testing.T) {
+	b := newFakeBackend()
+	_, addr := startServer(t, b)
+	c, err := Dial(addr, WithClientOptions(Options{BatchEvents: 4, Linger: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ranges := []wire.Range{{Attr: "x", Lo: 0, Hi: 99}}
+	if err := c.Advertise("p1", 10, ranges); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := c.PublishAsync("p1", []space.Event{{Values: []uint32{uint32(i), 2}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.pubs) != 4 {
+		t.Fatalf("backend saw %d publish requests, want 4", len(b.pubs))
+	}
+	next := uint32(0)
+	for i, req := range b.pubs {
+		if req.ID != "p1" || req.Seq != uint64(i+1) || len(req.Events) != 4 {
+			t.Fatalf("req %d = id %q seq %d events %d, want p1/%d/4", i, req.ID, req.Seq, len(req.Events), i+1)
+		}
+		for _, ev := range req.Events {
+			if ev.Values[0] != next {
+				t.Fatalf("event order drifted: got %d want %d", ev.Values[0], next)
+			}
+			next++
+		}
+	}
+}
+
+// TestPublishAsyncSyncOrdering pins the mixed-path ordering rule: a
+// synchronous Publish seals the publisher's pending async batch first, so
+// a sequential caller's events reach the backend in call order with
+// monotonically increasing sequence numbers.
+func TestPublishAsyncSyncOrdering(t *testing.T) {
+	b := newFakeBackend()
+	_, addr := startServer(t, b)
+	c, err := Dial(addr, WithClientOptions(Options{Linger: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Advertise("p1", 10, []wire.Range{{Attr: "x", Lo: 0, Hi: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PublishAsync("p1", []space.Event{{Values: []uint32{1, 1}}, {Values: []uint32{2, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish("p1", []space.Event{{Values: []uint32{3, 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.pubs) != 2 {
+		t.Fatalf("backend saw %d publish requests, want 2", len(b.pubs))
+	}
+	if len(b.pubs[0].Events) != 2 || b.pubs[0].Seq != 1 {
+		t.Fatalf("first req = seq %d with %d events, want async batch seq 1 with 2", b.pubs[0].Seq, len(b.pubs[0].Events))
+	}
+	if len(b.pubs[1].Events) != 1 || b.pubs[1].Seq != 2 || b.pubs[1].Events[0].Values[0] != 3 {
+		t.Fatalf("second req = %+v, want the sync publish at seq 2", b.pubs[1])
+	}
+}
+
+// blockingBackend gates Publish on a channel, so a test can hold acks back
+// and observe the client's window fill.
+type blockingBackend struct {
+	*fakeBackend
+	gate chan struct{}
+}
+
+func (b *blockingBackend) Publish(req wire.PublishReq) error {
+	<-b.gate
+	return b.fakeBackend.Publish(req)
+}
+
+// TestPublishAsyncWindowBackpressure proves the credit window blocks: with
+// a window of 2 and acks withheld, the third single-event batch cannot be
+// sealed until an ack frees a slot.
+func TestPublishAsyncWindowBackpressure(t *testing.T) {
+	b := &blockingBackend{fakeBackend: newFakeBackend(), gate: make(chan struct{})}
+	_, addr := startServer(t, b)
+	c, err := Dial(addr, WithClientOptions(Options{Window: 2, BatchEvents: 1, Linger: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Advertise("p1", 10, []wire.Range{{Attr: "x", Lo: 0, Hi: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := c.PublishAsync("p1", []space.Event{{Values: []uint32{uint32(i), 0}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	third := make(chan error, 1)
+	go func() {
+		third <- c.PublishAsync("p1", []space.Event{{Values: []uint32{9, 9}}})
+	}()
+	select {
+	case err := <-third:
+		t.Fatalf("third publish returned (%v) with the window full", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Release every publish: the first ack frees a window slot and the
+	// blocked call completes.
+	close(b.gate)
+	select {
+	case err := <-third:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("third publish still blocked after acks")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.pubs) != 3 {
+		t.Fatalf("backend saw %d publish requests, want 3", len(b.pubs))
+	}
+}
+
+// subscribeAndRun drives one delivery round through a connected client.
+func subscribeAndRun(t *testing.T, c *Client) []wire.Delivery {
+	t.Helper()
+	var mu sync.Mutex
+	var got []wire.Delivery
+	if err := c.Subscribe("s1", 11, []wire.Range{{Attr: "x", Lo: 0, Hi: 99}}, func(d wire.Delivery) {
+		mu.Lock()
+		got = append(got, d)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return got
+}
+
+// TestDeliveryBatchingNegotiation pins both sides of the FlagBatching
+// handshake: a default session coalesces deliveries into KindDeliverBatch
+// frames (the server's batch histogram fills), while a NoBatching server
+// falls back to the per-event v1 stream with identical delivery contents.
+func TestDeliveryBatchingNegotiation(t *testing.T) {
+	t.Run("batching", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		_, addr := startServer(t, newFakeBackend(), WithServerObservability(reg))
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		got := subscribeAndRun(t, c)
+		if len(got) != 1 || got[0].SubscriptionID != "s1" || got[0].At != 42 {
+			t.Fatalf("deliveries = %+v", got)
+		}
+		if n := histCount(reg, obs.MTransportDeliverBatch); n == 0 {
+			t.Fatal("no KindDeliverBatch frames on a batching-negotiated session")
+		}
+	})
+	t.Run("legacy-server", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		_, addr := startServer(t, newFakeBackend(),
+			WithServerObservability(reg), WithServerOptions(Options{NoBatching: true}))
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		got := subscribeAndRun(t, c)
+		if len(got) != 1 || got[0].SubscriptionID != "s1" || got[0].At != 42 {
+			t.Fatalf("deliveries = %+v", got)
+		}
+		if n := histCount(reg, obs.MTransportDeliverBatch); n != 0 {
+			t.Fatalf("legacy session produced %d deliver-batch frames", n)
+		}
+	})
+	t.Run("legacy-client", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		_, addr := startServer(t, newFakeBackend(), WithServerObservability(reg))
+		c, err := Dial(addr, WithClientOptions(Options{NoBatching: true}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		got := subscribeAndRun(t, c)
+		if len(got) != 1 {
+			t.Fatalf("deliveries = %+v", got)
+		}
+		if n := histCount(reg, obs.MTransportDeliverBatch); n != 0 {
+			t.Fatalf("un-negotiated session produced %d deliver-batch frames", n)
+		}
+	})
+}
+
+// TestPublishAsyncReconnectMidWindow drops every connection while a window
+// of publishes is in flight: the pipeline must redial on its own, replay
+// the unacked window, and the backend must see every sequence number with
+// any replays arriving in order (dedup by Seq is the backend's contract;
+// the transport's job is ordered, gap-free arrival).
+func TestPublishAsyncReconnectMidWindow(t *testing.T) {
+	b := newFakeBackend()
+	srv, addr := startServer(t, b)
+	c, err := Dial(addr,
+		WithClientOptions(Options{Window: 4, BatchEvents: 1, Linger: time.Hour}),
+		WithClientRetry(core.RetryPolicy{MaxAttempts: 20, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Advertise("p1", 10, []wire.Range{{Attr: "x", Lo: 0, Hi: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	const total = 40
+	for i := 0; i < total; i++ {
+		if err := c.PublishAsync("p1", []space.Event{{Values: []uint32{uint32(i), 0}}}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 10 || i == 25 {
+			srv.DropConnections()
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seen := make(map[uint64]int)
+	last := uint64(0)
+	for _, req := range b.pubs {
+		if req.ID != "p1" {
+			t.Fatalf("unexpected publisher %q", req.ID)
+		}
+		seen[req.Seq]++
+		// Replays may repeat an unacked prefix, but a sequence may never
+		// arrive before its predecessor's first arrival (the dedup
+		// precondition).
+		if req.Seq > last+1 {
+			t.Fatalf("sequence gap: %d arrived after %d", req.Seq, last)
+		}
+		if req.Seq > last {
+			last = req.Seq
+		}
+	}
+	for s := uint64(1); s <= total; s++ {
+		if seen[s] == 0 {
+			t.Fatalf("sequence %d never reached the backend", s)
+		}
+	}
+	if last != total {
+		t.Fatalf("highest sequence %d, want %d", last, total)
+	}
+}

@@ -31,6 +31,13 @@ func WithClientRetry(p core.RetryPolicy) ClientOption {
 	return func(c *Client) { c.retry = p }
 }
 
+// WithClientOptions tunes the client's transport data path: deadlines,
+// the async publish window, and the coalescing thresholds. The zero
+// Options keeps every default.
+func WithClientOptions(o Options) ClientOption {
+	return func(c *Client) { c.opts = o }
+}
+
 // WithClientObservability attaches the client's transport counters to reg.
 func WithClientObservability(reg *obs.Registry) ClientOption {
 	return func(c *Client) {
@@ -42,11 +49,17 @@ func WithClientObservability(reg *obs.Registry) ClientOption {
 			framesRecv: reg.Counter(obs.MTransportFramesRecv, "Frames read from transport connections."),
 			bytesSent:  reg.Counter(obs.MTransportBytesSent, "Bytes written to transport connections."),
 			bytesRecv:  reg.Counter(obs.MTransportBytesRecv, "Bytes read from transport connections."),
+			writeBatch: newWriteBatchHistogram(reg),
+			flushes:    newFlushCounterVec(reg),
+			frameBytes: newFrameBytesHistogram(reg),
 		}
 		c.obsReconnects = reg.Counter(obs.MTransportReconnects, "Client redials after a lost transport connection.")
 		c.obsWall = reg.Histogram(obs.MClientDeliveryWallLatency,
 			"Wall-clock publish-to-delivery latency measured at the subscribing client (skew-free when this client published).",
 			obs.DefaultLatencyBuckets...)
+		c.obsWindow = reg.Gauge(obs.MTransportPublishWindow, "Outstanding unacked async publishes (window occupancy).")
+		c.obsCoalesce = obs.NewCountHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096)
+		reg.AttachHistogram(obs.MTransportPublishCoalesced, "Events coalesced per async PublishReq.", "", "", c.obsCoalesce)
 	}
 }
 
@@ -84,10 +97,13 @@ type Client struct {
 	addr  string
 	id    string
 	retry core.RetryPolicy
+	opts  Options
 	m     connMetrics
 
 	obsReconnects *obs.Counter
 	obsWall       *obs.Histogram
+	obsWindow     *obs.Gauge
+	obsCoalesce   *obs.Histogram
 	tracer        *obs.Tracer
 
 	mu       sync.Mutex
@@ -102,12 +118,27 @@ type Client struct {
 	// tracing is true when the current connection's handshake negotiated
 	// wire.FlagTracing (both sides advertised it).
 	tracing bool
+	// batching is true when the current connection's handshake negotiated
+	// wire.FlagBatching (the server coalesces delivery frames).
+	batching bool
 	// pubSeq numbers this client's publishes so the server can deduplicate
 	// an at-least-once retry of a publish it already applied.
 	pubSeq uint64
 	// gen counts established connections; reconnect attempts pass the gen
 	// they observed so only one caller redials a given dead connection.
 	gen int
+
+	// Pipelined publish state (async.go). winCond signals window credit
+	// and completions; apend holds per-publisher coalescing buffers; awin
+	// is the FIFO in-flight window; acorr routes acks to window entries;
+	// aerr is the sticky pipeline failure.
+	winCond   *sync.Cond
+	apend     map[string]*pubPending
+	awin      []*asyncEntry
+	acorr     map[uint64]*asyncEntry
+	aerr      error
+	redialing bool
+	lingerOn  bool
 }
 
 // callResult is what a pending call receives: either a response frame
@@ -126,7 +157,10 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 		retry:    core.DefaultRetryPolicy,
 		pending:  make(map[uint64]chan callResult),
 		handlers: make(map[string]func(wire.Delivery)),
+		apend:    make(map[string]*pubPending),
+		acorr:    make(map[uint64]*asyncEntry),
 	}
+	c.winCond = sync.NewCond(&c.mu)
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -174,7 +208,7 @@ func (c *Client) connectLocked() (start func(), err error) {
 			if err != nil {
 				return wire.Frame{}, err
 			}
-			if resp.Kind == wire.KindDeliver {
+			if resp.Kind == wire.KindDeliver || resp.Kind == wire.KindDeliverBatch {
 				buffered = append(buffered, resp)
 				continue
 			}
@@ -185,6 +219,11 @@ func (c *Client) connectLocked() (start func(), err error) {
 	var flags uint8
 	if c.tracer != nil {
 		flags |= wire.FlagTracing
+	}
+	if !c.opts.NoBatching {
+		// Decoding KindDeliverBatch needs no configuration, so every
+		// client advertises it unless pinned to the legacy stream.
+		flags |= wire.FlagBatching
 	}
 	hb, err := wire.EncodeHello(wire.Hello{ID: c.id, Flags: flags})
 	if err != nil {
@@ -207,6 +246,7 @@ func (c *Client) connectLocked() (start func(), err error) {
 	}
 	c.info = Info{Hosts: hello.Hosts, Partitions: hello.Partitions}
 	c.tracing = c.tracer != nil && hello.Flags&wire.FlagTracing != 0
+	c.batching = hello.Flags&wire.FlagBatching != 0
 
 	// Replay registrations in arrival order. On the server these are
 	// idempotent rebinds: control state, journal, and digests are
@@ -241,11 +281,22 @@ func (c *Client) connectLocked() (start func(), err error) {
 	}
 
 	raw.SetDeadline(time.Time{})
-	fc := newFrameConn(raw, c.retry.OpDeadline, c.m)
+	wt := c.retry.OpDeadline
+	if c.opts.WriteTimeout > 0 {
+		wt = c.opts.WriteTimeout
+	}
+	fc := newFrameConn(raw, wt, c.m)
 	c.fc = fc
 	c.corr = corr
 	c.gen++
 	gen := c.gen
+	// Re-send the unacked async publish window, FIFO, while still holding
+	// c.mu: the fresh connection's queue is empty, so these frames are
+	// guaranteed to precede any retried or new request — preserving the
+	// per-publisher sequence order the server's dedup depends on.
+	for _, e := range c.awin {
+		c.sendEntryLocked(e)
+	}
 	return func() {
 		for _, f := range buffered {
 			c.dispatchDelivery(f)
@@ -255,38 +306,74 @@ func (c *Client) connectLocked() (start func(), err error) {
 }
 
 // readLoop dispatches incoming frames: deliveries to their subscription
-// handlers, responses to their waiting callers. On a read error every
-// pending call fails fast, and the next request redials.
+// handlers, async publish acks to their window entries, and responses to
+// their waiting callers. On a read error every pending call fails fast,
+// and the next request redials. Frames are read into one reusable buffer:
+// delivery decode and ack routing consume the payload before the next
+// read, and the one escape path (a pending call's response) copies it.
 func (c *Client) readLoop(fc *frameConn, br *bufio.Reader, gen int) {
+	buf := make([]byte, 0, 4096)
 	for {
-		f, err := readFrame(br, c.m)
+		var f wire.Frame
+		var err error
+		if c.opts.ReadTimeout > 0 {
+			fc.c.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+		}
+		f, buf, err = readFrameBuf(br, c.m, buf)
 		if err != nil {
 			c.connLost(fc, gen)
 			return
 		}
 		switch f.Kind {
-		case wire.KindDeliver:
+		case wire.KindDeliver, wire.KindDeliverBatch:
 			c.dispatchDelivery(f)
 		case wire.KindGoodbye:
 			c.connLost(fc, gen)
 			return
 		default:
 			c.mu.Lock()
+			if e, ok := c.acorr[f.Corr]; ok {
+				delete(c.acorr, f.Corr)
+				var aerr error
+				if f.Kind != wire.KindOK {
+					aerr = fmt.Errorf("transport: async publish: %s", respError(f))
+				}
+				c.completeEntryLocked(e, aerr)
+				c.mu.Unlock()
+				continue
+			}
 			ch := c.pending[f.Corr]
 			delete(c.pending, f.Corr)
 			c.mu.Unlock()
 			if ch != nil {
+				f.Payload = append([]byte(nil), f.Payload...)
 				ch <- callResult{f: f}
 			}
 		}
 	}
 }
 
+// dispatchDelivery decodes and dispatches one KindDeliver or
+// KindDeliverBatch frame in order.
 func (c *Client) dispatchDelivery(f wire.Frame) {
+	if f.Kind == wire.KindDeliverBatch {
+		ds, err := wire.DecodeDeliverBatch(f.Payload)
+		if err != nil {
+			return
+		}
+		for _, d := range ds {
+			c.dispatchOne(d)
+		}
+		return
+	}
 	d, err := wire.DecodeDelivery(f.Payload)
 	if err != nil {
 		return
 	}
+	c.dispatchOne(d)
+}
+
+func (c *Client) dispatchOne(d wire.Delivery) {
 	if d.Trace.PubWallNanos != 0 {
 		// Client-side wall latency against the echoed publish stamp:
 		// skew-free when this client (or this machine) published.
@@ -306,7 +393,9 @@ func (c *Client) dispatchDelivery(f wire.Frame) {
 }
 
 // connLost tears down the given connection generation and fails its
-// pending calls so they can retry on a fresh dial.
+// pending calls so they can retry on a fresh dial. Async window entries
+// are NOT failed: they stay queued (their correlations cleared) and the
+// redial goroutine re-sends them on the next connection.
 func (c *Client) connLost(fc *frameConn, gen int) {
 	c.mu.Lock()
 	if c.fc != fc || c.gen != gen {
@@ -316,6 +405,12 @@ func (c *Client) connLost(fc *frameConn, gen int) {
 	c.fc = nil
 	pend := c.pending
 	c.pending = make(map[uint64]chan callResult)
+	for corr, e := range c.acorr {
+		delete(c.acorr, corr)
+		e.corr = 0
+	}
+	c.ensureRedialLocked()
+	c.winCond.Broadcast()
 	c.mu.Unlock()
 	fc.abort()
 	for _, ch := range pend {
@@ -512,6 +607,15 @@ func (c *Client) Unsubscribe(id string) error {
 // a single trace.
 func (c *Client) Publish(id string, events []space.Event) error {
 	c.mu.Lock()
+	// Seal any pending async batch for this publisher first, so a
+	// sequential PublishAsync-then-Publish caller sees its events applied
+	// in call order (both frames ride the same FIFO, window first).
+	if pb := c.apend[id]; pb != nil && len(pb.events) > 0 {
+		if err := c.sealLocked(id); err != nil {
+			c.mu.Unlock()
+			return err
+		}
+	}
 	c.pubSeq++
 	seq := c.pubSeq
 	tracing := c.tracing
@@ -596,6 +700,7 @@ func (c *Client) Close() error {
 	c.closed = true
 	fc := c.fc
 	c.fc = nil
+	c.winCond.Broadcast() // wake Flush/backpressure waiters: client is gone
 	c.mu.Unlock()
 	if fc != nil {
 		fc.send(wire.Frame{Kind: wire.KindGoodbye})

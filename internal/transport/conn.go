@@ -12,6 +12,7 @@ package transport
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -29,22 +30,40 @@ type connMetrics struct {
 	framesRecv *obs.Counter
 	bytesSent  *obs.Counter
 	bytesRecv  *obs.Counter
+	// writeBatch samples the frames drained per writer wakeup (one bufio
+	// flush = one syscall); flushes counts flushes by reason; frameBytes
+	// samples encoded frame sizes.
+	writeBatch *obs.Histogram
+	flushes    *obs.CounterVec
+	frameBytes *obs.Histogram
+}
+
+// outFrame is one queued outbound frame: the fixed header plus a payload
+// reference. Keeping the payload by reference (instead of re-encoding the
+// whole frame into a fresh contiguous buffer) is what makes the send path
+// copy-free; pooled marks payloads drawn from the slab pool, which the
+// writer returns after the bytes hit the socket.
+type outFrame struct {
+	hdr     [wire.FrameHeaderLen]byte
+	payload []byte
+	pooled  bool
 }
 
 // frameConn wraps a net.Conn with an unbounded FIFO write queue drained by
 // a single writer goroutine. Senders never block on the network: send
-// enqueues the encoded frame and returns, and the writer flushes every
-// frame queued at the moment it wakes in one buffered write — the
-// per-connection write batching. The FIFO order doubles as the protocol's
-// barrier: a response enqueued after a set of deliveries reaches the peer
-// after them.
+// enqueues the frame and returns, and the writer drains every frame queued
+// at the moment it wakes through the buffered writer, flushing only once
+// the queue is empty (flush-on-idle) — so a burst of N frames costs one
+// syscall no matter how many wakeups it spans. The FIFO order doubles as
+// the protocol's barrier: a response enqueued after a set of deliveries
+// reaches the peer after them.
 type frameConn struct {
 	c  net.Conn
 	bw *bufio.Writer
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  [][]byte
+	queue  []outFrame
 	closed bool
 	werr   error
 	done   chan struct{}
@@ -52,13 +71,28 @@ type frameConn struct {
 	writeTimeout time.Duration
 	m            connMetrics
 
-	// tracing records whether this connection's Hello handshake negotiated
-	// wire.FlagTracing. Set once by the server's Hello handler, read by
-	// delivery sinks on arbitrary goroutines — hence atomic.
-	tracing atomic.Bool
+	// tracing/batching record whether this connection's Hello handshake
+	// negotiated wire.FlagTracing / wire.FlagBatching. Set once by the
+	// server's Hello handler, read by delivery sinks on arbitrary
+	// goroutines — hence atomic.
+	tracing  atomic.Bool
+	batching atomic.Bool
+
+	// dbatch accumulates the deliveries produced for this connection by
+	// the backend call in progress (batching sessions only); the server
+	// flushes it as KindDeliverBatch frames before sending the call's
+	// response. dmu also serializes flushers, so two racing flushes cannot
+	// reorder a connection's delivery stream.
+	dmu    sync.Mutex
+	dbatch []wire.Delivery
 }
 
 func newFrameConn(c net.Conn, writeTimeout time.Duration, m connMetrics) *frameConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Batching owns coalescing now; Nagle would only add latency on
+		// the partially-filled flushes.
+		tc.SetNoDelay(true)
+	}
 	fc := &frameConn{
 		c:            c,
 		bw:           bufio.NewWriter(c),
@@ -71,29 +105,62 @@ func newFrameConn(c net.Conn, writeTimeout time.Duration, m connMetrics) *frameC
 	return fc
 }
 
-// send enqueues one frame for transmission. It returns an error only if
-// the connection is already closed or a previous write failed; the write
-// itself is asynchronous.
+// send enqueues one frame for transmission. The payload is referenced, not
+// copied: the caller must not mutate it until the frame is on the wire
+// (callers that recycle buffers use sendPooled). It returns an error only
+// if the connection is already closed or a previous write failed; the
+// write itself is asynchronous.
 func (fc *frameConn) send(f wire.Frame) error {
-	b, err := wire.AppendFrame(nil, f)
-	if err != nil {
-		return err
+	return fc.enqueue(f.Kind, f.Corr, f.Payload, false)
+}
+
+// sendPooled enqueues one frame whose payload was drawn from getBuf,
+// transferring ownership: the writer returns it to the slab pool once
+// written (or dropped on abort).
+func (fc *frameConn) sendPooled(kind wire.Kind, corr uint64, payload []byte) error {
+	return fc.enqueue(kind, corr, payload, true)
+}
+
+func (fc *frameConn) enqueue(kind wire.Kind, corr uint64, payload []byte, pooled bool) error {
+	if !kind.Valid() {
+		if pooled {
+			putBuf(payload)
+		}
+		return fmt.Errorf("wire: invalid frame kind %d", uint8(kind))
 	}
+	if len(payload) > wire.MaxFramePayload {
+		if pooled {
+			putBuf(payload)
+		}
+		return fmt.Errorf("wire: frame payload of %d bytes exceeds %d", len(payload), wire.MaxFramePayload)
+	}
+	of := outFrame{payload: payload, pooled: pooled}
+	binary.BigEndian.PutUint32(of.hdr[:], uint32(9+len(payload)))
+	of.hdr[4] = byte(kind)
+	binary.BigEndian.PutUint64(of.hdr[5:], corr)
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	if fc.werr != nil {
+		if pooled {
+			putBuf(payload)
+		}
 		return fc.werr
 	}
 	if fc.closed {
+		if pooled {
+			putBuf(payload)
+		}
 		return fmt.Errorf("transport: connection closed")
 	}
-	fc.queue = append(fc.queue, b)
+	fc.queue = append(fc.queue, of)
 	fc.cond.Signal()
 	return nil
 }
 
-// writeLoop drains the queue: every wakeup takes the whole backlog, writes
-// it through the buffered writer, and flushes once.
+// writeLoop drains the queue: every wakeup takes the whole backlog and
+// writes it through the buffered writer, but flushes only when the queue
+// is empty after the writes (flush-on-idle) — frames that arrived while
+// the writer was busy ride the same eventual flush.
 func (fc *frameConn) writeLoop() {
 	defer close(fc.done)
 	for {
@@ -114,25 +181,58 @@ func (fc *frameConn) writeLoop() {
 		}
 		var n int
 		var err error
-		for _, b := range batch {
-			if _, err = fc.bw.Write(b); err != nil {
+		for i := range batch {
+			of := &batch[i]
+			if _, err = fc.bw.Write(of.hdr[:]); err != nil {
 				break
 			}
-			n += len(b)
+			if _, err = fc.bw.Write(of.payload); err != nil {
+				break
+			}
+			n += len(of.hdr) + len(of.payload)
+			fc.m.frameBytes.ObserveCount(len(of.hdr) + len(of.payload))
+			if of.pooled {
+				putBuf(of.payload)
+				of.payload = nil
+			}
 		}
 		if err == nil {
-			err = fc.bw.Flush()
+			// Flush only when no frame arrived while we were writing: a
+			// still-busy queue means the next iteration extends this
+			// buffered run instead of paying a syscall per wakeup.
+			fc.mu.Lock()
+			idle := len(fc.queue) == 0
+			fc.mu.Unlock()
+			if idle {
+				err = fc.bw.Flush()
+				fc.m.flushes.With("idle").Inc()
+			}
 		}
 		if err != nil {
 			fc.mu.Lock()
 			fc.werr = err
+			dropped := fc.queue
 			fc.queue = nil
 			fc.mu.Unlock()
+			recycleFrames(batch)
+			recycleFrames(dropped)
 			fc.c.Close()
 			return
 		}
 		fc.m.framesSent.Add(uint64(len(batch)))
 		fc.m.bytesSent.Add(uint64(n))
+		fc.m.writeBatch.ObserveCount(len(batch))
+	}
+}
+
+// recycleFrames returns the pooled payloads of unwritten frames to the
+// slab pool.
+func recycleFrames(frames []outFrame) {
+	for i := range frames {
+		if frames[i].pooled && frames[i].payload != nil {
+			putBuf(frames[i].payload)
+			frames[i].payload = nil
+		}
 	}
 }
 
@@ -149,6 +249,8 @@ func (fc *frameConn) close() {
 	fc.cond.Signal()
 	fc.mu.Unlock()
 	<-fc.done
+	fc.m.flushes.With("close").Inc()
+	fc.bw.Flush()
 	fc.c.Close()
 }
 
@@ -160,14 +262,17 @@ func (fc *frameConn) abort() {
 		fc.werr = fmt.Errorf("transport: connection dropped")
 	}
 	fc.closed = true
+	dropped := fc.queue
 	fc.queue = nil
 	fc.cond.Signal()
 	fc.mu.Unlock()
+	recycleFrames(dropped)
 	fc.c.Close()
 	<-fc.done
 }
 
-// readFrame reads one frame from r, counting it against m.
+// readFrame reads one frame from r, counting it against m. The payload is
+// freshly allocated; the steady-state read loops use readFrameBuf.
 func readFrame(r *bufio.Reader, m connMetrics) (wire.Frame, error) {
 	f, err := wire.ReadFrame(r)
 	if err != nil {
@@ -176,4 +281,38 @@ func readFrame(r *bufio.Reader, m connMetrics) (wire.Frame, error) {
 	m.framesRecv.Inc()
 	m.bytesRecv.Add(uint64(wire.FrameHeaderLen + len(f.Payload)))
 	return f, nil
+}
+
+// Shared instrument constructors for the two observability options: both
+// roles expose the same writer-batching surface under the same names.
+func newWriteBatchHistogram(reg *obs.Registry) *obs.Histogram {
+	h := obs.NewCountHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256)
+	reg.AttachHistogram(obs.MTransportWriteBatchFrames, "Frames drained per connection-writer wakeup (one flush).", "", "", h)
+	return h
+}
+
+func newFlushCounterVec(reg *obs.Registry) *obs.CounterVec {
+	v := obs.NewCounterVec()
+	reg.AttachCounterVec(obs.MTransportFlushes, "Connection writer bufio flushes by reason.", "reason", v)
+	return v
+}
+
+func newFrameBytesHistogram(reg *obs.Registry) *obs.Histogram {
+	h := obs.NewCountHistogram(64, 256, 1<<10, 4<<10, 16<<10, 64<<10, 256<<10, 1<<20)
+	reg.AttachHistogram(obs.MTransportFrameBytes, "Encoded frame sizes, header+payload bytes (informs the slab pool classes).", "", "", h)
+	return h
+}
+
+// readFrameBuf reads one frame from r into buf (growing it as needed),
+// counting it against m. The frame's payload aliases the returned buffer
+// and is valid only until the next read — callers retaining a payload must
+// copy it.
+func readFrameBuf(r *bufio.Reader, m connMetrics, buf []byte) (wire.Frame, []byte, error) {
+	f, buf, err := wire.ReadFrameBuf(r, buf)
+	if err != nil {
+		return f, buf, err
+	}
+	m.framesRecv.Inc()
+	m.bytesRecv.Add(uint64(wire.FrameHeaderLen + len(f.Payload)))
+	return f, buf, nil
 }

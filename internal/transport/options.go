@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"time"
+
+	"pleroma/internal/wire"
+)
+
+// Tuning defaults of the pipelined data path. The batching thresholds are
+// deliberately small multiples of typical event sizes: a coalesced
+// PublishReq caps at defaultBatchEvents events or defaultBatchBytes of
+// encoded payload (whichever trips first), and a partial batch never waits
+// longer than defaultLinger before it is sealed and sent.
+const (
+	defaultWindow      = 32
+	defaultBatchEvents = 64
+	defaultBatchBytes  = 32 << 10
+	defaultLinger      = 500 * time.Microsecond
+	// deliverBatchBytes bounds one KindDeliverBatch payload; longer
+	// delivery runs chunk into successive frames.
+	deliverBatchBytes = 256 << 10
+)
+
+// Options tunes the transport data path. The zero value selects the
+// defaults above; it is accepted everywhere an Options is.
+type Options struct {
+	// ReadTimeout bounds each blocking frame read. Zero disables the
+	// deadline (the default: subscriber connections legitimately sit idle
+	// between deliveries).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each buffered write+flush by the writer
+	// goroutine. Zero keeps the role's existing default (the client uses
+	// its retry policy's OpDeadline; the server uses WithServerTimeout).
+	WriteTimeout time.Duration
+	// Window bounds the async publish pipeline: the number of unacked
+	// KindPublish frames a client keeps in flight before PublishAsync
+	// blocks (credit-based backpressure). Zero selects defaultWindow; 1
+	// degenerates to stop-and-wait.
+	Window int
+	// BatchEvents caps the events coalesced into one PublishReq. Zero
+	// selects defaultBatchEvents; 1 disables coalescing. Values above
+	// wire.MaxEvents are clamped.
+	BatchEvents int
+	// BatchBytes caps the encoded payload bytes of one coalesced
+	// PublishReq. Zero selects defaultBatchBytes.
+	BatchBytes int
+	// Linger caps how long a partial publish batch may wait for more
+	// events before it is sealed and sent. Zero selects defaultLinger.
+	Linger time.Duration
+	// NoBatching withholds wire.FlagBatching from the session handshake:
+	// a client stops advertising it, a server stops echoing it, and the
+	// peer sees the per-event v1 frame stream. Used to pin
+	// legacy-compatibility behavior in tests and to interoperate with
+	// pre-batching peers explicitly.
+	NoBatching bool
+}
+
+func (o Options) window() int {
+	if o.Window <= 0 {
+		return defaultWindow
+	}
+	return o.Window
+}
+
+func (o Options) batchEvents() int {
+	n := o.BatchEvents
+	if n <= 0 {
+		n = defaultBatchEvents
+	}
+	if n > wire.MaxEvents {
+		n = wire.MaxEvents
+	}
+	return n
+}
+
+func (o Options) batchBytes() int {
+	if o.BatchBytes <= 0 {
+		return defaultBatchBytes
+	}
+	return o.BatchBytes
+}
+
+func (o Options) linger() time.Duration {
+	if o.Linger <= 0 {
+		return defaultLinger
+	}
+	return o.Linger
+}

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"sync"
+
+	"pleroma/internal/wire"
+)
+
+// Encode-side buffer slabs. Frame payloads cluster in a handful of size
+// bands (the MTransportFrameBytes histogram is the receipts): control
+// responses and single deliveries land under 256 B, coalesced PublishReq
+// and DeliverBatch payloads under a few KiB, and chunked delivery batches
+// top out at the transport's batch byte budget. One sync.Pool per
+// power-of-four class covers the spread without holding a 1 MiB slab for
+// every 100-byte ack.
+var slabClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, wire.MaxFramePayload + wire.FrameHeaderLen}
+
+var slabPools [len(slabClasses)]sync.Pool
+
+// getBuf returns a zero-length buffer with capacity ≥ n, drawn from the
+// smallest fitting slab class (freshly allocated when the pool is empty or
+// n exceeds every class).
+func getBuf(n int) []byte {
+	for i, c := range slabClasses {
+		if n <= c {
+			if p, _ := slabPools[i].Get().(*[]byte); p != nil {
+				return (*p)[:0]
+			}
+			return make([]byte, 0, c)
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// putBuf returns a buffer obtained from getBuf to its slab class. Buffers
+// whose capacity matches no class (grown by append, or foreign) are left
+// to the GC.
+func putBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	c := cap(b)
+	for i, sc := range slabClasses {
+		if c == sc {
+			b = b[:0]
+			slabPools[i].Put(&b)
+			return
+		}
+	}
+}

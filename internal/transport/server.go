@@ -56,6 +56,12 @@ func WithServerTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.writeTimeout = d }
 }
 
+// WithServerOptions tunes the server's transport data path (deadlines,
+// delivery batching). The zero Options keeps every default.
+func WithServerOptions(o Options) ServerOption {
+	return func(s *Server) { s.opts = o }
+}
+
 // WithServerTracer records a remote span for every traced publish the
 // server applies, linked under the client's trace id and re-parenting the
 // publication's span context so downstream delivery spans hang off the
@@ -75,9 +81,14 @@ func WithServerObservability(reg *obs.Registry) ServerOption {
 			framesRecv: reg.Counter(obs.MTransportFramesRecv, "Frames read from transport connections."),
 			bytesSent:  reg.Counter(obs.MTransportBytesSent, "Bytes written to transport connections."),
 			bytesRecv:  reg.Counter(obs.MTransportBytesRecv, "Bytes read from transport connections."),
+			writeBatch: newWriteBatchHistogram(reg),
+			flushes:    newFlushCounterVec(reg),
+			frameBytes: newFrameBytesHistogram(reg),
 		}
 		s.obsConns = reg.Gauge(obs.MTransportConns, "Live transport connections.")
 		s.obsInflight = reg.Gauge(obs.MTransportInflight, "Transport requests currently being served.")
+		s.obsBatch = obs.NewCountHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+		reg.AttachHistogram(obs.MTransportDeliverBatch, "Deliveries coalesced per KindDeliverBatch frame.", "", "", s.obsBatch)
 	}
 }
 
@@ -93,9 +104,11 @@ type Server struct {
 	mu sync.Mutex
 
 	writeTimeout time.Duration
+	opts         Options
 	m            connMetrics
 	obsConns     *obs.Gauge
 	obsInflight  *obs.Gauge
+	obsBatch     *obs.Histogram
 	tracer       *obs.Tracer
 
 	connMu   sync.Mutex
@@ -103,13 +116,19 @@ type Server struct {
 	conns    map[*frameConn]struct{}
 	stopping bool
 
+	// dirty is the set of batching connections holding unsent coalesced
+	// deliveries; every request goroutine flushes it after its backend
+	// call returns, before enqueuing its response — the Sync barrier.
+	batchMu sync.Mutex
+	dirty   map[*frameConn]struct{}
+
 	readers  sync.WaitGroup // one per live connection
 	inflight sync.WaitGroup // requests being served (drained on Stop)
 }
 
 // NewServer wraps a backend.
 func NewServer(b Backend, opts ...ServerOption) *Server {
-	s := &Server{backend: b, conns: make(map[*frameConn]struct{})}
+	s := &Server{backend: b, conns: make(map[*frameConn]struct{}), dirty: make(map[*frameConn]struct{})}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -144,7 +163,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed by Stop
 		}
-		fc := newFrameConn(c, s.writeTimeout, s.m)
+		wt := s.writeTimeout
+		if s.opts.WriteTimeout > 0 {
+			wt = s.opts.WriteTimeout
+		}
+		fc := newFrameConn(c, wt, s.m)
 		s.connMu.Lock()
 		if s.stopping {
 			s.connMu.Unlock()
@@ -176,6 +199,7 @@ func (s *Server) Stop() {
 		ln.Close()
 	}
 	s.inflight.Wait() // drain in-flight requests
+	s.flushDeliveries()
 	s.connMu.Lock()
 	conns := make([]*frameConn, 0, len(s.conns))
 	for fc := range s.conns {
@@ -210,12 +234,23 @@ func (s *Server) serveConn(fc *frameConn, c net.Conn) {
 		s.connMu.Lock()
 		delete(s.conns, fc)
 		s.connMu.Unlock()
+		s.batchMu.Lock()
+		delete(s.dirty, fc)
+		s.batchMu.Unlock()
 		s.obsConns.Add(-1)
 		fc.close()
 	}()
 	br := bufio.NewReader(c)
+	// Request payloads are decoded before the next read, so one reusable
+	// buffer serves the whole connection.
+	buf := make([]byte, 0, 4096)
 	for {
-		f, err := readFrame(br, s.m)
+		if s.opts.ReadTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
+		var f wire.Frame
+		var err error
+		f, buf, err = readFrameBuf(br, s.m, buf)
 		if err != nil {
 			return
 		}
@@ -235,12 +270,62 @@ func (s *Server) serveConn(fc *frameConn, c net.Conn) {
 		s.obsInflight.Add(1)
 		resp := s.handle(fc, f)
 		resp.Corr = f.Corr
+		// Coalesced deliveries produced by this backend call flush before
+		// the response is enqueued, preserving the FIFO receive barrier
+		// (Sync) batching would otherwise break.
+		s.flushDeliveries()
 		err = fc.send(resp)
 		s.obsInflight.Add(-1)
 		s.inflight.Done()
 		if err != nil {
 			return
 		}
+	}
+}
+
+// flushDeliveries drains every batching connection's accumulated
+// deliveries into KindDeliverBatch frames (chunked under the batch byte
+// budget and wire.MaxDeliveries). Callers invoke it after a backend call
+// returns and before they enqueue the call's response.
+func (s *Server) flushDeliveries() {
+	s.batchMu.Lock()
+	if len(s.dirty) == 0 {
+		s.batchMu.Unlock()
+		return
+	}
+	conns := make([]*frameConn, 0, len(s.dirty))
+	for fc := range s.dirty {
+		conns = append(conns, fc)
+		delete(s.dirty, fc)
+	}
+	s.batchMu.Unlock()
+	for _, fc := range conns {
+		s.flushConnDeliveries(fc)
+	}
+}
+
+func (s *Server) flushConnDeliveries(fc *frameConn) {
+	// dmu is held across the swap AND the sends: two request goroutines
+	// flushing the same connection cannot interleave chunks, so the
+	// delivery stream stays in production order.
+	fc.dmu.Lock()
+	defer fc.dmu.Unlock()
+	batch := fc.dbatch
+	fc.dbatch = nil
+	for len(batch) > 0 {
+		hint := 96 * len(batch)
+		if hint > deliverBatchBytes {
+			hint = deliverBatchBytes
+		}
+		payload, n, err := wire.AppendDeliverBatch(getBuf(hint), batch, deliverBatchBytes)
+		if err != nil {
+			return // backend-produced deliveries always encode; drop defensively
+		}
+		s.obsBatch.ObserveCount(n)
+		// Best effort, like the per-event path: a severed connection drops
+		// deliveries, the subscription state survives for the reconnect.
+		fc.sendPooled(wire.KindDeliverBatch, 0, payload)
+		batch = batch[n:]
 	}
 }
 
@@ -255,12 +340,18 @@ func (s *Server) handle(fc *frameConn, f wire.Frame) wire.Frame {
 		if err != nil {
 			return errFrame(err)
 		}
-		// Capability negotiation: echo the tracing bit back iff the client
-		// asked for it. V2 (trace-bearing) payloads flow on this connection
-		// only after both sides advertised the capability; a legacy peer
-		// never sees a version byte it cannot decode.
-		flags := hello.Flags & wire.FlagTracing
+		// Capability negotiation: echo back exactly the bits the client
+		// asked for and this server supports. V2 (trace-bearing) payloads
+		// and KindDeliverBatch frames flow on this connection only after
+		// both sides advertised the capability; a legacy peer never sees a
+		// version byte or frame kind it cannot decode.
+		supported := wire.FlagTracing | wire.FlagBatching
+		if s.opts.NoBatching {
+			supported &^= wire.FlagBatching
+		}
+		flags := hello.Flags & supported
 		fc.tracing.Store(flags&wire.FlagTracing != 0)
+		fc.batching.Store(flags&wire.FlagBatching != 0)
 		info := s.backend.Info()
 		b, err := wire.EncodeHelloOK(wire.HelloOK{Hosts: info.Hosts, Partitions: info.Partitions, Flags: flags})
 		if err != nil {
@@ -282,13 +373,25 @@ func (s *Server) handle(fc *frameConn, f wire.Frame) wire.Frame {
 					d.Trace = wire.TraceContext{}
 					d.Hops = 0
 				}
-				b, err := wire.EncodeDelivery(d)
+				if fc.batching.Load() {
+					// Accumulate; the request goroutine that drove this
+					// backend call flushes the run as KindDeliverBatch
+					// frames before its response.
+					fc.dmu.Lock()
+					fc.dbatch = append(fc.dbatch, d)
+					fc.dmu.Unlock()
+					s.batchMu.Lock()
+					s.dirty[fc] = struct{}{}
+					s.batchMu.Unlock()
+					return
+				}
+				b, err := wire.AppendDelivery(getBuf(64+len(d.SubscriptionID)+4*len(d.Event.Values)), d)
 				if err != nil {
 					return
 				}
 				// Best effort: a severed connection drops deliveries, the
 				// subscription state itself survives for the reconnect.
-				fc.send(wire.Frame{Kind: wire.KindDeliver, Payload: b})
+				fc.sendPooled(wire.KindDeliver, 0, b)
 			}
 		}
 		if err := s.backend.Control(req, deliver); err != nil {

@@ -71,6 +71,28 @@ func TestGenFuzzCorpus(t *testing.T) {
 		At: 5, Latency: 2, Trace: TraceContext{TraceID: 7, SpanID: 9, PubWallNanos: 11}, Hops: 4})
 	write("FuzzDecodeDelivery", "seed-traced", dvt)
 
+	// FuzzDecodePublish: a coalesced multi-event batch like the pipelined
+	// client packs.
+	evs := make([]space.Event, 8)
+	for i := range evs {
+		evs[i] = space.Event{Values: []uint32{uint32(i), uint32(i * 3)}}
+	}
+	pbm, _ := EncodePublish(PublishReq{ID: "pipe", Seq: 9, Events: evs})
+	write("FuzzDecodePublish", "seed-coalesced", pbm)
+
+	// FuzzDecodeDeliverBatch
+	db, _ := EncodeDeliverBatch([]Delivery{
+		{SubscriptionID: "s1", Event: space.Event{Values: []uint32{1, 2}}, At: 3, Latency: 1},
+		{SubscriptionID: "s2", Event: space.Event{Values: []uint32{4}}, At: 5, Latency: 2, FalsePositive: true},
+	})
+	write("FuzzDecodeDeliverBatch", "seed-two", db)
+	dbt, _ := EncodeDeliverBatch([]Delivery{
+		{SubscriptionID: "s", Event: space.Event{Values: []uint32{9}},
+			Trace: TraceContext{TraceID: 7, SpanID: 9, PubWallNanos: 11}, Hops: 2},
+	})
+	write("FuzzDecodeDeliverBatch", "seed-traced", dbt)
+	write("FuzzDecodeDeliverBatch", "seed-truncated", db[:len(db)-3])
+
 	// FuzzDecodeFlowBatch
 	fl := mustFlow("0101", 4, 2)
 	fl.ID = 11

@@ -76,6 +76,10 @@ const (
 	// KindGoodbye announces a graceful server shutdown (empty payload).
 	// No response; the server closes the connection after flushing it.
 	KindGoodbye
+	// KindDeliverBatch pushes a coalesced run of deliveries to a
+	// subscriber in one frame (payload: DeliverBatch). No response. Sent
+	// only on sessions that negotiated FlagBatching.
+	KindDeliverBatch
 )
 
 func (k Kind) String() string {
@@ -114,13 +118,19 @@ func (k Kind) String() string {
 		return "digest-result"
 	case KindGoodbye:
 		return "goodbye"
+	case KindDeliverBatch:
+		return "deliver-batch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
 // valid reports whether k is a defined frame kind.
-func (k Kind) valid() bool { return k >= KindHello && k <= KindGoodbye }
+func (k Kind) valid() bool { return k >= KindHello && k <= KindDeliverBatch }
+
+// Valid reports whether k is a defined frame kind — the exported form for
+// callers that frame payloads themselves (transport's copy-free writer).
+func (k Kind) Valid() bool { return k.valid() }
 
 // Framing limits.
 const (
@@ -132,6 +142,8 @@ const (
 	MaxFlowOps = 4096
 	// MaxEvents bounds the events of one publish request.
 	MaxEvents = 4096
+	// MaxDeliveries bounds the deliveries of one KindDeliverBatch frame.
+	MaxDeliveries = 4096
 	// MaxActions bounds a flow's instruction set on the wire.
 	MaxActions = 255
 )
@@ -211,6 +223,39 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, err
 	}
 	return Frame{Kind: kind, Corr: binary.BigEndian.Uint64(hdr[5:]), Payload: payload}, nil
+}
+
+// ReadFrameBuf reads one frame from r, reusing buf for the payload when it
+// has the capacity (growing it otherwise). The returned frame's Payload
+// aliases the returned buffer, so it is valid only until the next
+// ReadFrameBuf call with the same buffer — callers that retain a payload
+// must copy it. This is the zero-allocation steady-state read path; use
+// ReadFrame when the payload must outlive the next read.
+func ReadFrameBuf(r io.Reader, buf []byte) (Frame, []byte, error) {
+	var hdr [FrameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, buf, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:])
+	if length < 9 || length > 9+MaxFramePayload {
+		return Frame{}, buf, fmt.Errorf("wire: frame length %d out of range", length)
+	}
+	kind := Kind(hdr[4])
+	if !kind.valid() {
+		return Frame{}, buf, fmt.Errorf("wire: invalid frame kind %d", hdr[4])
+	}
+	n := int(length - 9)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, buf, err
+	}
+	return Frame{Kind: kind, Corr: binary.BigEndian.Uint64(hdr[5:]), Payload: payload}, buf[:cap(buf)], nil
 }
 
 // appendString appends [len u8][bytes]; ids and attribute names share it.
@@ -566,50 +611,66 @@ type PublishReq struct {
 // byte). The trace block is present exactly when the version byte is
 // Version2 (req.Trace minted).
 func EncodePublish(req PublishReq) ([]byte, error) {
+	return AppendPublish(make([]byte, 0, 40+len(req.ID)+len(req.Events)*6), req)
+}
+
+// AppendPublish appends an EncodePublish payload to dst, allocation-free
+// when dst has capacity — the form the pipelined publish path encodes
+// coalesced batches with.
+func AppendPublish(dst []byte, req PublishReq) ([]byte, error) {
 	if len(req.ID) == 0 {
 		return nil, fmt.Errorf("wire: publish without publisher id")
 	}
 	if len(req.Events) == 0 || len(req.Events) > MaxEvents {
 		return nil, fmt.Errorf("wire: publish with %d events, want 1..%d", len(req.Events), MaxEvents)
 	}
-	buf := make([]byte, 0, 40+len(req.ID)+len(req.Events)*6)
 	if req.Trace.Valid() {
-		buf = append(buf, Version2)
-		buf = appendTrace(buf, req.Trace)
+		dst = append(dst, Version2)
+		dst = appendTrace(dst, req.Trace)
 	} else {
-		buf = append(buf, Version)
+		dst = append(dst, Version)
 	}
-	buf = binary.BigEndian.AppendUint64(buf, req.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, req.Seq)
 	var err error
-	buf, err = appendString(buf, req.ID, "publisher id")
+	dst, err = appendString(dst, req.ID, "publisher id")
 	if err != nil {
 		return nil, err
 	}
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(req.Events)))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(req.Events)))
 	for _, ev := range req.Events {
-		evb, err := EncodeEvent(ev)
+		dst, err = appendEvent(dst, ev)
 		if err != nil {
 			return nil, err
 		}
-		buf = append(buf, evb...)
 	}
-	return buf, nil
+	return dst, nil
 }
 
 // readEvent decodes one embedded EncodeEvent payload, returning the rest.
-func readEvent(b []byte) (space.Event, []byte, error) {
+// The event's values are appended to arena so a batch decoder amortizes
+// one backing array across every event of a frame (nil arena allocates
+// per event, matching DecodeEvent); the returned event's Values slice is
+// capacity-clipped, so growing the arena afterwards never aliases it.
+func readEvent(b []byte, arena []uint32) (space.Event, []byte, []uint32, error) {
 	if len(b) < 2 {
-		return space.Event{}, nil, fmt.Errorf("wire: truncated event")
+		return space.Event{}, nil, arena, fmt.Errorf("wire: truncated event")
 	}
-	n := 2 + 4*int(b[1])
+	if b[0] != Version {
+		return space.Event{}, nil, arena, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	dims := int(b[1])
+	if dims == 0 || dims > MaxDims {
+		return space.Event{}, nil, arena, fmt.Errorf("wire: event dims %d out of range", dims)
+	}
+	n := 2 + 4*dims
 	if len(b) < n {
-		return space.Event{}, nil, fmt.Errorf("wire: truncated event body")
+		return space.Event{}, nil, arena, fmt.Errorf("wire: truncated event body")
 	}
-	ev, err := DecodeEvent(b[:n])
-	if err != nil {
-		return space.Event{}, nil, err
+	base := len(arena)
+	for i := 0; i < dims; i++ {
+		arena = append(arena, binary.BigEndian.Uint32(b[2+4*i:]))
 	}
-	return ev, b[n:], nil
+	return space.Event{Values: arena[base:len(arena):len(arena)]}, b[n:], arena, nil
 }
 
 // DecodePublish parses a publish request (Version or Version2).
@@ -650,9 +711,17 @@ func DecodePublish(b []byte) (PublishReq, error) {
 		return PublishReq{}, fmt.Errorf("wire: publish with %d events, want 1..%d", count, MaxEvents)
 	}
 	req := PublishReq{ID: id, Seq: seq, Trace: trace, Events: make([]space.Event, 0, count)}
+	// One values arena for the whole batch: a well-formed payload has
+	// exactly (len(rest)-2*count)/4 values, so the per-event slices carve a
+	// single allocation.
+	arenaCap := (len(rest) - 2*count) / 4
+	if arenaCap < 0 {
+		arenaCap = 0
+	}
+	arena := make([]uint32, 0, arenaCap)
 	for i := 0; i < count; i++ {
 		var ev space.Event
-		ev, rest, err = readEvent(rest)
+		ev, rest, arena, err = readEvent(rest, arena)
 		if err != nil {
 			return PublishReq{}, err
 		}
@@ -687,39 +756,45 @@ type Delivery struct {
 // Version2 (d.Trace minted); an untraced delivery encodes as Version 1 and
 // drops Hops.
 func EncodeDelivery(d Delivery) ([]byte, error) {
+	return AppendDelivery(make([]byte, 0, 48+len(d.SubscriptionID)+4*len(d.Event.Values)), d)
+}
+
+// AppendDelivery appends an EncodeDelivery payload to dst, allocation-free
+// when dst has capacity. The encoding is self-delimiting (the id is
+// length-prefixed and the event carries its dims byte), which is what lets
+// DeliverBatch concatenate delivery bodies back to back.
+func AppendDelivery(dst []byte, d Delivery) ([]byte, error) {
 	if len(d.SubscriptionID) == 0 {
 		return nil, fmt.Errorf("wire: delivery without subscription id")
 	}
-	evb, err := EncodeEvent(d.Event)
-	if err != nil {
-		return nil, err
-	}
-	buf := make([]byte, 0, 46+len(d.SubscriptionID)+len(evb))
+	var err error
 	if d.Trace.Valid() {
-		buf = append(buf, Version2)
-		buf = appendTrace(buf, d.Trace)
-		buf = binary.BigEndian.AppendUint16(buf, d.Hops)
+		dst = append(dst, Version2)
+		dst = appendTrace(dst, d.Trace)
+		dst = binary.BigEndian.AppendUint16(dst, d.Hops)
 	} else {
-		buf = append(buf, Version)
+		dst = append(dst, Version)
 	}
-	buf, err = appendString(buf, d.SubscriptionID, "subscription id")
+	dst, err = appendString(dst, d.SubscriptionID, "subscription id")
 	if err != nil {
 		return nil, err
 	}
-	buf = binary.BigEndian.AppendUint64(buf, uint64(d.At))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(d.Latency))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(d.At))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(d.Latency))
 	if d.FalsePositive {
-		buf = append(buf, 1)
+		dst = append(dst, 1)
 	} else {
-		buf = append(buf, 0)
+		dst = append(dst, 0)
 	}
-	return append(buf, evb...), nil
+	return appendEvent(dst, d.Event)
 }
 
-// DecodeDelivery parses a delivery push (Version or Version2).
-func DecodeDelivery(b []byte) (Delivery, error) {
+// readDelivery decodes one delivery body from the front of b, returning it
+// and the remainder — the element decoder DeliverBatch iterates. Event
+// values are appended to arena (see readEvent).
+func readDelivery(b []byte, arena []uint32) (Delivery, []byte, []uint32, error) {
 	if len(b) < 1 {
-		return Delivery{}, fmt.Errorf("wire: delivery too short")
+		return Delivery{}, nil, arena, fmt.Errorf("wire: delivery too short")
 	}
 	var d Delivery
 	body := b[1:]
@@ -729,42 +804,141 @@ func DecodeDelivery(b []byte) (Delivery, error) {
 		var err error
 		d.Trace, body, err = readTrace(body, "delivery")
 		if err != nil {
-			return Delivery{}, err
+			return Delivery{}, nil, arena, err
 		}
 		if len(body) < 2 {
-			return Delivery{}, fmt.Errorf("wire: truncated delivery hops")
+			return Delivery{}, nil, arena, fmt.Errorf("wire: truncated delivery hops")
 		}
 		d.Hops = binary.BigEndian.Uint16(body)
 		body = body[2:]
 	default:
-		return Delivery{}, fmt.Errorf("wire: unsupported version %d", b[0])
+		return Delivery{}, nil, arena, fmt.Errorf("wire: unsupported version %d", b[0])
 	}
 	id, rest, err := readString(body, "subscription id")
 	if err != nil {
-		return Delivery{}, err
+		return Delivery{}, nil, arena, err
 	}
 	if len(id) == 0 {
-		return Delivery{}, fmt.Errorf("wire: delivery without subscription id")
+		return Delivery{}, nil, arena, fmt.Errorf("wire: delivery without subscription id")
 	}
 	if len(rest) < 17 {
-		return Delivery{}, fmt.Errorf("wire: truncated delivery header")
+		return Delivery{}, nil, arena, fmt.Errorf("wire: truncated delivery header")
 	}
 	if rest[16] > 1 {
-		return Delivery{}, fmt.Errorf("wire: delivery false-positive flag %d", rest[16])
+		return Delivery{}, nil, arena, fmt.Errorf("wire: delivery false-positive flag %d", rest[16])
 	}
 	d.SubscriptionID = id
 	d.At = time.Duration(binary.BigEndian.Uint64(rest))
 	d.Latency = time.Duration(binary.BigEndian.Uint64(rest[8:]))
 	d.FalsePositive = rest[16] == 1
-	ev, rest, err := readEvent(rest[17:])
+	ev, rest, arena, err := readEvent(rest[17:], arena)
+	if err != nil {
+		return Delivery{}, nil, arena, err
+	}
+	d.Event = ev
+	return d, rest, arena, nil
+}
+
+// DecodeDelivery parses a delivery push (Version or Version2).
+func DecodeDelivery(b []byte) (Delivery, error) {
+	d, rest, _, err := readDelivery(b, nil)
 	if err != nil {
 		return Delivery{}, err
 	}
 	if len(rest) != 0 {
 		return Delivery{}, fmt.Errorf("wire: %d trailing bytes", len(rest))
 	}
-	d.Event = ev
 	return d, nil
+}
+
+// EncodeDeliverBatch renders a coalesced delivery push:
+//
+//	[version u8][count u16][delivery]×count
+//
+// where each delivery is an AppendDelivery body (self-delimiting, each
+// carrying its own Version/Version2 byte). count must be 1..MaxDeliveries:
+// an empty batch has no encoding — a quiet connection sends nothing, so
+// the zero-batch case stays byte-exact with the v1 protocol by omission.
+func EncodeDeliverBatch(ds []Delivery) ([]byte, error) {
+	if len(ds) == 0 || len(ds) > MaxDeliveries {
+		return nil, fmt.Errorf("wire: deliver batch with %d deliveries, want 1..%d", len(ds), MaxDeliveries)
+	}
+	buf, n, err := AppendDeliverBatch(nil, ds, MaxFramePayload)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(ds) {
+		return nil, fmt.Errorf("wire: deliver batch of %d deliveries exceeds %d payload bytes", len(ds), MaxFramePayload)
+	}
+	return buf, nil
+}
+
+// AppendDeliverBatch appends a DeliverBatch payload holding the longest
+// prefix of ds that fits within maxBytes (always at least one delivery,
+// never more than MaxDeliveries), returning the extended buffer and the
+// number of deliveries consumed. Callers chunk a long delivery run into
+// successive frames by re-calling with ds[n:].
+func AppendDeliverBatch(dst []byte, ds []Delivery, maxBytes int) ([]byte, int, error) {
+	if len(ds) == 0 {
+		return nil, 0, fmt.Errorf("wire: empty deliver batch")
+	}
+	if maxBytes > MaxFramePayload {
+		maxBytes = MaxFramePayload
+	}
+	base := len(dst)
+	dst = append(dst, Version, 0, 0) // count patched below
+	n := 0
+	for _, d := range ds {
+		if n == MaxDeliveries {
+			break
+		}
+		prev := len(dst)
+		var err error
+		dst, err = AppendDelivery(dst, d)
+		if err != nil {
+			return nil, 0, err
+		}
+		if n > 0 && len(dst)-base > maxBytes {
+			dst = dst[:prev]
+			break
+		}
+		n++
+	}
+	binary.BigEndian.PutUint16(dst[base+1:], uint16(n))
+	return dst, n, nil
+}
+
+// DecodeDeliverBatch parses a coalesced delivery push.
+func DecodeDeliverBatch(b []byte) ([]Delivery, error) {
+	if len(b) < 3 {
+		return nil, fmt.Errorf("wire: deliver batch too short")
+	}
+	if b[0] != Version {
+		return nil, fmt.Errorf("wire: unsupported version %d", b[0])
+	}
+	count := int(binary.BigEndian.Uint16(b[1:]))
+	if count == 0 || count > MaxDeliveries {
+		return nil, fmt.Errorf("wire: deliver batch with %d deliveries, want 1..%d", count, MaxDeliveries)
+	}
+	rest := b[3:]
+	ds := make([]Delivery, 0, count)
+	// One backing array for every event's values in the batch: each
+	// readEvent returns a capacity-clipped sub-slice, so arena growth
+	// mid-batch can never alias an earlier event.
+	arena := make([]uint32, 0, 4*count)
+	var err error
+	for i := 0; i < count; i++ {
+		var d Delivery
+		d, rest, arena, err = readDelivery(rest, arena)
+		if err != nil {
+			return nil, err
+		}
+		ds = append(ds, d)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(rest))
+	}
+	return ds, nil
 }
 
 // appendActions appends [nact u8]([port u32][addrKind u8][addr]...)×.

@@ -117,6 +117,32 @@ func FuzzDecodeDelivery(f *testing.F) {
 	})
 }
 
+func FuzzDecodeDeliverBatch(f *testing.F) {
+	good, _ := EncodeDeliverBatch([]Delivery{
+		{SubscriptionID: "s1", Event: space.Event{Values: []uint32{1, 2}}, At: 3, Latency: 1},
+		{SubscriptionID: "s2", Event: space.Event{Values: []uint32{4}}, At: 5, Latency: 2, FalsePositive: true},
+	})
+	f.Add(good)
+	traced, _ := EncodeDeliverBatch([]Delivery{
+		{SubscriptionID: "s", Event: space.Event{Values: []uint32{9}},
+			Trace: TraceContext{TraceID: 7, SpanID: 9, PubWallNanos: 11}, Hops: 2},
+	})
+	f.Add(traced)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ds, err := DecodeDeliverBatch(b)
+		if err != nil {
+			return
+		}
+		reenc, err := EncodeDeliverBatch(ds)
+		if err != nil {
+			t.Fatalf("decoded deliver batch does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, b) {
+			t.Fatalf("deliver batch re-encoding drifted:\n in  %x\n out %x", b, reenc)
+		}
+	})
+}
+
 func FuzzDecodeFlowBatch(f *testing.F) {
 	fl := fuzzFlow(f, "0101", 4, 2)
 	fl.ID = 11

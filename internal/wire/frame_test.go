@@ -220,6 +220,88 @@ func TestDeliveryRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDeliverBatchRoundTrip(t *testing.T) {
+	in := []Delivery{
+		{SubscriptionID: "s1", Event: space.Event{Values: []uint32{1, 2}},
+			At: 100 * time.Microsecond, Latency: 10 * time.Microsecond},
+		{SubscriptionID: "s2", Event: space.Event{Values: []uint32{3}},
+			At: 200 * time.Microsecond, FalsePositive: true},
+		{SubscriptionID: "s3", Event: space.Event{Values: []uint32{4, 5, 6}},
+			Trace: TraceContext{TraceID: 7, SpanID: 9, PubWallNanos: 11}, Hops: 3},
+	}
+	b, err := EncodeDeliverBatch(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeDeliverBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+	if _, err := EncodeDeliverBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := DecodeDeliverBatch(append(b, 1)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := DecodeDeliverBatch(b[:len(b)-1]); err == nil {
+		t.Error("truncated batch accepted")
+	}
+	if _, err := DecodeDeliverBatch([]byte{Version, 0, 0}); err == nil {
+		t.Error("zero-count batch accepted")
+	}
+	if _, err := EncodeDeliverBatch(make([]Delivery, MaxDeliveries+1)); err == nil {
+		t.Error("oversize batch accepted")
+	}
+}
+
+func TestAppendDeliverBatchChunking(t *testing.T) {
+	ds := make([]Delivery, 40)
+	for i := range ds {
+		ds[i] = Delivery{SubscriptionID: "sub", Event: space.Event{Values: []uint32{uint32(i), 2, 3}}}
+	}
+	one, err := EncodeDeliverBatch(ds[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap each chunk at about four deliveries and reassemble: the chunks
+	// must cover the batch exactly, in order, each consuming at least one.
+	maxBytes := 3 + 4*(len(one)-3)
+	var got []Delivery
+	rest := ds
+	for len(rest) > 0 {
+		b, n, err := AppendDeliverBatch(nil, rest, maxBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 1 {
+			t.Fatalf("chunk consumed %d deliveries", n)
+		}
+		if len(b) > maxBytes && n > 1 {
+			t.Fatalf("multi-delivery chunk of %d bytes exceeds cap %d", len(b), maxBytes)
+		}
+		dec, err := DecodeDeliverBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != n {
+			t.Fatalf("chunk decodes to %d deliveries, consumed %d", len(dec), n)
+		}
+		got = append(got, dec...)
+		rest = rest[n:]
+	}
+	if !reflect.DeepEqual(ds, got) {
+		t.Fatalf("reassembled chunks drifted from input")
+	}
+	// A cap smaller than any single delivery still makes progress: one
+	// delivery per frame (the frame-size limit protects the peer).
+	if _, n, err := AppendDeliverBatch(nil, ds, 1); err != nil || n != 1 {
+		t.Fatalf("tiny cap: n=%d err=%v, want 1 delivery", n, err)
+	}
+}
+
 func testFlow(t *testing.T, expr dz.Expr, prio int, actions ...openflow.Action) openflow.Flow {
 	t.Helper()
 	f, err := openflow.NewFlow(expr, prio, actions...)

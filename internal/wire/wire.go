@@ -30,6 +30,14 @@ const Version2 = 2
 // do Version2 payloads flow on the connection.
 const FlagTracing uint8 = 1 << 0
 
+// FlagBatching is the session capability bit for coalesced delivery
+// frames: a client sets it in Hello.Flags when it can decode
+// KindDeliverBatch, the server echoes it in HelloOK.Flags when it will
+// emit them, and only then do batch frames flow on the connection. Peers
+// that never negotiated it keep the per-event KindDeliver stream,
+// byte-identical to the pre-batching protocol.
+const FlagBatching uint8 = 1 << 1
+
 // Limits guarding decoders against hostile input.
 const (
 	// MaxDims bounds the attribute count of an event payload.
@@ -46,16 +54,20 @@ const (
 //
 //	[version u8][dims u8][value u32 big-endian]×dims
 func EncodeEvent(ev space.Event) ([]byte, error) {
+	return appendEvent(make([]byte, 0, 2+4*len(ev.Values)), ev)
+}
+
+// appendEvent appends an EncodeEvent payload to dst, allocation-free when
+// dst has capacity — the hot-path form the frame codecs build on.
+func appendEvent(dst []byte, ev space.Event) ([]byte, error) {
 	if len(ev.Values) == 0 || len(ev.Values) > MaxDims {
 		return nil, fmt.Errorf("wire: event has %d values, want 1..%d", len(ev.Values), MaxDims)
 	}
-	buf := make([]byte, 2+4*len(ev.Values))
-	buf[0] = Version
-	buf[1] = byte(len(ev.Values))
-	for i, v := range ev.Values {
-		binary.BigEndian.PutUint32(buf[2+4*i:], v)
+	dst = append(dst, Version, byte(len(ev.Values)))
+	for _, v := range ev.Values {
+		dst = binary.BigEndian.AppendUint32(dst, v)
 	}
-	return buf, nil
+	return dst, nil
 }
 
 // DecodeEvent parses an event payload.

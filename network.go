@@ -33,6 +33,18 @@ func WithListener(addr string) Option {
 	return func(c *config) { c.listenAddr = addr }
 }
 
+// TransportOptions tunes the TCP data path on either end: read/write
+// deadlines, the async publish window, publish coalescing thresholds, and
+// the NoBatching legacy switch. The zero value selects the transport
+// defaults.
+type TransportOptions = transport.Options
+
+// WithTransport tunes the listener's transport data path (deadlines,
+// delivery batching). Meaningful only together with WithListener.
+func WithTransport(o TransportOptions) Option {
+	return func(c *config) { c.transport = o }
+}
+
 // WithJournalDir enables controller HA like WithJournal, but with every
 // partition journal file-backed under dir (core.FileJournal), so control
 // state survives a daemon restart: on boot, Recover rebuilds each
@@ -175,7 +187,7 @@ func (s *System) PersistSnapshot(partition int, dir string) error {
 // startListener builds the transport backend and starts serving.
 func (s *System) startListener(addr string) error {
 	s.enableStamping()
-	var opts []transport.ServerOption
+	opts := []transport.ServerOption{transport.WithServerOptions(s.cfg.transport)}
 	if s.reg != nil {
 		opts = append(opts, transport.WithServerObservability(s.reg))
 	}
@@ -409,10 +421,11 @@ func ParseFilter(s string) (Filter, error) {
 type DialOption func(*dialConfig)
 
 type dialConfig struct {
-	id       string
-	retry    *RetryPolicy
-	obs      bool
-	traceCap int
+	id        string
+	retry     *RetryPolicy
+	obs       bool
+	traceCap  int
+	transport *TransportOptions
 }
 
 // WithDialID names the client in its handshake (diagnostics only).
@@ -436,6 +449,13 @@ func WithDialObservability(traceCapacity int) DialOption {
 // subscriptions before retrying the interrupted request.
 func WithDialRetry(p RetryPolicy) DialOption { return func(c *dialConfig) { c.retry = &p } }
 
+// WithDialTransport tunes the client's transport data path: deadlines,
+// the PublishAsync window and coalescing thresholds, and the NoBatching
+// legacy switch.
+func WithDialTransport(o TransportOptions) DialOption {
+	return func(c *dialConfig) { c.transport = &o }
+}
+
 // Client is a remote handle on a listening System (a pleroma-d daemon):
 // the same advertise/subscribe/publish/run surface, spoken over TCP.
 type Client struct {
@@ -453,6 +473,9 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 	topts := []transport.ClientOption{transport.WithClientID(cfg.id)}
 	if cfg.retry != nil {
 		topts = append(topts, transport.WithClientRetry(*cfg.retry))
+	}
+	if cfg.transport != nil {
+		topts = append(topts, transport.WithClientOptions(*cfg.transport))
 	}
 	c := &Client{}
 	if cfg.obs {
@@ -592,6 +615,36 @@ func (c *Client) PublishBatch(id string, tuples ...[]uint32) error {
 	}
 	return c.tc.Publish(id, events)
 }
+
+// PublishAsync injects one event into the pipelined publish path: events
+// coalesce into multi-event requests and up to a window of them stay in
+// flight without waiting for acks. It blocks only when the window is full
+// (backpressure); failures are sticky and surface here, on Flush, or on
+// Err. Call Flush before relying on the events being applied.
+func (c *Client) PublishAsync(id string, values ...uint32) error {
+	return c.tc.PublishAsync(id, []space.Event{{Values: values}})
+}
+
+// PublishBatchAsync injects a burst of events into the pipelined publish
+// path (see PublishAsync).
+func (c *Client) PublishBatchAsync(id string, tuples ...[]uint32) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	events := make([]space.Event, len(tuples))
+	for i, vals := range tuples {
+		events[i] = space.Event{Values: vals}
+	}
+	return c.tc.PublishAsync(id, events)
+}
+
+// Flush seals pending async batches and blocks until every pipelined
+// publish is acked (nil) or the pipeline failed (the sticky error).
+func (c *Client) Flush() error { return c.tc.Flush() }
+
+// AsyncErr returns the pipelined publish path's sticky error without
+// blocking (nil while healthy).
+func (c *Client) AsyncErr() error { return c.tc.Err() }
 
 // Run drains the daemon's pending simulated work and returns the final
 // simulated time.

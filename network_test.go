@@ -82,7 +82,18 @@ func deliveryKey(d Delivery) string {
 // yield identical delivery multisets and identical control-plane
 // digests. The transport boundary adds no semantics.
 func TestLoopbackEquivalence(t *testing.T) {
-	runLoopbackEquivalence(t, nil, nil)
+	runLoopbackEquivalence(t, nil, nil, false)
+}
+
+// TestLoopbackEquivalencePipelined re-runs the golden equivalence with the
+// publishes driven through the pipelined async path (coalesced multi-event
+// frames, windowed acks) and a tiny publish window to force backpressure.
+// The pipeline must be purely a transport optimization — identical
+// delivery multisets, identical digests.
+func TestLoopbackEquivalencePipelined(t *testing.T) {
+	runLoopbackEquivalence(t, nil,
+		[]DialOption{WithDialTransport(TransportOptions{Window: 2, BatchEvents: 8})},
+		true)
 }
 
 // TestLoopbackEquivalenceTraced re-runs the golden equivalence with the
@@ -92,10 +103,11 @@ func TestLoopbackEquivalence(t *testing.T) {
 func TestLoopbackEquivalenceTraced(t *testing.T) {
 	runLoopbackEquivalence(t,
 		[]Option{WithObservability(4096)},
-		[]DialOption{WithDialObservability(4096)})
+		[]DialOption{WithDialObservability(4096)},
+		false)
 }
 
-func runLoopbackEquivalence(t *testing.T, extraSys []Option, extraDial []DialOption) {
+func runLoopbackEquivalence(t *testing.T, extraSys []Option, extraDial []DialOption, pipelined bool) {
 	opts := append([]Option{WithTopology(TopologyRing20), WithPartitions(4)}, extraSys...)
 	w := makeNetWorkload(7, 20)
 
@@ -175,7 +187,19 @@ func runLoopbackEquivalence(t *testing.T, extraSys []Option, extraDial []DialOpt
 		}
 	}
 	for _, ev := range w.events {
-		if err := pubCli.Publish(ev.pub, ev.vals...); err != nil {
+		if pipelined {
+			err = pubCli.PublishAsync(ev.pub, ev.vals...)
+		} else {
+			err = pubCli.Publish(ev.pub, ev.vals...)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pipelined {
+		// The ack barrier: every coalesced publish is applied at the daemon
+		// before Run admits the simulated work.
+		if err := pubCli.Flush(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -307,6 +331,79 @@ func TestNetworkKillAndReconnect(t *testing.T) {
 	}
 	if repairs := rr.FlowAdds + rr.FlowDeletes + rr.FlowModifies; repairs != 0 {
 		t.Fatalf("resync repaired %d flows after reconnect; switch state should be untouched", repairs)
+	}
+}
+
+// TestPipelinedReconnectMidWindow severs every connection twice while a
+// window of async publishes is in flight. The pipeline must redial on its
+// own, replay the unacked window in order, and the daemon's per-publisher
+// sequence dedup must absorb the replays: after Flush+Run+Sync the
+// delivery multiset holds every published event exactly once.
+func TestPipelinedReconnectMidWindow(t *testing.T) {
+	sys, err := NewSystem(netTestSchema(t),
+		WithTopology(TopologyRing20), WithListener("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	c, err := Dial(sys.ListenAddr(),
+		WithDialRetry(RetryPolicy{
+			MaxAttempts: 20, BaseBackoff: time.Millisecond,
+			MaxBackoff: 10 * time.Millisecond, OpDeadline: 5 * time.Second,
+		}),
+		WithDialTransport(TransportOptions{Window: 4, BatchEvents: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hosts := c.Hosts()
+	var mu sync.Mutex
+	seen := map[uint32]int{}
+	if err := c.Subscribe("s", hosts[6], NewFilter(), func(d Delivery) {
+		mu.Lock()
+		seen[d.Event.Values[0]]++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advertise("p", hosts[0], NewFilter()); err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 60
+	for i := 0; i < total; i++ {
+		if err := c.PublishAsync("p", uint32(i), uint32(i)); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		if i == 15 || i == 40 {
+			// Kill the link with a partially-acked window in flight.
+			sys.server.DropConnections()
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := uint32(0); i < total; i++ {
+		switch seen[i] {
+		case 1:
+		case 0:
+			t.Errorf("event %d lost across reconnect", i)
+		default:
+			t.Errorf("event %d delivered %d times", i, seen[i])
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("distinct events delivered: %d, want %d", len(seen), total)
 	}
 }
 

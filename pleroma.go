@@ -151,6 +151,8 @@ type config struct {
 	// listenAddr makes the system serve its control and southbound
 	// surfaces over TCP (see WithListener in network.go).
 	listenAddr string
+	// transport tunes the TCP data path (see WithTransport in network.go).
+	transport transport.Options
 	// obsEnabled/obsTraceCap/obsTraceSink configure the observability
 	// layer (see WithObservability in observability.go).
 	obsEnabled   bool
@@ -258,10 +260,15 @@ type System struct {
 	// proj is the active dimension selection (nil = full space).
 	proj *projection
 
-	window []Event // recent events for dimension selection
+	// window is a ring of recent events for dimension selection: once
+	// full, winStart marks the oldest slot and new events overwrite in
+	// place (O(1) per publish). winTotal counts every event ever recorded.
+	window   []Event
+	winStart int
+	winTotal uint64
 	// periodic re-selection state (Section 5's adaptation loop).
 	reindexArmed  bool
-	reindexSeen   int
+	reindexSeen   uint64
 	reindexRounds int
 	// delivery accounting for the FPR metric of Section 6.4. Atomics:
 	// with shards enabled, dispatch runs concurrently on shard workers.
@@ -886,9 +893,13 @@ func removeID(s []string, id string) []string {
 const maxEventWindow = 2048
 
 func (s *System) recordEvent(ev Event) {
+	s.winTotal++
 	if len(s.window) >= maxEventWindow {
-		copy(s.window, s.window[1:])
-		s.window = s.window[:len(s.window)-1]
+		// Overwrite the oldest slot instead of shifting the whole window:
+		// publish admission must stay O(1) per event.
+		s.window[s.winStart] = ev
+		s.winStart = (s.winStart + 1) % maxEventWindow
+		return
 	}
 	s.window = append(s.window, ev)
 }

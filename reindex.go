@@ -161,10 +161,10 @@ func (s *System) maybeArmReindex() {
 	s.reindexArmed = true
 	s.eng.Schedule(s.cfg.reindexEvery, func() {
 		s.reindexArmed = false
-		if len(s.window) == s.reindexSeen {
+		if s.winTotal == s.reindexSeen {
 			return // no new traffic since the last round
 		}
-		s.reindexSeen = len(s.window)
+		s.reindexSeen = s.winTotal
 		if _, err := s.ReindexDimensions(s.cfg.reindexThresh); err == nil {
 			s.reindexRounds++
 		}

@@ -1,0 +1,109 @@
+package pleroma_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"pleroma"
+)
+
+// BenchmarkTransportPublishDeliver measures the loopback-TCP data path
+// end to end: a dialed client publishes b.N events into a daemonized
+// system and a whole-space subscription receives every one of them, with
+// Run+Sync barriers every benchChunk events. The baseline sub-benchmark
+// pays one request/response round trip per event (the pre-pipeline
+// transport); the pipelined sub-benchmarks drive the windowed async path,
+// swept over window size and coalescing threshold. ns/op and allocs/op
+// are per event; `make bench-transport` records the sweep in
+// benchmarks/transport.txt.
+func BenchmarkTransportPublishDeliver(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) {
+		// The pre-pipeline protocol: one request/response round trip per
+		// Publish and one KindDeliver frame per delivery (NoBatching).
+		benchTransport(b,
+			[]pleroma.DialOption{pleroma.WithDialTransport(pleroma.TransportOptions{NoBatching: true})},
+			func(c *pleroma.Client, i int) error {
+				return c.Publish("p", uint32(i%1024), uint32((i*7)%1024))
+			}, nil)
+	})
+	for _, cfg := range []struct{ window, batch int }{
+		{8, 16},
+		{32, 64},
+		{128, 256},
+	} {
+		opts := pleroma.TransportOptions{Window: cfg.window, BatchEvents: cfg.batch}
+		b.Run(fmt.Sprintf("pipelined/window=%d,batch=%d", cfg.window, cfg.batch), func(b *testing.B) {
+			benchTransport(b,
+				[]pleroma.DialOption{pleroma.WithDialTransport(opts)},
+				func(c *pleroma.Client, i int) error {
+					return c.PublishAsync("p", uint32(i%1024), uint32((i*7)%1024))
+				},
+				func(c *pleroma.Client) error { return c.Flush() })
+		})
+	}
+}
+
+// benchChunk is the events-per-barrier granularity: both paths pay the
+// same simulation and delivery cost per chunk, so the sub-benchmark deltas
+// isolate the transport data path.
+const benchChunk = 1024
+
+func benchTransport(b *testing.B, dialOpts []pleroma.DialOption, publish func(*pleroma.Client, int) error, flush func(*pleroma.Client) error) {
+	sch, err := pleroma.NewSchema(
+		pleroma.Attribute{Name: "a", Bits: 10},
+		pleroma.Attribute{Name: "b", Bits: 10},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := pleroma.NewSystem(sch, pleroma.WithListener("127.0.0.1:0"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	c, err := pleroma.Dial(sys.ListenAddr(), dialOpts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	hosts := c.Hosts()
+	var delivered atomic.Uint64
+	if err := c.Subscribe("s", hosts[0], pleroma.NewFilter(), func(pleroma.Delivery) {
+		delivered.Add(1)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Advertise("p", hosts[0], pleroma.NewFilter()); err != nil {
+		b.Fatal(err)
+	}
+	barrier := func() {
+		if flush != nil {
+			if err := flush(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := publish(c, i); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%benchChunk == 0 {
+			barrier()
+		}
+	}
+	barrier()
+	b.StopTimer()
+	if got := delivered.Load(); got != uint64(b.N) {
+		b.Fatalf("delivered %d of %d events", got, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
